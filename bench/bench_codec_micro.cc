@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the software implementations of
+ * every compressor in the repository (block-level codecs, LZ, reduced-
+ * tree Huffman Deflate, RFC reference Deflate).  These measure the
+ * simulator's software codecs, not the modelled ASIC (see Table II for
+ * that); they guard against performance regressions in the profile-
+ * measurement path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "compress/block_compressor.hh"
+#include "compress/mem_deflate.hh"
+#include "compress/rfc_deflate.hh"
+#include "workloads/content.hh"
+
+using namespace tmcc;
+
+namespace
+{
+
+std::vector<std::uint8_t>
+page()
+{
+    Rng rng(7);
+    return generateContent({ContentFamily::GraphCsr, 0.5, 3.0}, rng);
+}
+
+void
+BM_Bdi(benchmark::State &state)
+{
+    Bdi codec;
+    const auto p = page();
+    for (auto _ : state)
+        for (std::size_t b = 0; b < blocksPerPage; ++b)
+            benchmark::DoNotOptimize(
+                codec.compress(p.data() + b * blockSize));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * pageSize);
+}
+
+void
+BM_Bpc(benchmark::State &state)
+{
+    Bpc codec;
+    const auto p = page();
+    for (auto _ : state)
+        for (std::size_t b = 0; b < blocksPerPage; ++b)
+            benchmark::DoNotOptimize(
+                codec.compress(p.data() + b * blockSize));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * pageSize);
+}
+
+void
+BM_Cpack(benchmark::State &state)
+{
+    Cpack codec;
+    const auto p = page();
+    for (auto _ : state)
+        for (std::size_t b = 0; b < blocksPerPage; ++b)
+            benchmark::DoNotOptimize(
+                codec.compress(p.data() + b * blockSize));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * pageSize);
+}
+
+void
+BM_BestOfBlock(benchmark::State &state)
+{
+    BlockCompressor codec;
+    const auto p = page();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(codec.compressPage(p.data()));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * pageSize);
+}
+
+void
+BM_MemDeflateCompress(benchmark::State &state)
+{
+    MemDeflate codec;
+    const auto p = page();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(codec.compress(p.data(), p.size()));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * pageSize);
+}
+
+void
+BM_MemDeflateDecompress(benchmark::State &state)
+{
+    MemDeflate codec;
+    const auto p = page();
+    const CompressedPage enc = codec.compress(p.data(), p.size());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(codec.decompress(enc));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * pageSize);
+}
+
+void
+BM_RfcDeflateCompress(benchmark::State &state)
+{
+    RfcDeflate codec;
+    const auto p = page();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(codec.compress(p.data(), p.size()));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * pageSize);
+}
+
+void
+BM_LzWindowSweep(benchmark::State &state)
+{
+    LzConfig cfg;
+    cfg.windowSize = static_cast<std::size_t>(state.range(0));
+    Lz lz(cfg);
+    const auto p = page();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(lz.compress(p.data(), p.size()));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * pageSize);
+}
+
+BENCHMARK(BM_Bdi);
+BENCHMARK(BM_Bpc);
+BENCHMARK(BM_Cpack);
+BENCHMARK(BM_BestOfBlock);
+BENCHMARK(BM_MemDeflateCompress);
+BENCHMARK(BM_MemDeflateDecompress);
+BENCHMARK(BM_RfcDeflateCompress);
+BENCHMARK(BM_LzWindowSweep)->Arg(256)->Arg(1024)->Arg(4096);
+
+} // namespace
+
+BENCHMARK_MAIN();

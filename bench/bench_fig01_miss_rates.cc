@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 1: TLB misses and CTE misses normalized to LLC misses under a
+ * block-level hardware compression (Compresso-style CTEs).
+ *
+ * Paper: CTE misses are MORE frequent than TLB misses (34% vs 30% on
+ * average) because every memory request — including the page walker's
+ * own PTB fetches — needs a CTE, while TLB misses only arise for
+ * data/instruction accesses.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace tmcc;
+using namespace tmcc::bench;
+
+int
+main()
+{
+    header("Figure 1: TLB and CTE misses per LLC miss (block-level CTEs)",
+           "avg TLB ~0.30, avg CTE ~0.34; CTE > TLB on average");
+    cols({"tlb/llc", "cte/llc"});
+
+    std::vector<double> tlb_rates, cte_rates;
+    for (const auto &name : largeWorkloadNames()) {
+        SimConfig cfg = baseConfig(name, Arch::Compresso);
+        const SimResult r = run(cfg);
+        const double denom =
+            r.llcMisses ? static_cast<double>(r.llcMisses) : 1.0;
+        const double tlb = static_cast<double>(r.tlbMisses) / denom;
+        const double cte = static_cast<double>(r.cteMisses) / denom;
+        tlb_rates.push_back(tlb);
+        cte_rates.push_back(cte);
+        row(name, {tlb, cte});
+    }
+    row("AVG", {mean(tlb_rates), mean(cte_rates)});
+    std::printf("paper AVG:        0.300      0.340\n");
+    return 0;
+}

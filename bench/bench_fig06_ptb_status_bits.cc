@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 6: fraction of page table blocks whose 24 status bits are
+ * identical across all eight PTEs, measured over the real page tables
+ * the simulator builds for each workload's address space.
+ *
+ * Paper: 99.94% of L1 PTBs and 99.3% of L2 PTBs on average — the
+ * compressibility TMCC's PTB encoding exploits (Fig. 7).
+ */
+
+#include "bench/bench_util.hh"
+#include "tmcc/ptb_codec.hh"
+
+using namespace tmcc;
+using namespace tmcc::bench;
+
+namespace
+{
+
+double
+uniformFraction(System &system, unsigned level)
+{
+    const PtbCodec codec;
+    std::uint64_t total = 0, uniform = 0;
+    system.pageTable().forEachPtb(level,
+                                  [&](const std::uint64_t *ptes) {
+                                      ++total;
+                                      uniform += codec.analyze(ptes)
+                                                     .compressible;
+                                  });
+    return total ? static_cast<double>(uniform) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Figure 6: PTBs with identical status bits across all 8 PTEs",
+           "L1 avg 99.94%, L2 avg 99.3%");
+    cols({"L1_PTBs", "L2_PTBs"});
+
+    std::vector<double> l1s, l2s;
+    for (const auto &name : largeWorkloadNames()) {
+        SimConfig cfg = baseConfig(name, Arch::NoCompression);
+        // Only the mapped page tables matter; skip the timing phases.
+        cfg.placementAccesses = 0;
+        cfg.warmAccesses = 0;
+        cfg.measureAccesses = 1;
+        System system(cfg);
+
+        const double l1 = uniformFraction(system, 1);
+        const double l2 = uniformFraction(system, 2);
+        l1s.push_back(l1);
+        l2s.push_back(l2);
+        row(name, {l1, l2}, 4);
+    }
+    row("AVG", {mean(l1s), mean(l2s)}, 4);
+    std::printf("paper AVG:        0.9994     0.9930\n");
+    return 0;
+}

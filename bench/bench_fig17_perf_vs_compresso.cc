@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 17: TMCC performance normalized to Compresso when both save
+ * the same amount of DRAM (iso-savings).
+ *
+ * Paper: +14% on average; largest gains for shortestPath and canneal
+ * (high access rate + high CTE miss rate), smallest for kcore and
+ * triCount (low CTE miss rate).
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace tmcc;
+using namespace tmcc::bench;
+
+int
+main()
+{
+    header("Figure 17: TMCC performance normalized to Compresso "
+           "(iso-savings)",
+           "average ~1.14; max ~1.25 (shortestPath, canneal); min ~1.02 "
+           "(kcore, triCount)");
+    cols({"compresso", "tmcc", "ratio"});
+
+    std::vector<double> ratios;
+    for (const auto &name : largeWorkloadNames()) {
+        SimConfig comp_cfg = baseConfig(name, Arch::Compresso);
+        const SimResult rc = run(comp_cfg);
+
+        SimConfig tmcc_cfg = baseConfig(name, Arch::Tmcc);
+        const SimResult rt = run(tmcc_cfg);
+
+        const double ratio = rc.accessesPerNs() > 0
+                                 ? rt.accessesPerNs() / rc.accessesPerNs()
+                                 : 0.0;
+        ratios.push_back(ratio);
+        row(name, {rc.accessesPerNs() * 1000.0,
+                   rt.accessesPerNs() * 1000.0, ratio});
+    }
+    row("AVG", {0, 0, mean(ratios)});
+    std::printf("paper AVG ratio: 1.14\n");
+    return 0;
+}

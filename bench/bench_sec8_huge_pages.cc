@@ -1,0 +1,48 @@
+/**
+ * @file
+ * §VIII (Huge Pages): with 2MB pages the ML1 optimization is
+ * ineffective (a huge-page PTB covers 16MB; 4K CTEs cannot fit), but
+ * the page-level-translation and fast-Deflate benefits remain.
+ *
+ * Paper: vs Compresso under huge pages, TMCC still improves average
+ * performance by ~6% at iso-savings (vs 14% with 4KB pages).
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace tmcc;
+using namespace tmcc::bench;
+
+int
+main()
+{
+    header("Section VIII: TMCC vs Compresso under 2MB huge pages",
+           "avg ratio ~1.06 (vs ~1.14 with 4KB pages); parallel "
+           "accesses vanish");
+    cols({"ratio", "parallel"});
+
+    std::vector<double> ratios;
+    for (const auto &name : largeWorkloadNames()) {
+        SimConfig comp_cfg = baseConfig(name, Arch::Compresso);
+        comp_cfg.hugePages = true;
+        const SimResult rc = run(comp_cfg);
+
+        SimConfig tmcc_cfg = baseConfig(name, Arch::Tmcc);
+        tmcc_cfg.hugePages = true;
+        const SimResult rt = run(tmcc_cfg);
+
+        const double ratio = rc.accessesPerNs() > 0
+                                 ? rt.accessesPerNs() / rc.accessesPerNs()
+                                 : 0.0;
+        const double par =
+            rt.llcMisses ? static_cast<double>(rt.ml1Parallel) /
+                               static_cast<double>(rt.llcMisses)
+                         : 0.0;
+        ratios.push_back(ratio);
+        row(name, {ratio, par});
+    }
+    row("AVG", {mean(ratios), 0.0});
+    std::printf("paper AVG ratio: ~1.06; parallel accesses: 0 (ML1 "
+                "opt ineffective)\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table I: synthesis results of the memory-specialized ASIC Deflate.
+ *
+ * We cannot run Synopsys DC on ASAP7 here, so the area/power numbers
+ * are the paper's published constants (pass-through, clearly labelled);
+ * the structural/pipeline parameters printed below ARE this repo's
+ * cycle model, which regenerates Table II from them.
+ */
+
+#include <cstdio>
+
+#include "compress/deflate_timing.hh"
+
+using namespace tmcc;
+
+int
+main()
+{
+    std::printf("=====================================================\n");
+    std::printf("Table I: ASIC Deflate synthesis summary (7nm ASAP7, "
+                "0.7V)\n");
+    std::printf("NOTE: area/power are the paper's published constants; "
+                "see DESIGN.md\n");
+    std::printf("=====================================================\n");
+
+    const AsicArea area;
+    std::printf("%-26s %10s %10s\n", "module", "area(mm2)", "power(mW)");
+    std::printf("%-26s %10.3f %10s\n", "LZ decompressor",
+                area.lzDecompressorMm2, "100");
+    std::printf("%-26s %10.3f %10s\n", "LZ compressor",
+                area.lzCompressorMm2, "160");
+    std::printf("%-26s %10.3f %10s\n", "Huffman decompressor",
+                area.huffDecompressorMm2, "27");
+    std::printf("%-26s %10.3f %10s\n", "Huffman compressor",
+                area.huffCompressorMm2, "160");
+    std::printf("%-26s %10.3f %10.0f\n", "complete unit", area.totalMm2,
+                area.totalPowerMw);
+
+    const MemDeflateTimingConfig cfg;
+    std::printf("\ncycle-model parameters (this repo, drives Table II):\n");
+    std::printf("  clock                  %.1f GHz\n", cfg.clockGhz);
+    std::printf("  LZ intake              %u B/cycle\n",
+                cfg.bytesPerCycleLz);
+    std::printf("  build reduced tree     %u cycles\n",
+                cfg.buildTreeCycles);
+    std::printf("  write reduced tree     %u cycles\n",
+                cfg.writeTreeCycles);
+    std::printf("  read reduced tree      %u cycles\n",
+                cfg.readTreeCycles);
+    std::printf("  Huffman decode         <=%u codes or <=%u bits/cycle\n",
+                cfg.huffDecodeCodesPerCycle, cfg.huffDecodeBitsPerCycle);
+    std::printf("  LZ decode output       %u B/cycle\n",
+                cfg.lzDecodeBytesPerCycle);
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: one binary regenerates
+ * each table/figure of the paper.  Environment knobs:
+ *
+ *   TMCC_QUICK=1     shrink phase lengths ~4x (smoke-test the benches)
+ *   TMCC_SCALE=<f>   override the workload footprint scale
+ */
+
+#ifndef TMCC_BENCH_BENCH_UTIL_HH
+#define TMCC_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace tmcc::bench
+{
+
+/** The standard reach-scaled configuration used by every harness. */
+inline SimConfig
+baseConfig(const std::string &workload, Arch arch)
+{
+    SimConfig cfg = SimConfig::scaledDefault();
+    cfg.workload = workload;
+    cfg.arch = arch;
+
+    // Non-graph analogues use larger per-region scales (their paper
+    // footprints are smaller but must stay >> the scaled TLB reach).
+    if (workload == "mcf" || workload == "omnetpp" ||
+        workload == "canneal")
+        cfg.scale = 0.8;
+
+    if (const char *s = std::getenv("TMCC_SCALE"))
+        cfg.scale = std::atof(s);
+    if (std::getenv("TMCC_QUICK")) {
+        cfg.placementAccesses /= 4;
+        cfg.warmAccesses /= 4;
+        cfg.measureAccesses /= 4;
+    }
+    return cfg;
+}
+
+/** Run one configuration. */
+inline SimResult
+run(const SimConfig &cfg)
+{
+    System system(cfg);
+    return system.run();
+}
+
+/** Simple aligned table printing. */
+inline void
+header(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("=====================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("paper reference: %s\n", paper_ref.c_str());
+    std::printf("=====================================================\n");
+}
+
+inline void
+row(const std::string &name, const std::vector<double> &values,
+    int precision = 3)
+{
+    std::printf("%-14s", name.c_str());
+    for (double v : values)
+        std::printf(" %10.*f", precision, v);
+    std::printf("\n");
+}
+
+inline void
+cols(const std::vector<std::string> &names)
+{
+    std::printf("%-14s", "workload");
+    for (const auto &n : names)
+        std::printf(" %10s", n.c_str());
+    std::printf("\n");
+}
+
+/** Arithmetic mean. */
+inline double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double sum = 0;
+    for (double x : v)
+        sum += x;
+    return sum / static_cast<double>(v.size());
+}
+
+} // namespace tmcc::bench
+
+#endif // TMCC_BENCH_BENCH_UTIL_HH

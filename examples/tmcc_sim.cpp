@@ -1,0 +1,205 @@
+/**
+ * @file
+ * tmcc_sim: the command-line front end to the simulator — run any
+ * workload under any architecture/configuration without writing code.
+ *
+ * Usage: tmcc_sim [options]
+ *   --workload NAME       benchmark name (default pageRank)
+ *   --arch A              none|compresso|barebone|barebone+ml1|
+ *                         barebone+ml2|tmcc (default tmcc)
+ *   --scale F             footprint scale (default preset)
+ *   --cores N             core count (default 4)
+ *   --budget F            DRAM usage target as a fraction of the
+ *                         footprint (default: match Compresso)
+ *   --huge                use 2MB pages
+ *   --no-prefetch         disable prefetchers
+ *   --tlb N               TLB entries
+ *   --cte-cache BYTES     TMCC/OS CTE cache size
+ *   --measure N           measured accesses per core
+ *   --seed N              RNG seed
+ *   --stats               dump every component counter
+ *   --record FILE N       record N accesses of the workload to FILE
+ *                         (no simulation) and exit
+ *   --list                list known workloads and exit
+ *
+ * A recorded trace replays as a workload: --workload trace:FILE
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/system.hh"
+#include "workloads/trace.hh"
+
+using namespace tmcc;
+
+namespace
+{
+
+Arch
+archByName(const std::string &name)
+{
+    if (name == "none" || name == "nocomp")
+        return Arch::NoCompression;
+    if (name == "compresso")
+        return Arch::Compresso;
+    if (name == "barebone")
+        return Arch::Barebone;
+    if (name == "barebone+ml1")
+        return Arch::BarebonePlusMl1;
+    if (name == "barebone+ml2")
+        return Arch::BarebonePlusMl2;
+    if (name == "tmcc")
+        return Arch::Tmcc;
+    std::fprintf(stderr, "unknown arch '%s'\n", name.c_str());
+    std::exit(1);
+}
+
+void
+listWorkloads()
+{
+    std::printf("large/irregular:");
+    for (const auto &n : largeWorkloadNames())
+        std::printf(" %s", n.c_str());
+    std::printf("\nsmall/regular:  ");
+    for (const auto &n : smallWorkloadNames())
+        std::printf(" %s", n.c_str());
+    std::printf("\nbandwidth:      ");
+    for (const auto &n : bandwidthWorkloadNames())
+        std::printf(" %s", n.c_str());
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SimConfig cfg = SimConfig::scaledDefault();
+    bool dump_all = false;
+    bool scale_set = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            cfg.workload = value();
+        } else if (arg == "--arch") {
+            cfg.arch = archByName(value());
+        } else if (arg == "--scale") {
+            cfg.scale = std::atof(value());
+            scale_set = true;
+        } else if (arg == "--cores") {
+            cfg.cores = static_cast<unsigned>(std::atoi(value()));
+        } else if (arg == "--budget") {
+            cfg.dramBudgetFraction = std::atof(value());
+        } else if (arg == "--huge") {
+            cfg.hugePages = true;
+        } else if (arg == "--no-prefetch") {
+            cfg.hierarchy.prefetchers = false;
+        } else if (arg == "--tlb") {
+            cfg.tlbEntries = static_cast<unsigned>(std::atoi(value()));
+        } else if (arg == "--cte-cache") {
+            cfg.osMc.cteCacheBytes =
+                static_cast<std::size_t>(std::atoll(value()));
+        } else if (arg == "--measure") {
+            cfg.measureAccesses =
+                static_cast<std::uint64_t>(std::atoll(value()));
+        } else if (arg == "--seed") {
+            cfg.seed = static_cast<std::uint64_t>(std::atoll(value()));
+        } else if (arg == "--stats") {
+            dump_all = true;
+        } else if (arg == "--record") {
+            const std::string path = value();
+            const auto n =
+                static_cast<std::uint64_t>(std::atoll(value()));
+            auto wl = makeWorkload(cfg.workload, 0, cfg.cores,
+                                   cfg.scale, cfg.seed);
+            TraceRecorder::record(*wl, path, n);
+            std::printf("recorded %llu accesses of %s to %s\n",
+                        static_cast<unsigned long long>(n),
+                        cfg.workload.c_str(), path.c_str());
+            return 0;
+        } else if (arg == "--list") {
+            listWorkloads();
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("see the header of examples/tmcc_sim.cpp\n");
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option %s (try --help)\n",
+                         arg.c_str());
+            return 1;
+        }
+    }
+
+    if (!scale_set &&
+        (cfg.workload == "mcf" || cfg.workload == "omnetpp" ||
+         cfg.workload == "canneal"))
+        cfg.scale = 0.8;
+
+    System system(cfg);
+    const SimResult r = system.run();
+
+    std::printf("workload            %s\n", cfg.workload.c_str());
+    std::printf("architecture        %s\n", archName(cfg.arch));
+    std::printf("footprint           %.1f MB\n",
+                static_cast<double>(r.footprintBytes) / (1 << 20));
+    std::printf("dram used           %.1f MB (ratio %.2fx)\n",
+                static_cast<double>(r.dramUsedBytes) / (1 << 20),
+                r.compressionRatio());
+    std::printf("performance         %.1f accesses/us (%.4f stores/"
+                "cycle)\n",
+                r.accessesPerNs() * 1000.0, r.storesPerCycle());
+    std::printf("avg L3 miss latency %.1f ns\n", r.avgL3MissLatencyNs);
+    std::printf("TLB miss rate       %.4f\n",
+                r.tlbHits + r.tlbMisses
+                    ? static_cast<double>(r.tlbMisses) /
+                          static_cast<double>(r.tlbHits + r.tlbMisses)
+                    : 0.0);
+    if (cfg.arch != Arch::NoCompression) {
+        std::printf("CTE$ hit rate       %.4f\n",
+                    r.cteHits + r.cteMisses
+                        ? static_cast<double>(r.cteHits) /
+                              static_cast<double>(r.cteHits +
+                                                  r.cteMisses)
+                        : 0.0);
+        std::printf("ML1 access split    hit %.3f / parallel %.3f / "
+                    "mismatch %.3f / serial %.3f\n",
+                    r.llcMisses ? static_cast<double>(r.ml1CteHit) /
+                                      r.llcMisses
+                                : 0.0,
+                    r.llcMisses ? static_cast<double>(r.ml1Parallel) /
+                                      r.llcMisses
+                                : 0.0,
+                    r.llcMisses ? static_cast<double>(r.ml1Mismatch) /
+                                      r.llcMisses
+                                : 0.0,
+                    r.llcMisses ? static_cast<double>(r.ml1Serial) /
+                                      r.llcMisses
+                                : 0.0);
+        std::printf("ML2 accesses        %lu (%.4f per LLC miss)\n",
+                    static_cast<unsigned long>(r.ml2Accesses),
+                    r.llcMisses ? static_cast<double>(r.ml2Accesses) /
+                                      r.llcMisses
+                                : 0.0);
+    }
+    std::printf("bus utilization     read %.3f write %.3f\n",
+                r.readBusUtil, r.writeBusUtil);
+
+    if (dump_all) {
+        std::printf("\n--- component counters ---\n");
+        std::string out;
+        for (const auto &[name, v] : r.stats.all())
+            std::printf("%-48s %g\n", name.c_str(), v);
+    }
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A set-associative cache model with LRU replacement, dirty tracking and
+ * the per-line "compressed" data bit TMCC adds for PTB-encoded lines
+ * (§V-A4: "Every L2 and L3 cacheline has a new data bit to record
+ * whether the cacheline is compressed").
+ *
+ * The model is functional (hits/misses/evictions); latency composition
+ * is the pipeline's job.
+ */
+
+#ifndef TMCC_CACHE_CACHE_HH
+#define TMCC_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace tmcc
+{
+
+/** State of one line leaving or probed in a cache. */
+struct CacheLine
+{
+    Addr addr = invalidAddr; //!< block-aligned address
+    bool dirty = false;
+    bool compressed = false; //!< PTB-encoded payload (TMCC data bit)
+};
+
+/** Set-associative, LRU, write-back cache. */
+class Cache : public Stated
+{
+  public:
+    Cache(std::string name, std::size_t size_bytes, unsigned assoc);
+
+    /**
+     * Look up `addr` (any address; aligned internally).  On hit the LRU
+     * state updates and `is_write` sets the dirty bit.  Returns hit.
+     */
+    bool access(Addr addr, bool is_write);
+
+    /** Hit check without LRU/dirty side effects. */
+    bool probe(Addr addr) const;
+
+    /**
+     * Insert a line, returning the evicted victim if any.  The victim
+     * is returned regardless of dirtiness; the caller decides whether a
+     * clean eviction matters (exclusive hierarchies need it).
+     */
+    std::optional<CacheLine> insert(const CacheLine &line);
+
+    /** Remove a line (for exclusive-hierarchy promotion); returns it. */
+    std::optional<CacheLine> extract(Addr addr);
+
+    /** Invalidate without returning (back-invalidation). */
+    void invalidate(Addr addr);
+
+    /** Read the compressed bit of a resident line. */
+    bool isCompressed(Addr addr) const;
+
+    /** Set the compressed bit of a resident line. */
+    void setCompressed(Addr addr, bool compressed);
+
+    /** Mark a resident line dirty (e.g., lazily updated PTB). */
+    void markDirty(Addr addr);
+
+    std::size_t sizeBytes() const { return sets_ * assoc_ * blockSize; }
+    unsigned associativity() const { return assoc_; }
+    std::size_t numSets() const { return sets_; }
+    const std::string &name() const { return name_; }
+
+    void dumpStats(StatDump &dump,
+                   const std::string &prefix) const override;
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+  private:
+    struct Way
+    {
+        Addr tag = invalidAddr;
+        bool valid = false;
+        bool dirty = false;
+        bool compressed = false;
+        std::uint64_t lru = 0;
+    };
+
+    std::size_t setIndex(Addr addr) const;
+    Way *find(Addr addr);
+    const Way *find(Addr addr) const;
+
+    std::string name_;
+    std::size_t sets_;
+    unsigned assoc_;
+    std::vector<Way> ways_; //!< sets_ x assoc_ flattened
+    std::uint64_t lruClock_ = 0;
+
+    Counter hits_, misses_, evictions_, dirtyEvictions_;
+};
+
+} // namespace tmcc
+
+#endif // TMCC_CACHE_CACHE_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The three-level cache hierarchy of Table III: per-core 64KB L1 and
+ * 256KB inclusive L2, shared 8MB exclusive L3, with next-line and stride
+ * prefetchers at L1/L2.
+ *
+ * Functional model: the pipeline layers timing on top of the returned
+ * hit level.  The hierarchy tracks the per-line compressed bit so the
+ * TMCC architecture can keep PTBs compressed on chip (§V-A4), and
+ * reports every line that leaves L3 toward memory so the MC architecture
+ * can recompress / update metadata.
+ *
+ * Page-walker accesses enter at L2 (walkers do not allocate into L1;
+ * §V-A3/4), and the caller may request that walker fills be stored
+ * compressed ("when receiving an uncompressed block from L3, if the
+ * requester is the page walker, L2 compresses the block before caching
+ * it").
+ */
+
+#ifndef TMCC_CACHE_HIERARCHY_HH
+#define TMCC_CACHE_HIERARCHY_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/prefetcher.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace tmcc
+{
+
+/** Where an access was satisfied. */
+enum class HitLevel
+{
+    L1,
+    L2,
+    L3,
+    Memory,
+};
+
+/** Hierarchy geometry (Table III defaults). */
+struct HierarchyConfig
+{
+    std::size_t l1Bytes = 64 * 1024;
+    unsigned l1Assoc = 8;
+    std::size_t l2Bytes = 256 * 1024;
+    unsigned l2Assoc = 8;
+    std::size_t l3Bytes = 8 * 1024 * 1024;
+    unsigned l3Assoc = 16;
+    bool prefetchers = true;
+    unsigned strideDegreeL1 = 2;
+    unsigned strideDegreeL2 = 4;
+};
+
+/** Result of one access or fill. */
+struct AccessOutcome
+{
+    HitLevel level = HitLevel::Memory;
+
+    /** Compressed bit of the L2/L3 copy that satisfied the access. */
+    bool compressedCopy = false;
+
+    /** Dirty lines evicted from L3 that must be written to memory. */
+    std::vector<CacheLine> memWritebacks;
+
+    /** Prefetch proposals raised by this access (demand path only). */
+    std::vector<Addr> prefetches;
+};
+
+/** The full multi-core cache hierarchy. */
+class Hierarchy : public Stated
+{
+  public:
+    Hierarchy(const HierarchyConfig &cfg, unsigned cores);
+
+    /**
+     * Demand access from `core`.  If the outcome level is Memory, the
+     * caller must obtain the block from the MC and then call fill().
+     * `from_walker` starts the access at L2.
+     */
+    AccessOutcome access(unsigned core, Addr addr, bool is_write,
+                         bool from_walker = false);
+
+    /**
+     * Install a block fetched from memory.  `compressed` is the on-chip
+     * encoding flag (PTB-compressed lines under TMCC).  Exclusive L3 is
+     * bypassed on fills.
+     */
+    AccessOutcome fill(unsigned core, Addr addr, bool is_write,
+                       bool compressed, bool from_walker = false);
+
+    /**
+     * Handle one prefetch proposal: looks up L2/L3 and fills L1/L2.
+     * Returns true when the block must be fetched from memory (the
+     * caller then issues a background MC read and calls fill()).
+     * Writebacks caused by prefetch fills land in `out`.
+     */
+    bool prefetchLookup(unsigned core, Addr addr,
+                        std::vector<CacheLine> &out);
+
+    /** Probe the compressed bit of the L2 copy (walker fast path). */
+    bool l2CompressedCopy(unsigned core, Addr addr) const;
+
+    /** Mark the resident L2 copy dirty (lazy PTB CTE update, §V-A3). */
+    void touchL2Dirty(unsigned core, Addr addr);
+
+    Cache &l1(unsigned core) { return *l1_[core]; }
+    Cache &l2(unsigned core) { return *l2_[core]; }
+    Cache &l3() { return *l3_; }
+    const Cache &l3() const { return *l3_; }
+    unsigned cores() const { return static_cast<unsigned>(l1_.size()); }
+
+    void dumpStats(StatDump &dump,
+                   const std::string &prefix) const override;
+
+  private:
+    /** Insert into L1, folding the victim's dirtiness into L2. */
+    void fillL1(unsigned core, const CacheLine &line);
+
+    /** Insert into L2; victims spill into L3; L3 victims to memory. */
+    void fillL2(unsigned core, const CacheLine &line,
+                std::vector<CacheLine> &writebacks);
+
+    void notePrefetched(Addr addr);
+    bool consumePrefetched(Addr addr);
+
+    HierarchyConfig cfg_;
+    std::vector<std::unique_ptr<Cache>> l1_;
+    std::vector<std::unique_ptr<Cache>> l2_;
+    std::unique_ptr<Cache> l3_;
+
+    std::vector<std::unique_ptr<NextLinePrefetcher>> nextLineL1_;
+    std::vector<std::unique_ptr<StridePrefetcher>> strideL1_;
+    std::vector<std::unique_ptr<NextLinePrefetcher>> nextLineL2_;
+    std::vector<std::unique_ptr<StridePrefetcher>> strideL2_;
+
+    /** Outstanding prefetched blocks awaiting first demand use. */
+    std::unordered_set<Addr> prefetched_;
+
+    Counter demandAccesses_, walkerAccesses_, l3Misses_;
+};
+
+} // namespace tmcc
+
+#endif // TMCC_CACHE_HIERARCHY_HH

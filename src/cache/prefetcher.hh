@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The two prefetchers of Table III: next-line with automatic turn-off
+ * (L1, L2) and a stride prefetcher (L1 degree 2, L2 degree 4).
+ *
+ * Prefetchers observe demand accesses and propose block addresses to
+ * fill.  Usefulness tracking drives the next-line auto turn-off: when
+ * too few prefetched lines are referenced before eviction, the
+ * prefetcher disables itself for a window.
+ */
+
+#ifndef TMCC_CACHE_PREFETCHER_HH
+#define TMCC_CACHE_PREFETCHER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace tmcc
+{
+
+/** Interface: observe accesses, propose prefetch addresses. */
+class Prefetcher : public Stated
+{
+  public:
+    ~Prefetcher() override = default;
+
+    /**
+     * Observe a demand access (hit or miss) and append proposed block
+     * addresses to `out`.
+     */
+    virtual void observe(Addr addr, bool was_miss,
+                         std::vector<Addr> &out) = 0;
+
+    /** Credit: a previously prefetched block was actually used. */
+    void
+    markUseful()
+    {
+        useful_.inc();
+    }
+
+    std::uint64_t issued() const { return issued_.value(); }
+    std::uint64_t useful() const { return useful_.value(); }
+
+    void
+    dumpStats(StatDump &dump, const std::string &prefix) const override
+    {
+        dump.set(prefix + ".issued", issued_.value());
+        dump.set(prefix + ".useful", useful_.value());
+    }
+
+  protected:
+    Counter issued_, useful_;
+};
+
+/** Next-line prefetcher with automatic turn-off. */
+class NextLinePrefetcher : public Prefetcher
+{
+  public:
+    /**
+     * @param check_window accuracy is evaluated every this many issues
+     * @param min_accuracy below this the prefetcher turns off
+     */
+    NextLinePrefetcher(unsigned check_window = 256,
+                       double min_accuracy = 0.20);
+
+    void observe(Addr addr, bool was_miss,
+                 std::vector<Addr> &out) override;
+
+    bool enabled() const { return enabled_; }
+
+  private:
+    unsigned checkWindow_;
+    double minAccuracy_;
+    bool enabled_ = true;
+    std::uint64_t issuedAtCheck_ = 0;
+    std::uint64_t usefulAtCheck_ = 0;
+    std::uint64_t offUntilIssueCount_ = 0;
+    std::uint64_t observeCount_ = 0;
+};
+
+/** Per-stream stride prefetcher keyed by 4KB region. */
+class StridePrefetcher : public Prefetcher
+{
+  public:
+    explicit StridePrefetcher(unsigned degree, unsigned streams = 16);
+
+    void observe(Addr addr, bool was_miss,
+                 std::vector<Addr> &out) override;
+
+  private:
+    struct Stream
+    {
+        Addr lastAddr = invalidAddr;
+        std::int64_t stride = 0;
+        unsigned confidence = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned degree_;
+    unsigned maxStreams_;
+    std::uint64_t useClock_ = 0;
+    std::unordered_map<Addr, Stream> streams_; //!< keyed by page number
+};
+
+} // namespace tmcc
+
+#endif // TMCC_CACHE_PREFETCHER_HH

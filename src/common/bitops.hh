@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the compressors, the PTB encoder, and
+ * the DRAM address mapper.
+ */
+
+#ifndef TMCC_COMMON_BITOPS_HH
+#define TMCC_COMMON_BITOPS_HH
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace tmcc
+{
+
+/** Extract bits [lo, lo+width) of v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned width)
+{
+    assert(width <= 64);
+    if (width == 64)
+        return v >> lo;
+    return (v >> lo) & ((1ULL << width) - 1);
+}
+
+/** Insert `field` into bits [lo, lo+width) of v, returning the result. */
+constexpr std::uint64_t
+insertBits(std::uint64_t v, unsigned lo, unsigned width, std::uint64_t field)
+{
+    const std::uint64_t mask = (width >= 64 ? ~0ULL : ((1ULL << width) - 1))
+                               << lo;
+    return (v & ~mask) | ((field << lo) & mask);
+}
+
+/** Number of bits needed to represent values in [0, n). */
+constexpr unsigned
+bitsFor(std::uint64_t n)
+{
+    unsigned b = 0;
+    std::uint64_t v = 1;
+    while (v < n) {
+        v <<= 1;
+        ++b;
+    }
+    return b;
+}
+
+/** Population count. */
+constexpr unsigned
+popCount(std::uint64_t v)
+{
+    return static_cast<unsigned>(__builtin_popcountll(v));
+}
+
+/** Floor of log2; undefined for 0. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    assert(v != 0);
+    return 63 - static_cast<unsigned>(__builtin_clzll(v));
+}
+
+/** True iff v is a power of two (and nonzero). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** XOR-fold of all bits of v, used by XOR-based DRAM bank hashing. */
+constexpr unsigned
+xorFold(std::uint64_t v)
+{
+    v ^= v >> 32;
+    v ^= v >> 16;
+    v ^= v >> 8;
+    v ^= v >> 4;
+    v ^= v >> 2;
+    v ^= v >> 1;
+    return static_cast<unsigned>(v & 1);
+}
+
+/**
+ * A growable little-endian bit stream writer.  The compressors emit
+ * variable-width codes through this; the matching BitReader consumes them.
+ */
+class BitWriter
+{
+  public:
+    /** Append the low `width` bits of `v` (width <= 57 per call). */
+    void
+    put(std::uint64_t v, unsigned width)
+    {
+        assert(width <= 57);
+        cur_ |= (v & ((width >= 64 ? ~0ULL : (1ULL << width) - 1)))
+                << curBits_;
+        curBits_ += width;
+        while (curBits_ >= 8) {
+            bytes_.push_back(static_cast<std::uint8_t>(cur_ & 0xff));
+            cur_ >>= 8;
+            curBits_ -= 8;
+        }
+    }
+
+    /** Finish the stream, flushing any partial byte. */
+    std::vector<std::uint8_t>
+    finish()
+    {
+        if (curBits_ > 0) {
+            bytes_.push_back(static_cast<std::uint8_t>(cur_ & 0xff));
+            cur_ = 0;
+            curBits_ = 0;
+        }
+        return std::move(bytes_);
+    }
+
+    /** Number of bits written so far. */
+    std::size_t sizeBits() const { return bytes_.size() * 8 + curBits_; }
+
+    /** Number of whole bytes the stream will occupy once finished. */
+    std::size_t sizeBytes() const { return (sizeBits() + 7) / 8; }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+    std::uint64_t cur_ = 0;
+    unsigned curBits_ = 0;
+};
+
+/** Little-endian bit stream reader matching BitWriter. */
+class BitReader
+{
+  public:
+    BitReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    explicit BitReader(const std::vector<std::uint8_t> &v)
+        : BitReader(v.data(), v.size())
+    {}
+
+    /** Read `width` bits (width <= 57). Reads past the end return zeros. */
+    std::uint64_t
+    get(unsigned width)
+    {
+        assert(width <= 57);
+        while (curBits_ < width && pos_ < size_) {
+            cur_ |= static_cast<std::uint64_t>(data_[pos_++]) << curBits_;
+            curBits_ += 8;
+        }
+        const std::uint64_t v =
+            cur_ & (width >= 64 ? ~0ULL : (1ULL << width) - 1);
+        cur_ >>= width;
+        curBits_ = curBits_ >= width ? curBits_ - width : 0;
+        bitsRead_ += width;
+        return v;
+    }
+
+    /** Peek without consuming. */
+    std::uint64_t
+    peek(unsigned width)
+    {
+        while (curBits_ < width && pos_ < size_) {
+            cur_ |= static_cast<std::uint64_t>(data_[pos_++]) << curBits_;
+            curBits_ += 8;
+        }
+        return cur_ & (width >= 64 ? ~0ULL : (1ULL << width) - 1);
+    }
+
+    /** Discard `width` bits previously peeked. */
+    void
+    skip(unsigned width)
+    {
+        assert(curBits_ >= width);
+        cur_ >>= width;
+        curBits_ -= width;
+        bitsRead_ += width;
+    }
+
+    /** Total bits consumed so far. */
+    std::size_t bitsRead() const { return bitsRead_; }
+
+    /** True when every payload bit has been consumed. */
+    bool
+    exhausted() const
+    {
+        return pos_ >= size_ && curBits_ == 0;
+    }
+
+  private:
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    std::uint64_t cur_ = 0;
+    unsigned curBits_ = 0;
+    std::size_t bitsRead_ = 0;
+};
+
+} // namespace tmcc
+
+#endif // TMCC_COMMON_BITOPS_HH

@@ -1,0 +1,29 @@
+#include "stats.hh"
+
+#include <cmath>
+#include <iomanip>
+
+namespace tmcc
+{
+
+void
+StatDump::print(std::ostream &os) const
+{
+    for (const auto &[name, value] : values_) {
+        os << std::left << std::setw(48) << name << " "
+           << std::setprecision(9) << value << "\n";
+    }
+}
+
+double
+geoMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values)
+        logSum += std::log(v);
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+} // namespace tmcc

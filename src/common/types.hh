@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Fundamental scalar types and address-space constants shared by every
+ * subsystem of the TMCC reproduction.
+ *
+ * The simulator measures time in integer picoseconds ("ticks"), like gem5,
+ * so that CPU (2.8 GHz), DRAM (DDR4-3200) and ASIC (2.5 GHz) clock domains
+ * compose without rounding drift.
+ */
+
+#ifndef TMCC_COMMON_TYPES_HH
+#define TMCC_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tmcc
+{
+
+/** A (virtual, physical, or DRAM) byte address. */
+using Addr = std::uint64_t;
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of clock cycles in some clock domain. */
+using Cycles = std::uint64_t;
+
+/** One tick is one picosecond. */
+constexpr Tick ticksPerSecond = 1'000'000'000'000ULL;
+
+/** Convert nanoseconds to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * 1000.0 + 0.5);
+}
+
+/** Convert ticks to (fractional) nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / 1000.0;
+}
+
+/** Size of a cache line / memory block in bytes, fixed at 64B (§II). */
+constexpr std::size_t blockSize = 64;
+constexpr unsigned blockShift = 6;
+
+/** Size of a base page in bytes, fixed at 4 KB (§II). */
+constexpr std::size_t pageSize = 4096;
+constexpr unsigned pageShift = 12;
+
+/** Size of a huge page in bytes, 2 MB (§VIII). */
+constexpr std::size_t hugePageSize = 2 * 1024 * 1024;
+constexpr unsigned hugePageShift = 21;
+
+/** Memory blocks per 4KB page. */
+constexpr std::size_t blocksPerPage = pageSize / blockSize;
+
+/** PTEs per 64B page table block (PTB, §II). */
+constexpr std::size_t ptesPerPtb = 8;
+
+/** Bytes per page table entry. */
+constexpr std::size_t pteSize = 8;
+
+/** Extract the page-aligned base of an address. */
+constexpr Addr
+pageAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(pageSize - 1);
+}
+
+/** Extract the block-aligned base of an address. */
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(blockSize - 1);
+}
+
+/** Virtual or physical page number of an address. */
+constexpr Addr
+pageNumber(Addr a)
+{
+    return a >> pageShift;
+}
+
+/** Block number (global, not within-page) of an address. */
+constexpr Addr
+blockNumber(Addr a)
+{
+    return a >> blockShift;
+}
+
+/** Index of the block within its page, in [0, 64). */
+constexpr unsigned
+blockInPage(Addr a)
+{
+    return static_cast<unsigned>((a >> blockShift) &
+                                 (blocksPerPage - 1));
+}
+
+/** A physical page number. */
+using Ppn = std::uint64_t;
+
+/** A virtual page number. */
+using Vpn = std::uint64_t;
+
+/** A DRAM frame number (page-sized slot in DRAM address space). */
+using DramFrame = std::uint64_t;
+
+/** Sentinel for "no address". */
+constexpr Addr invalidAddr = ~static_cast<Addr>(0);
+
+} // namespace tmcc
+
+#endif // TMCC_COMMON_TYPES_HH

@@ -1,0 +1,220 @@
+#include "compress/bdi.hh"
+
+#include <cstring>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace tmcc
+{
+
+namespace
+{
+
+/** Load a little-endian value of `width` bytes at `p`. */
+std::uint64_t
+loadLe(const std::uint8_t *p, unsigned width)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < width; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+/** Store a little-endian value of `width` bytes at `p`. */
+void
+storeLe(std::uint8_t *p, std::uint64_t v, unsigned width)
+{
+    for (unsigned i = 0; i < width; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/** Sign-extend the low `bits` bits of v. */
+std::int64_t
+signExtend(std::uint64_t v, unsigned bit_count)
+{
+    const std::uint64_t m = 1ULL << (bit_count - 1);
+    return static_cast<std::int64_t>((v ^ m) - m);
+}
+
+/**
+ * Try a base+delta encoding with `base_bytes`-wide words and
+ * `delta_bytes`-wide deltas.  Returns true and fills `enc` on success.
+ */
+bool
+tryBaseDelta(const std::uint8_t *block, unsigned base_bytes,
+             unsigned delta_bytes, BdiScheme tag, BlockResult &enc)
+{
+    const unsigned words = blockSize / base_bytes;
+    const std::uint64_t base = loadLe(block, base_bytes);
+    const unsigned delta_bits = delta_bytes * 8;
+
+    // First check all deltas fit; the base is word 0.
+    for (unsigned i = 0; i < words; ++i) {
+        const std::uint64_t w = loadLe(block + i * base_bytes, base_bytes);
+        const std::int64_t delta = static_cast<std::int64_t>(w - base);
+        // Delta must be representable as a signed delta_bits value after
+        // truncation to base width.
+        const std::int64_t truncated =
+            signExtend(static_cast<std::uint64_t>(delta) &
+                       ((delta_bits >= 64) ? ~0ULL
+                                           : ((1ULL << delta_bits) - 1)),
+                       delta_bits);
+        std::uint64_t rebuilt = base + static_cast<std::uint64_t>(truncated);
+        if (base_bytes < 8)
+            rebuilt &= (1ULL << (base_bytes * 8)) - 1;
+        if (rebuilt != w)
+            return false;
+    }
+
+    BitWriter bw;
+    bw.put(static_cast<std::uint64_t>(tag), 4);
+    bw.put(base, base_bytes * 8 > 57 ? 32 : base_bytes * 8);
+    if (base_bytes * 8 > 57) {
+        // 8-byte base split into two 32-bit halves (BitWriter width cap).
+        bw.put(base >> 32, 32);
+    }
+    for (unsigned i = 0; i < words; ++i) {
+        const std::uint64_t w = loadLe(block + i * base_bytes, base_bytes);
+        const std::uint64_t delta = (w - base) &
+            ((delta_bits >= 64) ? ~0ULL : ((1ULL << delta_bits) - 1));
+        bw.put(delta, delta_bits);
+    }
+    enc.sizeBits = bw.sizeBits();
+    enc.payload = bw.finish();
+    return true;
+}
+
+} // namespace
+
+BlockResult
+Bdi::compress(const std::uint8_t *block) const
+{
+    BlockResult enc;
+
+    // All zeros?
+    bool zeros = true;
+    for (std::size_t i = 0; i < blockSize; ++i) {
+        if (block[i] != 0) {
+            zeros = false;
+            break;
+        }
+    }
+    if (zeros) {
+        BitWriter bw;
+        bw.put(static_cast<std::uint64_t>(BdiScheme::Zeros), 4);
+        enc.sizeBits = bw.sizeBits();
+        enc.payload = bw.finish();
+        return enc;
+    }
+
+    // Repeated 8B value?
+    const std::uint64_t first = loadLe(block, 8);
+    bool repeat = true;
+    for (std::size_t i = 8; i < blockSize; i += 8) {
+        if (loadLe(block + i, 8) != first) {
+            repeat = false;
+            break;
+        }
+    }
+    if (repeat) {
+        BitWriter bw;
+        bw.put(static_cast<std::uint64_t>(BdiScheme::Repeat8), 4);
+        bw.put(first & 0xffffffffULL, 32);
+        bw.put(first >> 32, 32);
+        enc.sizeBits = bw.sizeBits();
+        enc.payload = bw.finish();
+        return enc;
+    }
+
+    // Base+delta candidates in increasing encoded size.
+    struct Candidate
+    {
+        unsigned base, delta;
+        BdiScheme tag;
+    };
+    static constexpr Candidate candidates[] = {
+        {8, 1, BdiScheme::B8D1}, {8, 2, BdiScheme::B8D2},
+        {4, 1, BdiScheme::B4D1}, {8, 4, BdiScheme::B8D4},
+        {4, 2, BdiScheme::B4D2}, {2, 1, BdiScheme::B2D1},
+    };
+    for (const auto &c : candidates) {
+        if (tryBaseDelta(block, c.base, c.delta, c.tag, enc))
+            return enc;
+    }
+
+    // Uncompressed fallback: tag + raw bytes.
+    BitWriter bw;
+    bw.put(static_cast<std::uint64_t>(BdiScheme::Uncompressed), 4);
+    for (std::size_t i = 0; i < blockSize; ++i)
+        bw.put(block[i], 8);
+    enc.sizeBits = bw.sizeBits();
+    enc.payload = bw.finish();
+    return enc;
+}
+
+void
+Bdi::decompress(const BlockResult &enc, std::uint8_t *out) const
+{
+    BitReader br(enc.payload);
+    const auto tag = static_cast<BdiScheme>(br.get(4));
+
+    switch (tag) {
+      case BdiScheme::Zeros:
+        std::memset(out, 0, blockSize);
+        return;
+      case BdiScheme::Repeat8: {
+        std::uint64_t v = br.get(32);
+        v |= br.get(32) << 32;
+        for (std::size_t i = 0; i < blockSize; i += 8)
+            storeLe(out + i, v, 8);
+        return;
+      }
+      case BdiScheme::Uncompressed:
+        for (std::size_t i = 0; i < blockSize; ++i)
+            out[i] = static_cast<std::uint8_t>(br.get(8));
+        return;
+      default:
+        break;
+    }
+
+    unsigned base_bytes = 0, delta_bytes = 0;
+    switch (tag) {
+      case BdiScheme::B8D1: base_bytes = 8; delta_bytes = 1; break;
+      case BdiScheme::B8D2: base_bytes = 8; delta_bytes = 2; break;
+      case BdiScheme::B4D1: base_bytes = 4; delta_bytes = 1; break;
+      case BdiScheme::B8D4: base_bytes = 8; delta_bytes = 4; break;
+      case BdiScheme::B4D2: base_bytes = 4; delta_bytes = 2; break;
+      case BdiScheme::B2D1: base_bytes = 2; delta_bytes = 1; break;
+      default:
+        panic("BDI: corrupt scheme tag");
+    }
+
+    std::uint64_t base;
+    if (base_bytes == 8) {
+        base = br.get(32);
+        base |= br.get(32) << 32;
+    } else {
+        base = br.get(base_bytes * 8);
+    }
+
+    const unsigned words = blockSize / base_bytes;
+    const unsigned delta_bits = delta_bytes * 8;
+    for (unsigned i = 0; i < words; ++i) {
+        const std::int64_t delta = signExtend(br.get(delta_bits),
+                                              delta_bits);
+        std::uint64_t w = base + static_cast<std::uint64_t>(delta);
+        if (base_bytes < 8)
+            w &= (1ULL << (base_bytes * 8)) - 1;
+        storeLe(out + i * base_bytes, w, base_bytes);
+    }
+}
+
+BdiScheme
+Bdi::scheme(const BlockResult &enc)
+{
+    BitReader br(enc.payload);
+    return static_cast<BdiScheme>(br.get(4));
+}
+
+} // namespace tmcc

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Base-Delta-Immediate compression (Pekhimenko et al., PACT 2012) for 64B
+ * blocks, one of the four candidate encoders in the block-level scheme the
+ * paper compares against in Fig. 15 (and the scheme Compresso uses).
+ *
+ * The encoder tries, in order of decreasing savings:
+ *   zeros, repeated 8B value, B8D1, B8D2, B4D1, B8D4, B4D2, B2D1,
+ * and falls back to uncompressed.  Encodings are bit-exact: encode()
+ * produces a byte stream that decode() restores to the original block.
+ */
+
+#ifndef TMCC_COMPRESS_BDI_HH
+#define TMCC_COMPRESS_BDI_HH
+
+#include <cstdint>
+
+#include "compress/block_result.hh"
+
+namespace tmcc
+{
+
+/** BDI encoding schemes; the 4-bit tag stored with each encoded block. */
+enum class BdiScheme : std::uint8_t
+{
+    Zeros = 0,
+    Repeat8 = 1,
+    B8D1 = 2,
+    B8D2 = 3,
+    B4D1 = 4,
+    B8D4 = 5,
+    B4D2 = 6,
+    B2D1 = 7,
+    Uncompressed = 15,
+};
+
+/** Base-Delta-Immediate 64B block compressor. */
+class Bdi
+{
+  public:
+    /** Compress `block` (64 bytes); always succeeds (may be uncompressed). */
+    BlockResult compress(const std::uint8_t *block) const;
+
+    /** Decompress into `out` (64 bytes). */
+    void decompress(const BlockResult &enc, std::uint8_t *out) const;
+
+    /** Scheme tag of an encoded block (for tests/inspection). */
+    static BdiScheme scheme(const BlockResult &enc);
+};
+
+} // namespace tmcc
+
+#endif // TMCC_COMPRESS_BDI_HH

@@ -1,0 +1,94 @@
+#include "compress/block_compressor.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace tmcc
+{
+
+namespace
+{
+
+bool
+isZeroBlock(const std::uint8_t *block)
+{
+    for (std::size_t i = 0; i < blockSize; ++i)
+        if (block[i] != 0)
+            return false;
+    return true;
+}
+
+} // namespace
+
+BestBlockResult
+BlockCompressor::compress(const std::uint8_t *block) const
+{
+    BestBlockResult best;
+
+    if (isZeroBlock(block)) {
+        best.algo = BlockAlgo::Zero;
+        best.result.sizeBits = 0; // the 3-bit selector alone encodes it
+        best.result.payload.clear();
+        return best;
+    }
+
+    BlockResult bdi = bdi_.compress(block);
+    BlockResult bpc = bpc_.compress(block);
+    BlockResult cpack = cpack_.compress(block);
+
+    best.algo = BlockAlgo::Bdi;
+    best.result = std::move(bdi);
+    if (bpc.sizeBits < best.result.sizeBits) {
+        best.algo = BlockAlgo::Bpc;
+        best.result = std::move(bpc);
+    }
+    if (cpack.sizeBits < best.result.sizeBits) {
+        best.algo = BlockAlgo::Cpack;
+        best.result = std::move(cpack);
+    }
+    if (best.result.sizeBits >= blockSize * 8) {
+        // Store raw; the selector marks it uncompressed.
+        best.algo = BlockAlgo::Uncompressed;
+        best.result.sizeBits = blockSize * 8;
+        best.result.payload.assign(block, block + blockSize);
+    }
+    return best;
+}
+
+void
+BlockCompressor::decompress(const BestBlockResult &enc,
+                            std::uint8_t *out) const
+{
+    switch (enc.algo) {
+      case BlockAlgo::Zero:
+        std::memset(out, 0, blockSize);
+        return;
+      case BlockAlgo::Bdi:
+        bdi_.decompress(enc.result, out);
+        return;
+      case BlockAlgo::Bpc:
+        bpc_.decompress(enc.result, out);
+        return;
+      case BlockAlgo::Cpack:
+        cpack_.decompress(enc.result, out);
+        return;
+      case BlockAlgo::Uncompressed:
+        panicIf(enc.result.payload.size() != blockSize,
+                "uncompressed block payload must be 64B");
+        std::memcpy(out, enc.result.payload.data(), blockSize);
+        return;
+    }
+    panic("BlockCompressor: bad algorithm tag");
+}
+
+std::size_t
+BlockCompressor::compressPage(const std::uint8_t *page) const
+{
+    std::size_t total = 0;
+    for (std::size_t b = 0; b < blocksPerPage; ++b)
+        total += compress(page + b * blockSize).sizeBytes();
+    return total;
+}
+
+} // namespace tmcc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The composite 64B block compressor used by Compresso and by the
+ * "block-level compression" series of Fig. 15: for each block, pick the
+ * smallest output among BPC, BDI, CPack and Zero Block (§V-B5).
+ */
+
+#ifndef TMCC_COMPRESS_BLOCK_COMPRESSOR_HH
+#define TMCC_COMPRESS_BLOCK_COMPRESSOR_HH
+
+#include <cstdint>
+
+#include "compress/bdi.hh"
+#include "compress/block_result.hh"
+#include "compress/bpc.hh"
+#include "compress/cpack.hh"
+
+namespace tmcc
+{
+
+/** Which algorithm won the best-of selection. */
+enum class BlockAlgo : std::uint8_t
+{
+    Zero = 0,
+    Bdi = 1,
+    Bpc = 2,
+    Cpack = 3,
+    Uncompressed = 4,
+};
+
+/** Result of the best-of selection. */
+struct BestBlockResult
+{
+    BlockAlgo algo = BlockAlgo::Uncompressed;
+    BlockResult result;
+
+    /**
+     * Size in bits including the 3-bit algorithm selector that a real
+     * implementation must store per block.
+     */
+    std::size_t sizeBits() const { return result.sizeBits + 3; }
+    std::size_t sizeBytes() const { return (sizeBits() + 7) / 8; }
+};
+
+/**
+ * Best-of-four block compressor ("chooses the smallest output between BPC,
+ * BDI, Cpack, and Zero Block", §V-B5).
+ */
+class BlockCompressor
+{
+  public:
+    /** Compress one 64B block, selecting the smallest encoding. */
+    BestBlockResult compress(const std::uint8_t *block) const;
+
+    /** Round-trip decompress into `out` (64 bytes). */
+    void decompress(const BestBlockResult &enc, std::uint8_t *out) const;
+
+    /**
+     * Compress a whole 4KB page block-by-block; returns total compressed
+     * bytes (each block rounded to whole bytes, as a chunk allocator would
+     * see it).
+     */
+    std::size_t compressPage(const std::uint8_t *page) const;
+
+  private:
+    Bdi bdi_;
+    Bpc bpc_;
+    Cpack cpack_;
+};
+
+} // namespace tmcc
+
+#endif // TMCC_COMPRESS_BLOCK_COMPRESSOR_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Result type shared by all 64B block compressors.
+ */
+
+#ifndef TMCC_COMPRESS_BLOCK_RESULT_HH
+#define TMCC_COMPRESS_BLOCK_RESULT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tmcc
+{
+
+/** Outcome of compressing one 64B memory block. */
+struct BlockResult
+{
+    /** Size of the encoding in bits, including any scheme tag. */
+    std::size_t sizeBits = blockSize * 8;
+
+    /** The encoded bit stream (empty for schemes modelled size-only). */
+    std::vector<std::uint8_t> payload;
+
+    /** Size rounded up to whole bytes. */
+    std::size_t sizeBytes() const { return (sizeBits + 7) / 8; }
+
+    /** True when the encoding beat the uncompressed size. */
+    bool compressed() const { return sizeBits < blockSize * 8; }
+};
+
+} // namespace tmcc
+
+#endif // TMCC_COMPRESS_BLOCK_RESULT_HH

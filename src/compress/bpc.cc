@@ -1,0 +1,189 @@
+#include "compress/bpc.hh"
+
+#include <array>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace tmcc
+{
+
+namespace
+{
+
+constexpr unsigned wordsPerBlock = blockSize / 4; // 16
+constexpr unsigned numDeltas = wordsPerBlock - 1; // 15
+constexpr unsigned numPlanes = 33;                // 33-bit deltas
+
+std::uint32_t
+loadWord(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+void
+storeWord(std::uint8_t *p, std::uint32_t w)
+{
+    p[0] = static_cast<std::uint8_t>(w);
+    p[1] = static_cast<std::uint8_t>(w >> 8);
+    p[2] = static_cast<std::uint8_t>(w >> 16);
+    p[3] = static_cast<std::uint8_t>(w >> 24);
+}
+
+/** Encode one 15-bit plane with the prefix-free plane code. */
+void
+encodePlane(BitWriter &bw, std::uint32_t plane)
+{
+    if (plane == 0x7fff) { // all ones
+        bw.put(0b011, 3); // '1','1','0' LSB-first => put 0b011 reads 1,1,0
+        return;
+    }
+    if (popCount(plane) == 1) {
+        const unsigned pos = floorLog2(plane);
+        bw.put(0b0111, 4); // reads as 1,1,1,0 => SINGLE1
+        bw.put(pos, 4);
+        return;
+    }
+    // Two consecutive ones?
+    for (unsigned pos = 0; pos + 1 < 15; ++pos) {
+        if (plane == (0x3u << pos)) {
+            bw.put(0b1111, 4); // reads as 1,1,1,1 => TWO1
+            bw.put(pos, 4);
+            return;
+        }
+    }
+    // Uncompressed plane.
+    bw.put(0b01, 2); // reads 1,0 => RAW
+    bw.put(plane, 15);
+}
+
+/** Planes are encoded in sequence with zero-runs folded in. */
+void
+encodePlanes(BitWriter &bw, const std::array<std::uint32_t,
+             numPlanes> &planes)
+{
+    unsigned i = 0;
+    while (i < numPlanes) {
+        if (planes[i] == 0) {
+            unsigned run = 1;
+            while (i + run < numPlanes && planes[i + run] == 0 && run < 16)
+                ++run;
+            bw.put(0b0, 1); // reads 0 => ZRUN
+            bw.put(run - 1, 4);
+            i += run;
+        } else {
+            encodePlane(bw, planes[i]);
+            ++i;
+        }
+    }
+}
+
+void
+decodePlanes(BitReader &br, std::array<std::uint32_t, numPlanes> &planes)
+{
+    unsigned i = 0;
+    while (i < numPlanes) {
+        if (br.get(1) == 0) { // ZRUN
+            const unsigned run = static_cast<unsigned>(br.get(4)) + 1;
+            panicIf(i + run > numPlanes, "BPC: zero run overflows planes");
+            for (unsigned k = 0; k < run; ++k)
+                planes[i + k] = 0;
+            i += run;
+            continue;
+        }
+        if (br.get(1) == 0) { // '10' RAW
+            planes[i++] = static_cast<std::uint32_t>(br.get(15));
+            continue;
+        }
+        if (br.get(1) == 0) { // '110' ALL1
+            planes[i++] = 0x7fff;
+            continue;
+        }
+        if (br.get(1) == 0) { // '1110' SINGLE1
+            planes[i++] = 1u << br.get(4);
+        } else { // '1111' TWO1
+            planes[i++] = 0x3u << br.get(4);
+        }
+    }
+}
+
+} // namespace
+
+BlockResult
+Bpc::compress(const std::uint8_t *block) const
+{
+    std::array<std::uint32_t, wordsPerBlock> words;
+    for (unsigned i = 0; i < wordsPerBlock; ++i)
+        words[i] = loadWord(block + i * 4);
+
+    // 33-bit deltas between consecutive words.
+    std::array<std::uint64_t, numDeltas> deltas;
+    for (unsigned i = 0; i < numDeltas; ++i) {
+        const std::int64_t d = static_cast<std::int64_t>(words[i + 1]) -
+                               static_cast<std::int64_t>(words[i]);
+        deltas[i] = static_cast<std::uint64_t>(d) & ((1ULL << 33) - 1);
+    }
+
+    // Bit-plane transform: plane[b] bit i = bit b of delta i.
+    std::array<std::uint32_t, numPlanes> dbp{};
+    for (unsigned b = 0; b < numPlanes; ++b) {
+        std::uint32_t plane = 0;
+        for (unsigned i = 0; i < numDeltas; ++i)
+            plane |= static_cast<std::uint32_t>((deltas[i] >> b) & 1) << i;
+        dbp[b] = plane;
+    }
+
+    // DBX: XOR adjacent planes; keep the top plane raw as anchor.
+    std::array<std::uint32_t, numPlanes> dbx{};
+    dbx[numPlanes - 1] = dbp[numPlanes - 1];
+    for (unsigned b = 0; b + 1 < numPlanes; ++b)
+        dbx[b] = dbp[b] ^ dbp[b + 1];
+
+    BitWriter bw;
+    bw.put(words[0], 32); // base word, raw
+    encodePlanes(bw, dbx);
+
+    BlockResult enc;
+    enc.sizeBits = bw.sizeBits();
+    enc.payload = bw.finish();
+    return enc;
+}
+
+void
+Bpc::decompress(const BlockResult &enc, std::uint8_t *out) const
+{
+    BitReader br(enc.payload);
+    const auto base = static_cast<std::uint32_t>(br.get(32));
+
+    std::array<std::uint32_t, numPlanes> dbx{};
+    decodePlanes(br, dbx);
+
+    // Undo the XOR chain from the anchor plane downwards.
+    std::array<std::uint32_t, numPlanes> dbp{};
+    dbp[numPlanes - 1] = dbx[numPlanes - 1];
+    for (int b = static_cast<int>(numPlanes) - 2; b >= 0; --b)
+        dbp[b] = dbx[b] ^ dbp[b + 1];
+
+    // Undo the bit-plane transform.
+    std::array<std::uint64_t, numDeltas> deltas{};
+    for (unsigned b = 0; b < numPlanes; ++b)
+        for (unsigned i = 0; i < numDeltas; ++i)
+            deltas[i] |= static_cast<std::uint64_t>((dbp[b] >> i) & 1) << b;
+
+    std::array<std::uint32_t, wordsPerBlock> words;
+    words[0] = base;
+    for (unsigned i = 0; i < numDeltas; ++i) {
+        // Sign-extend the 33-bit delta.
+        std::int64_t d = static_cast<std::int64_t>(deltas[i] << 31) >> 31;
+        words[i + 1] = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(words[i]) + d);
+    }
+
+    for (unsigned i = 0; i < wordsPerBlock; ++i)
+        storeWord(out + i * 4, words[i]);
+}
+
+} // namespace tmcc

@@ -1,0 +1,182 @@
+#include "compress/cpack.hh"
+
+#include <array>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace tmcc
+{
+
+namespace
+{
+
+constexpr unsigned dictEntries = 16;
+constexpr unsigned wordsPerBlock = blockSize / 4;
+
+/** Big-endian-within-word view does not matter; use little-endian. */
+std::uint32_t
+loadWord(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+void
+storeWord(std::uint8_t *p, std::uint32_t w)
+{
+    p[0] = static_cast<std::uint8_t>(w);
+    p[1] = static_cast<std::uint8_t>(w >> 8);
+    p[2] = static_cast<std::uint8_t>(w >> 16);
+    p[3] = static_cast<std::uint8_t>(w >> 24);
+}
+
+/** FIFO dictionary shared by compressor and decompressor. */
+class Dict
+{
+  public:
+    Dict() { entries_.fill(0); }
+
+    /** Find a full or partial match; returns best pattern. */
+    int
+    findFull(std::uint32_t w) const
+    {
+        for (unsigned i = 0; i < size_; ++i)
+            if (entries_[i] == w)
+                return static_cast<int>(i);
+        return -1;
+    }
+
+    /** Match on the upper 3 bytes (mmmx). */
+    int
+    findUpper3(std::uint32_t w) const
+    {
+        for (unsigned i = 0; i < size_; ++i)
+            if ((entries_[i] & 0xffffff00u) == (w & 0xffffff00u))
+                return static_cast<int>(i);
+        return -1;
+    }
+
+    /** Match on the upper 2 bytes (mmxx). */
+    int
+    findUpper2(std::uint32_t w) const
+    {
+        for (unsigned i = 0; i < size_; ++i)
+            if ((entries_[i] & 0xffff0000u) == (w & 0xffff0000u))
+                return static_cast<int>(i);
+        return -1;
+    }
+
+    std::uint32_t at(unsigned i) const { return entries_[i]; }
+
+    /** FIFO insert. */
+    void
+    push(std::uint32_t w)
+    {
+        entries_[head_] = w;
+        head_ = (head_ + 1) % dictEntries;
+        if (size_ < dictEntries)
+            ++size_;
+    }
+
+  private:
+    std::array<std::uint32_t, dictEntries> entries_;
+    unsigned head_ = 0;
+    unsigned size_ = 0;
+};
+
+} // namespace
+
+BlockResult
+Cpack::compress(const std::uint8_t *block) const
+{
+    Dict dict;
+    BitWriter bw;
+
+    for (unsigned i = 0; i < wordsPerBlock; ++i) {
+        const std::uint32_t w = loadWord(block + i * 4);
+
+        if (w == 0) {
+            bw.put(0b00, 2); // zzzz
+            continue;
+        }
+        if (int idx = dict.findFull(w); idx >= 0) {
+            bw.put(0b10, 2); // mmmm
+            bw.put(static_cast<std::uint64_t>(idx), 4);
+            continue;
+        }
+        if ((w & 0xffffff00u) == 0) {
+            bw.put(0b11, 2); // zzzx prefix
+            bw.put(0b01, 2);
+            bw.put(w & 0xffu, 8);
+            continue;
+        }
+        if (int idx = dict.findUpper3(w); idx >= 0) {
+            bw.put(0b11, 2); // mmmx prefix
+            bw.put(0b10, 2);
+            bw.put(static_cast<std::uint64_t>(idx), 4);
+            bw.put(w & 0xffu, 8);
+            dict.push(w);
+            continue;
+        }
+        if (int idx = dict.findUpper2(w); idx >= 0) {
+            bw.put(0b11, 2); // mmxx prefix
+            bw.put(0b00, 2);
+            bw.put(static_cast<std::uint64_t>(idx), 4);
+            bw.put(w & 0xffffu, 16);
+            dict.push(w);
+            continue;
+        }
+        bw.put(0b01, 2); // xxxx
+        bw.put(w, 32);
+        dict.push(w);
+    }
+
+    BlockResult enc;
+    enc.sizeBits = bw.sizeBits();
+    enc.payload = bw.finish();
+    return enc;
+}
+
+void
+Cpack::decompress(const BlockResult &enc, std::uint8_t *out) const
+{
+    Dict dict;
+    BitReader br(enc.payload);
+
+    for (unsigned i = 0; i < wordsPerBlock; ++i) {
+        std::uint32_t w = 0;
+        const std::uint64_t first = br.get(2);
+        if (first == 0b00) {
+            w = 0;
+        } else if (first == 0b01) {
+            w = static_cast<std::uint32_t>(br.get(32));
+            dict.push(w);
+        } else if (first == 0b10) {
+            const auto idx = static_cast<unsigned>(br.get(4));
+            w = dict.at(idx);
+        } else {
+            const std::uint64_t second = br.get(2);
+            if (second == 0b01) { // 1101 zzzx
+                w = static_cast<std::uint32_t>(br.get(8));
+            } else if (second == 0b10) { // 1110 mmmx
+                const auto idx = static_cast<unsigned>(br.get(4));
+                w = (dict.at(idx) & 0xffffff00u) |
+                    static_cast<std::uint32_t>(br.get(8));
+                dict.push(w);
+            } else if (second == 0b00) { // 1100 mmxx
+                const auto idx = static_cast<unsigned>(br.get(4));
+                w = (dict.at(idx) & 0xffff0000u) |
+                    static_cast<std::uint32_t>(br.get(16));
+                dict.push(w);
+            } else {
+                panic("CPack: corrupt pattern code");
+            }
+        }
+        storeWord(out + i * 4, w);
+    }
+}
+
+} // namespace tmcc

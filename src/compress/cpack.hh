@@ -1,0 +1,40 @@
+/**
+ * @file
+ * CPack cache-line compression (Chen et al., TVLSI 2010), the dictionary
+ * based candidate of the block-level scheme in Fig. 15.
+ *
+ * CPack processes a 64B block as sixteen 4-byte words against a 16-entry
+ * FIFO dictionary, emitting one of six patterns per word:
+ *
+ *   zzzz (00)        : all-zero word,           2 bits
+ *   xxxx (01)+word   : no match,               34 bits
+ *   mmmm (10)+idx    : full dictionary match,   6 bits
+ *   mmxx (1100)+idx+2B : upper half matches,   24 bits
+ *   zzzx (1101)+1B   : zero except low byte,   12 bits
+ *   mmmx (1110)+idx+1B : upper 3 bytes match,  16 bits
+ */
+
+#ifndef TMCC_COMPRESS_CPACK_HH
+#define TMCC_COMPRESS_CPACK_HH
+
+#include <cstdint>
+
+#include "compress/block_result.hh"
+
+namespace tmcc
+{
+
+/** CPack 64B block compressor. */
+class Cpack
+{
+  public:
+    /** Compress `block` (64 bytes). */
+    BlockResult compress(const std::uint8_t *block) const;
+
+    /** Decompress into `out` (64 bytes). */
+    void decompress(const BlockResult &enc, std::uint8_t *out) const;
+};
+
+} // namespace tmcc
+
+#endif // TMCC_COMPRESS_CPACK_HH

@@ -1,0 +1,274 @@
+#include "compress/huffman.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.hh"
+
+namespace tmcc
+{
+
+// ---------------------------------------------------------------------
+// CanonicalCode
+// ---------------------------------------------------------------------
+
+std::vector<unsigned>
+CanonicalCode::limitedLengths(const std::vector<std::uint64_t> &freqs,
+                              unsigned max_len)
+{
+    std::vector<unsigned> lengths(freqs.size(), 0);
+
+    std::vector<unsigned> active;
+    for (unsigned s = 0; s < freqs.size(); ++s)
+        if (freqs[s] > 0)
+            active.push_back(s);
+
+    panicIf(active.empty(), "Huffman: no symbols to code");
+    if (active.size() == 1) {
+        lengths[active[0]] = 1;
+        return lengths;
+    }
+    panicIf((1ULL << max_len) < active.size(),
+            "Huffman: depth limit cannot fit alphabet");
+
+    // Package-merge.  Each node carries its weight and the multiset of
+    // leaves beneath it (symbol indices into `active`).
+    struct Node
+    {
+        std::uint64_t weight;
+        std::vector<std::uint16_t> leaves;
+    };
+
+    std::vector<Node> leaves_sorted;
+    leaves_sorted.reserve(active.size());
+    for (std::uint16_t i = 0; i < active.size(); ++i)
+        leaves_sorted.push_back({freqs[active[i]], {i}});
+    std::sort(leaves_sorted.begin(), leaves_sorted.end(),
+              [](const Node &a, const Node &b) {
+                  return a.weight < b.weight;
+              });
+
+    std::vector<Node> prev; // packages from the previous level
+    for (unsigned level = 0; level < max_len; ++level) {
+        // Merge leaf list with pairs packaged from `prev`.
+        std::vector<Node> packages;
+        for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+            Node n;
+            n.weight = prev[i].weight + prev[i + 1].weight;
+            n.leaves = prev[i].leaves;
+            n.leaves.insert(n.leaves.end(), prev[i + 1].leaves.begin(),
+                            prev[i + 1].leaves.end());
+            packages.push_back(std::move(n));
+        }
+        std::vector<Node> merged;
+        merged.reserve(leaves_sorted.size() + packages.size());
+        std::merge(leaves_sorted.begin(), leaves_sorted.end(),
+                   packages.begin(), packages.end(),
+                   std::back_inserter(merged),
+                   [](const Node &a, const Node &b) {
+                       return a.weight < b.weight;
+                   });
+        prev = std::move(merged);
+    }
+
+    // The first 2n-2 nodes of the final list; each leaf occurrence adds
+    // one to that symbol's code length.
+    const std::size_t take = 2 * active.size() - 2;
+    panicIf(prev.size() < take, "package-merge underflow");
+    std::vector<unsigned> depth(active.size(), 0);
+    for (std::size_t i = 0; i < take; ++i)
+        for (auto leaf : prev[i].leaves)
+            ++depth[leaf];
+
+    for (std::size_t i = 0; i < active.size(); ++i) {
+        panicIf(depth[i] == 0 || depth[i] > max_len,
+                "package-merge produced invalid depth");
+        lengths[active[i]] = depth[i];
+    }
+    return lengths;
+}
+
+CanonicalCode::CanonicalCode(const std::vector<unsigned> &lengths)
+    : lengths_(lengths)
+{
+    for (unsigned l : lengths_)
+        maxLen_ = std::max(maxLen_, l);
+    panicIf(maxLen_ == 0, "CanonicalCode: empty code");
+    panicIf(maxLen_ > 31, "CanonicalCode: code too deep");
+
+    countAt_.assign(maxLen_ + 1, 0);
+    for (unsigned l : lengths_)
+        if (l > 0)
+            ++countAt_[l];
+
+    // Canonical first-code-per-length (RFC 1951 style).
+    firstCode_.assign(maxLen_ + 1, 0);
+    std::uint32_t code = 0;
+    for (unsigned len = 1; len <= maxLen_; ++len) {
+        code = (code + (len > 1 ? countAt_[len - 1] : 0)) << 1;
+        firstCode_[len] = code;
+    }
+
+    // Symbols in canonical order: by (length, symbol id).
+    sortedSyms_.clear();
+    firstIndex_.assign(maxLen_ + 1, -1);
+    codes_.assign(lengths_.size(), 0);
+    std::vector<std::uint32_t> next = firstCode_;
+    for (unsigned len = 1; len <= maxLen_; ++len) {
+        firstIndex_[len] = static_cast<std::int32_t>(sortedSyms_.size());
+        for (unsigned sym = 0; sym < lengths_.size(); ++sym) {
+            if (lengths_[sym] == len) {
+                codes_[sym] = next[len]++;
+                sortedSyms_.push_back(sym);
+            }
+        }
+    }
+
+    // Kraft check: the code must be complete or under-full, never over.
+    std::uint64_t kraft = 0;
+    for (unsigned l : lengths_)
+        if (l > 0)
+            kraft += 1ULL << (maxLen_ - l);
+    panicIf(kraft > (1ULL << maxLen_), "CanonicalCode: over-full code");
+}
+
+void
+CanonicalCode::encode(BitWriter &bw, unsigned sym) const
+{
+    const unsigned len = lengths_[sym];
+    panicIf(len == 0, "CanonicalCode: encoding absent symbol");
+    const std::uint32_t code = codes_[sym];
+    for (unsigned i = 0; i < len; ++i)
+        bw.put((code >> (len - 1 - i)) & 1, 1); // MSB first
+}
+
+unsigned
+CanonicalCode::decode(BitReader &br) const
+{
+    std::uint32_t code = 0;
+    for (unsigned len = 1; len <= maxLen_; ++len) {
+        code = (code << 1) | static_cast<std::uint32_t>(br.get(1));
+        if (countAt_[len] != 0 && code >= firstCode_[len] &&
+            code < firstCode_[len] + countAt_[len]) {
+            return sortedSyms_[static_cast<std::size_t>(firstIndex_[len]) +
+                               (code - firstCode_[len])];
+        }
+    }
+    panic("CanonicalCode: corrupt bit stream");
+}
+
+// ---------------------------------------------------------------------
+// ReducedTree
+// ---------------------------------------------------------------------
+
+ReducedTree::ReducedTree(const std::uint64_t *freqs,
+                         const ReducedTreeConfig &cfg)
+{
+    fatalIf(cfg.leaves < 2 || cfg.leaves > 256,
+            "reduced tree needs 2..256 leaves");
+    fatalIf(cfg.maxDepth > 15,
+            "reduced tree depth must fit the 4-bit header field");
+
+    // Select the (leaves-1) hottest characters ("Select 15 Characters").
+    std::vector<unsigned> order(256);
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](unsigned a, unsigned b) {
+                         return freqs[a] > freqs[b];
+                     });
+
+    std::uint64_t total = 0;
+    for (unsigned c = 0; c < 256; ++c)
+        total += freqs[c];
+
+    for (unsigned i = 0; i < cfg.leaves - 1 && i < 256; ++i) {
+        if (freqs[order[i]] == 0)
+            break;
+        hotChars_.push_back(static_cast<std::uint8_t>(order[i]));
+    }
+    std::sort(hotChars_.begin(), hotChars_.end());
+
+    charToHot_.assign(256, -1);
+    for (std::size_t i = 0; i < hotChars_.size(); ++i)
+        charToHot_[hotChars_[i]] = static_cast<int>(i);
+
+    // Escape weight: every byte not in the tree, plus one so the escape
+    // always has a code ("never discards the escape code").
+    std::uint64_t hot_total = 0;
+    std::vector<std::uint64_t> sym_freqs;
+    for (auto c : hotChars_) {
+        sym_freqs.push_back(freqs[c]);
+        hot_total += freqs[c];
+    }
+    sym_freqs.push_back(total - hot_total + 1);
+
+    lengths_ = CanonicalCode::limitedLengths(sym_freqs, cfg.maxDepth);
+    code_ = std::make_unique<CanonicalCode>(lengths_);
+}
+
+void
+ReducedTree::write(BitWriter &bw) const
+{
+    bw.put(hotChars_.size(), 4);
+    for (std::size_t i = 0; i < hotChars_.size(); ++i) {
+        bw.put(hotChars_[i], 8);
+        bw.put(lengths_[i], 4);
+    }
+    bw.put(lengths_.back(), 4); // escape length
+}
+
+ReducedTree
+ReducedTree::read(BitReader &br)
+{
+    ReducedTree t;
+    const auto hot_count = static_cast<unsigned>(br.get(4));
+    t.charToHot_.assign(256, -1);
+    for (unsigned i = 0; i < hot_count; ++i) {
+        const auto c = static_cast<std::uint8_t>(br.get(8));
+        const auto len = static_cast<unsigned>(br.get(4));
+        t.hotChars_.push_back(c);
+        t.charToHot_[c] = static_cast<int>(i);
+        t.lengths_.push_back(len);
+    }
+    t.lengths_.push_back(static_cast<unsigned>(br.get(4))); // escape
+    t.code_ = std::make_unique<CanonicalCode>(t.lengths_);
+    return t;
+}
+
+void
+ReducedTree::encodeByte(BitWriter &bw, std::uint8_t b) const
+{
+    const int hot = charToHot_[b];
+    if (hot >= 0) {
+        code_->encode(bw, static_cast<unsigned>(hot));
+    } else {
+        code_->encode(bw, hotCount()); // escape
+        bw.put(b, 8);
+    }
+}
+
+std::uint8_t
+ReducedTree::decodeByte(BitReader &br) const
+{
+    const unsigned sym = code_->decode(br);
+    if (sym == hotCount())
+        return static_cast<std::uint8_t>(br.get(8));
+    return hotChars_[sym];
+}
+
+unsigned
+ReducedTree::costBits(std::uint8_t b) const
+{
+    const int hot = charToHot_[b];
+    if (hot >= 0)
+        return lengths_[static_cast<std::size_t>(hot)];
+    return lengths_.back() + 8;
+}
+
+std::size_t
+ReducedTree::headerBits() const
+{
+    return 4 + hotChars_.size() * 12 + 4;
+}
+
+} // namespace tmcc

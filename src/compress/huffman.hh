@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Huffman coding for the memory-specialized Deflate (§V-B1).
+ *
+ * The paper's central Huffman specialization: a *reduced* tree with only
+ * 16 codes — the 15 hottest byte values of the LZ-compressed page plus one
+ * escape code; any other byte is encoded as (escape code + raw 8 bits).
+ * The tree is stored *uncompressed* (plain list of symbol + code length)
+ * so the decompressor sets up in 16 cycles instead of slowly undoing a
+ * canonical-Huffman-compressed tree.
+ *
+ * Code lengths are produced by the package-merge algorithm so a maximum
+ * depth ("tunable depth threshold", §V-B4) can be enforced; the hardware
+ * uses a discard-and-promote heuristic, package-merge gives the optimal
+ * lengths under the same constraint.  Codes are canonical and emitted
+ * MSB-first into the little-endian bit stream (as in RFC 1951).
+ */
+
+#ifndef TMCC_COMPRESS_HUFFMAN_HH
+#define TMCC_COMPRESS_HUFFMAN_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bitops.hh"
+
+namespace tmcc
+{
+
+/**
+ * A canonical Huffman code over an arbitrary symbol alphabet.
+ * Symbol ids are dense [0, n); unused symbols have length 0.
+ */
+class CanonicalCode
+{
+  public:
+    /**
+     * Build optimal code lengths for `freqs` limited to `max_len` bits
+     * (package-merge).  Symbols with zero frequency get length 0.  At
+     * least one symbol must have nonzero frequency.
+     */
+    static std::vector<unsigned>
+    limitedLengths(const std::vector<std::uint64_t> &freqs,
+                   unsigned max_len);
+
+    /** Construct from per-symbol code lengths (0 = absent). */
+    explicit CanonicalCode(const std::vector<unsigned> &lengths);
+
+    /** Emit the code for `sym` MSB-first. */
+    void encode(BitWriter &bw, unsigned sym) const;
+
+    /** Decode one symbol by reading bits one at a time. */
+    unsigned decode(BitReader &br) const;
+
+    /** Code length of `sym` (0 if absent). */
+    unsigned length(unsigned sym) const { return lengths_[sym]; }
+
+    /** Longest assigned code. */
+    unsigned maxLength() const { return maxLen_; }
+
+    std::size_t alphabetSize() const { return lengths_.size(); }
+
+  private:
+    std::vector<unsigned> lengths_;
+    std::vector<std::uint32_t> codes_;
+    unsigned maxLen_ = 0;
+    // Decode tables indexed by code length.
+    std::vector<std::uint32_t> firstCode_; //!< first canonical code of len
+    std::vector<std::int32_t> firstIndex_; //!< index into sortedSyms_
+    std::vector<std::uint32_t> countAt_;   //!< #codes of each length
+    std::vector<unsigned> sortedSyms_;     //!< symbols in canonical order
+};
+
+/** Configuration of the reduced tree (the design-space knobs of §V-B). */
+struct ReducedTreeConfig
+{
+    /** Total leaves including the escape (paper: 16). */
+    unsigned leaves = 16;
+
+    /** Maximum code depth ("tunable depth threshold"). */
+    unsigned maxDepth = 15;
+};
+
+/**
+ * The reduced Huffman tree: hottest (leaves-1) characters plus an escape.
+ *
+ * The stored representation is the *plain* (uncompressed) format of
+ * §V-B1: for each hot character its byte value and 4-bit code length,
+ * plus the escape's code length; codes are canonical.
+ */
+class ReducedTree
+{
+  public:
+    /**
+     * Build from the byte-frequency census of one LZ-compressed page.
+     * `freqs` has 256 entries.
+     */
+    ReducedTree(const std::uint64_t *freqs, const ReducedTreeConfig &cfg);
+
+    /** Reconstruct from the serialized header produced by write(). */
+    static ReducedTree read(BitReader &br);
+
+    /** Serialize the plain-format tree header. */
+    void write(BitWriter &bw) const;
+
+    /** Encode one byte: hot -> its code; cold -> escape + raw 8 bits. */
+    void encodeByte(BitWriter &bw, std::uint8_t b) const;
+
+    /** Decode one byte. */
+    std::uint8_t decodeByte(BitReader &br) const;
+
+    /** Cost in bits of encoding byte `b`. */
+    unsigned costBits(std::uint8_t b) const;
+
+    /** Size in bits of the serialized header. */
+    std::size_t headerBits() const;
+
+    /** Number of hot (non-escape) characters in the tree. */
+    unsigned hotCount() const
+    {
+        return static_cast<unsigned>(hotChars_.size());
+    }
+
+  private:
+    ReducedTree() = default;
+    void buildCode(const std::vector<std::uint64_t> &freqs,
+                   unsigned max_depth);
+
+    std::vector<std::uint8_t> hotChars_;   //!< hottest byte values
+    std::vector<int> charToHot_;           //!< 256 -> hot index or -1
+    std::vector<unsigned> lengths_;        //!< per hot char + escape last
+    std::unique_ptr<CanonicalCode> code_;  //!< over hotCount()+1 symbols
+};
+
+} // namespace tmcc
+
+#endif // TMCC_COMPRESS_HUFFMAN_HH

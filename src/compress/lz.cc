@@ -1,0 +1,186 @@
+#include "compress/lz.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace tmcc
+{
+
+namespace
+{
+
+constexpr unsigned hashBits = 13;
+constexpr std::size_t hashSize = 1u << hashBits;
+
+unsigned
+hash3(const std::uint8_t *p)
+{
+    const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                            static_cast<std::uint32_t>(p[1]) << 8 |
+                            static_cast<std::uint32_t>(p[2]) << 16;
+    return (v * 2654435761u) >> (32 - hashBits);
+}
+
+/** Hash-chain match finder over a bounded window. */
+class MatchFinder
+{
+  public:
+    MatchFinder(const std::uint8_t *data, std::size_t size,
+                const LzConfig &cfg)
+        : data_(data), size_(size), cfg_(cfg),
+          prev_(size, SIZE_MAX)
+    {
+        head_.fill(SIZE_MAX);
+    }
+
+    /** Insert position `pos` into the chains. */
+    void
+    insert(std::size_t pos)
+    {
+        if (pos + 3 > size_)
+            return;
+        const unsigned h = hash3(data_ + pos);
+        prev_[pos] = head_[h];
+        head_[h] = pos;
+    }
+
+    /**
+     * Longest match at `pos` within the window; returns length (0 if no
+     * match >= minMatch) and sets `dist`.
+     */
+    unsigned
+    find(std::size_t pos, unsigned &dist) const
+    {
+        dist = 0;
+        if (pos + 3 > size_)
+            return 0;
+        const std::size_t window_start =
+            pos > cfg_.windowSize ? pos - cfg_.windowSize : 0;
+        unsigned best_len = 0;
+        std::size_t best_pos = 0;
+        const unsigned max_len = static_cast<unsigned>(
+            std::min<std::size_t>(cfg_.maxMatch, size_ - pos));
+
+        std::size_t cand = head_[hash3(data_ + pos)];
+        unsigned chain = 0;
+        while (cand != SIZE_MAX && cand >= window_start && chain < 256) {
+            ++chain;
+            unsigned len = 0;
+            while (len < max_len && data_[cand + len] == data_[pos + len])
+                ++len;
+            // Prefer longer; on tie, prefer nearer (larger cand).
+            if (len > best_len) {
+                best_len = len;
+                best_pos = cand;
+            }
+            cand = prev_[cand];
+        }
+        if (best_len < cfg_.minMatch)
+            return 0;
+        dist = static_cast<unsigned>(pos - best_pos);
+        return best_len;
+    }
+
+  private:
+    const std::uint8_t *data_;
+    std::size_t size_;
+    const LzConfig &cfg_;
+    std::array<std::size_t, hashSize> head_;
+    std::vector<std::size_t> prev_;
+};
+
+} // namespace
+
+Lz::Lz(const LzConfig &cfg)
+    : cfg_(cfg), distanceBits_(bitsFor(cfg.windowSize + 1))
+{
+    fatalIf(cfg_.windowSize < 16, "LZ window unreasonably small");
+    fatalIf(cfg_.maxMatch - cfg_.minMatch > 255,
+            "match length range must fit in 8 bits");
+}
+
+std::vector<LzToken>
+Lz::compress(const std::uint8_t *data, std::size_t size) const
+{
+    std::vector<LzToken> out;
+    out.reserve(size / 2);
+    MatchFinder mf(data, size, cfg_);
+
+    std::size_t pos = 0;
+    while (pos < size) {
+        unsigned dist = 0;
+        unsigned len = mf.find(pos, dist);
+
+        if (len >= cfg_.minMatch && cfg_.lazyMatch && pos + 1 < size) {
+            // RFC 1951 lazy matching: peek at pos+1 before committing.
+            mf.insert(pos);
+            unsigned dist2 = 0;
+            const unsigned len2 = mf.find(pos + 1, dist2);
+            if (len2 > len) {
+                // Emit a literal and take the better match next round.
+                out.push_back({false, data[pos], 0, 0});
+                ++pos;
+                continue;
+            }
+            // Commit to the current match; positions inside it still
+            // enter the dictionary below (pos itself already inserted).
+            LzToken t;
+            t.isMatch = true;
+            t.length = static_cast<std::uint16_t>(len);
+            t.distance = static_cast<std::uint16_t>(dist);
+            out.push_back(t);
+            for (std::size_t i = pos + 1; i < pos + len; ++i)
+                mf.insert(i);
+            pos += len;
+            continue;
+        }
+
+        if (len >= cfg_.minMatch) {
+            LzToken t;
+            t.isMatch = true;
+            t.length = static_cast<std::uint16_t>(len);
+            t.distance = static_cast<std::uint16_t>(dist);
+            out.push_back(t);
+            for (std::size_t i = pos; i < pos + len; ++i)
+                mf.insert(i);
+            pos += len;
+        } else {
+            out.push_back({false, data[pos], 0, 0});
+            mf.insert(pos);
+            ++pos;
+        }
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+Lz::decompress(const std::vector<LzToken> &tokens) const
+{
+    std::vector<std::uint8_t> out;
+    for (const auto &t : tokens) {
+        if (!t.isMatch) {
+            out.push_back(t.literal);
+            continue;
+        }
+        panicIf(t.distance == 0 || t.distance > out.size(),
+                "LZ: match distance outside produced data");
+        std::size_t from = out.size() - t.distance;
+        for (unsigned i = 0; i < t.length; ++i)
+            out.push_back(out[from + i]); // overlapping copies are legal
+    }
+    return out;
+}
+
+std::size_t
+Lz::tokenBits(const std::vector<LzToken> &tokens) const
+{
+    std::size_t bits = 0;
+    for (const auto &t : tokens)
+        bits += 1 + (t.isMatch ? 8u + distanceBits_ : 8u);
+    return bits;
+}
+
+} // namespace tmcc

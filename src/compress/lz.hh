@@ -1,0 +1,90 @@
+/**
+ * @file
+ * LZ77 sliding-window compression stage of the memory-specialized Deflate
+ * (§V-B2, §V-B4).
+ *
+ * The hardware performs sliding-window pattern matching with a CAM whose
+ * size is the design-space parameter the paper sweeps (256B..4KB, with a
+ * 1KB knee).  Match selection is greedy ("our Select Match uses a greedy
+ * algorithm ... instead of the lazy matching described in RFC 1951").
+ * LZ outputs use a space-efficient 256-symbol alphabet (§V-B2).
+ *
+ * In software we find the same longest-match-in-window with hash chains;
+ * for min-match-length 3 this is exactly equivalent to a CAM search.
+ */
+
+#ifndef TMCC_COMPRESS_LZ_HH
+#define TMCC_COMPRESS_LZ_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace tmcc
+{
+
+/** One LZ output token: either a literal byte or a (length, distance). */
+struct LzToken
+{
+    bool isMatch = false;
+    std::uint8_t literal = 0;   //!< valid when !isMatch
+    std::uint16_t length = 0;   //!< match length, minMatch..maxMatch
+    std::uint16_t distance = 0; //!< distance back into the window, >= 1
+
+    bool
+    operator==(const LzToken &o) const
+    {
+        return isMatch == o.isMatch &&
+               (isMatch ? (length == o.length && distance == o.distance)
+                        : literal == o.literal);
+    }
+};
+
+/** Tunable parameters of the LZ stage (the paper's design space). */
+struct LzConfig
+{
+    /** CAM / sliding window size in bytes; paper default 1KB (§V-B2). */
+    std::size_t windowSize = 1024;
+
+    /** Minimum encodable match length. */
+    unsigned minMatch = 3;
+
+    /** Maximum encodable match length (len-minMatch must fit 8 bits). */
+    unsigned maxMatch = 258;
+
+    /** Use RFC 1951 lazy matching instead of the hardware's greedy. */
+    bool lazyMatch = false;
+};
+
+/** LZ77 compressor/decompressor with a parameterized window. */
+class Lz
+{
+  public:
+    explicit Lz(const LzConfig &cfg = LzConfig{});
+
+    /** Tokenize `size` bytes at `data`. */
+    std::vector<LzToken> compress(const std::uint8_t *data,
+                                  std::size_t size) const;
+
+    /** Expand tokens; returns the reconstructed bytes. */
+    std::vector<std::uint8_t>
+    decompress(const std::vector<LzToken> &tokens) const;
+
+    /**
+     * Size in bits of the serialized token stream alone (1 flag bit per
+     * token; literals 8 bits; matches 8-bit length + distance bits).
+     */
+    std::size_t tokenBits(const std::vector<LzToken> &tokens) const;
+
+    /** Bits used to encode a match distance under this window size. */
+    unsigned distanceBits() const { return distanceBits_; }
+
+    const LzConfig &config() const { return cfg_; }
+
+  private:
+    LzConfig cfg_;
+    unsigned distanceBits_;
+};
+
+} // namespace tmcc
+
+#endif // TMCC_COMPRESS_LZ_HH

@@ -1,0 +1,125 @@
+#include "compress/mem_deflate.hh"
+
+#include "common/log.hh"
+
+namespace tmcc
+{
+
+MemDeflate::MemDeflate(const MemDeflateConfig &cfg)
+    : cfg_(cfg), lz_(cfg.lz)
+{}
+
+CompressedPage
+MemDeflate::compress(const std::uint8_t *data, std::size_t size) const
+{
+    CompressedPage out;
+    out.originalSize = size;
+
+    const std::vector<LzToken> tokens = lz_.compress(data, size);
+    out.lzTokens = tokens.size();
+
+    // "Frequency Count": census of literal bytes in the LZ output.
+    std::uint64_t freqs[256] = {};
+    for (const auto &t : tokens) {
+        if (!t.isMatch) {
+            ++freqs[t.literal];
+            ++out.lzLiterals;
+        }
+    }
+
+    const unsigned dist_bits = lz_.distanceBits();
+    const unsigned min_match = lz_.config().minMatch;
+
+    // Estimate both encodings to implement the dynamic Huffman skip.
+    std::size_t huff_bits = 1; // huffmanUsed flag
+    std::size_t raw_bits = 1;
+    ReducedTree tree(freqs, cfg_.tree);
+    huff_bits += tree.headerBits();
+    for (const auto &t : tokens) {
+        if (t.isMatch) {
+            huff_bits += 1 + 8 + dist_bits;
+            raw_bits += 1 + 8 + dist_bits;
+        } else {
+            huff_bits += 1 + tree.costBits(t.literal);
+            raw_bits += 1 + 8;
+        }
+    }
+
+    out.huffmanUsed = !cfg_.dynamicHuffmanSkip || huff_bits <= raw_bits;
+
+    BitWriter bw;
+    bw.put(out.huffmanUsed ? 1 : 0, 1);
+    if (out.huffmanUsed)
+        tree.write(bw);
+    for (const auto &t : tokens) {
+        if (t.isMatch) {
+            bw.put(1, 1);
+            bw.put(t.length - min_match, 8);
+            bw.put(t.distance, dist_bits);
+        } else {
+            bw.put(0, 1);
+            if (out.huffmanUsed)
+                tree.encodeByte(bw, t.literal);
+            else
+                bw.put(t.literal, 8);
+        }
+    }
+
+    out.sizeBits = bw.sizeBits();
+    out.payload = bw.finish();
+    return out;
+}
+
+std::vector<std::uint8_t>
+MemDeflate::decompress(const CompressedPage &page) const
+{
+    BitReader br(page.payload);
+    const bool huffman_used = br.get(1) != 0;
+
+    std::vector<std::uint8_t> out;
+    out.reserve(page.originalSize);
+
+    const unsigned dist_bits = lz_.distanceBits();
+    const unsigned min_match = lz_.config().minMatch;
+
+    if (huffman_used) {
+        const ReducedTree tree = ReducedTree::read(br);
+        while (out.size() < page.originalSize) {
+            if (br.get(1)) {
+                const unsigned len =
+                    static_cast<unsigned>(br.get(8)) + min_match;
+                const auto dist = static_cast<std::size_t>(
+                    br.get(dist_bits));
+                panicIf(dist == 0 || dist > out.size(),
+                        "MemDeflate: corrupt match distance");
+                const std::size_t from = out.size() - dist;
+                for (unsigned i = 0; i < len; ++i)
+                    out.push_back(out[from + i]);
+            } else {
+                out.push_back(tree.decodeByte(br));
+            }
+        }
+    } else {
+        while (out.size() < page.originalSize) {
+            if (br.get(1)) {
+                const unsigned len =
+                    static_cast<unsigned>(br.get(8)) + min_match;
+                const auto dist = static_cast<std::size_t>(
+                    br.get(dist_bits));
+                panicIf(dist == 0 || dist > out.size(),
+                        "MemDeflate: corrupt match distance");
+                const std::size_t from = out.size() - dist;
+                for (unsigned i = 0; i < len; ++i)
+                    out.push_back(out[from + i]);
+            } else {
+                out.push_back(static_cast<std::uint8_t>(br.get(8)));
+            }
+        }
+    }
+
+    panicIf(out.size() != page.originalSize,
+            "MemDeflate: decoded size mismatch");
+    return out;
+}
+
+} // namespace tmcc

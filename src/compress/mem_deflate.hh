@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The memory-specialized ASIC Deflate of §V-B: parameterized LZ with a
+ * small CAM, a reduced 16-leaf Huffman tree stored uncompressed, a
+ * 256-symbol LZ alphabet, and optional dynamic skipping of the Huffman
+ * stage when it would inflate the page.
+ *
+ * Bit-stream format (ours; the paper explicitly unshackles the design
+ * from RFC 1951 because memory values are locally produced and consumed):
+ *
+ *   [1 bit  huffmanUsed]
+ *   if huffmanUsed: reduced-tree plain header (ReducedTree::write)
+ *   then a token stream until the page is fully reproduced:
+ *     [1 bit flag] 0 -> literal  (Huffman-coded, or raw 8 bits if skipped)
+ *                  1 -> match    (8-bit length-minMatch, then
+ *                                 log2(window+1)-bit distance)
+ */
+
+#ifndef TMCC_COMPRESS_MEM_DEFLATE_HH
+#define TMCC_COMPRESS_MEM_DEFLATE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "compress/huffman.hh"
+#include "compress/lz.hh"
+
+namespace tmcc
+{
+
+/** Design-space knobs of the memory-specialized Deflate. */
+struct MemDeflateConfig
+{
+    LzConfig lz;                     //!< 1KB CAM default
+    ReducedTreeConfig tree;          //!< 16 leaves default
+    bool dynamicHuffmanSkip = true;  //!< §V-B1 (+5% geomean ratio)
+};
+
+/** A compressed page plus bookkeeping for the timing model. */
+struct CompressedPage
+{
+    std::vector<std::uint8_t> payload;
+    std::size_t sizeBits = 0;
+    std::size_t originalSize = 0;
+    bool huffmanUsed = false;
+    std::size_t lzTokens = 0;   //!< token count (timing model input)
+    std::size_t lzLiterals = 0; //!< literal token count
+
+    std::size_t sizeBytes() const { return (sizeBits + 7) / 8; }
+
+    /** True when compression did not beat the original size. */
+    bool incompressible() const { return sizeBytes() >= originalSize; }
+};
+
+/** Memory-specialized Deflate compressor/decompressor. */
+class MemDeflate
+{
+  public:
+    explicit MemDeflate(const MemDeflateConfig &cfg = MemDeflateConfig{});
+
+    /** Compress an arbitrary buffer (typically one 4KB page). */
+    CompressedPage compress(const std::uint8_t *data,
+                            std::size_t size) const;
+
+    /** Decompress; `expected_size` is the original length (page size). */
+    std::vector<std::uint8_t> decompress(const CompressedPage &page) const;
+
+    const MemDeflateConfig &config() const { return cfg_; }
+    const Lz &lz() const { return lz_; }
+
+  private:
+    MemDeflateConfig cfg_;
+    Lz lz_;
+};
+
+} // namespace tmcc
+
+#endif // TMCC_COMPRESS_MEM_DEFLATE_HH

@@ -1,0 +1,316 @@
+#include "compress/rfc_deflate.hh"
+
+#include <array>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+#include "compress/huffman.hh"
+
+namespace tmcc
+{
+
+namespace
+{
+
+// RFC 1951 §3.2.5 tables.
+constexpr unsigned numLitLen = 286; // 0..255 lit, 256 EOB, 257..285 len
+constexpr unsigned numDist = 30;
+constexpr unsigned numCl = 19;
+constexpr unsigned eob = 256;
+
+struct LenCode
+{
+    unsigned base;
+    unsigned extra;
+};
+
+constexpr std::array<LenCode, 29> lenCodes = {{
+    {3, 0},  {4, 0},  {5, 0},  {6, 0},  {7, 0},   {8, 0},   {9, 0},
+    {10, 0}, {11, 1}, {13, 1}, {15, 1}, {17, 1},  {19, 2},  {23, 2},
+    {27, 2}, {31, 2}, {35, 3}, {43, 3}, {51, 3},  {59, 3},  {67, 4},
+    {83, 4}, {99, 4}, {115, 4}, {131, 5}, {163, 5}, {195, 5}, {227, 5},
+    {258, 0},
+}};
+
+constexpr std::array<LenCode, 30> distCodes = {{
+    {1, 0},     {2, 0},     {3, 0},    {4, 0},    {5, 1},    {7, 1},
+    {9, 2},     {13, 2},    {17, 3},   {25, 3},   {33, 4},   {49, 4},
+    {65, 5},    {97, 5},    {129, 6},  {193, 6},  {257, 7},  {385, 7},
+    {513, 8},   {769, 8},   {1025, 9}, {1537, 9}, {2049, 10},
+    {3073, 10}, {4097, 11}, {6145, 11}, {8193, 12}, {12289, 12},
+    {16385, 13}, {24577, 13},
+}};
+
+constexpr std::array<unsigned, numCl> clOrder = {
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+};
+
+/** Symbol for a match length (257..285). */
+unsigned
+lengthSymbol(unsigned len)
+{
+    for (unsigned i = lenCodes.size(); i-- > 0;) {
+        if (len >= lenCodes[i].base)
+            return 257 + i;
+    }
+    panic("RFC deflate: length below minimum");
+}
+
+/** Symbol for a match distance (0..29). */
+unsigned
+distanceSymbol(unsigned dist)
+{
+    for (unsigned i = distCodes.size(); i-- > 0;) {
+        if (dist >= distCodes[i].base)
+            return i;
+    }
+    panic("RFC deflate: distance below minimum");
+}
+
+/** Run-length encode the code-length sequence with CL codes 16/17/18. */
+struct ClItem
+{
+    unsigned sym;   // 0..18
+    unsigned extra; // repeat payload
+};
+
+std::vector<ClItem>
+rleCodeLengths(const std::vector<unsigned> &lengths)
+{
+    std::vector<ClItem> out;
+    std::size_t i = 0;
+    while (i < lengths.size()) {
+        const unsigned v = lengths[i];
+        std::size_t run = 1;
+        while (i + run < lengths.size() && lengths[i + run] == v)
+            ++run;
+        if (v == 0) {
+            std::size_t left = run;
+            while (left >= 11) {
+                const auto n = static_cast<unsigned>(
+                    std::min<std::size_t>(left, 138));
+                out.push_back({18, n - 11});
+                left -= n;
+            }
+            while (left >= 3) {
+                const auto n = static_cast<unsigned>(
+                    std::min<std::size_t>(left, 10));
+                out.push_back({17, n - 3});
+                left -= n;
+            }
+            while (left-- > 0)
+                out.push_back({0, 0});
+        } else {
+            out.push_back({v, 0});
+            std::size_t left = run - 1;
+            while (left >= 3) {
+                const auto n = static_cast<unsigned>(
+                    std::min<std::size_t>(left, 6));
+                out.push_back({16, n - 3});
+                left -= n;
+            }
+            while (left-- > 0)
+                out.push_back({v, 0});
+        }
+        i += run;
+    }
+    return out;
+}
+
+} // namespace
+
+RfcDeflate::RfcDeflate()
+    : lz_([] {
+          LzConfig cfg;
+          cfg.windowSize = 4096;
+          cfg.minMatch = 3;
+          cfg.maxMatch = 258;
+          cfg.lazyMatch = true;
+          return cfg;
+      }())
+{}
+
+RfcCompressed
+RfcDeflate::compress(const std::uint8_t *data, std::size_t size) const
+{
+    RfcCompressed out;
+    out.originalSize = size;
+
+    const std::vector<LzToken> tokens = lz_.compress(data, size);
+
+    // Census over the two alphabets.
+    std::vector<std::uint64_t> ll_freq(numLitLen, 0);
+    std::vector<std::uint64_t> d_freq(numDist, 0);
+    ll_freq[eob] = 1;
+    for (const auto &t : tokens) {
+        if (t.isMatch) {
+            ++ll_freq[lengthSymbol(t.length)];
+            ++d_freq[distanceSymbol(t.distance)];
+        } else {
+            ++ll_freq[t.literal];
+        }
+    }
+    // RFC: at least one distance code must exist in the header.
+    bool any_dist = false;
+    for (auto f : d_freq)
+        any_dist |= f != 0;
+    if (!any_dist)
+        d_freq[0] = 1;
+
+    const auto ll_lens = CanonicalCode::limitedLengths(ll_freq, 15);
+    const auto d_lens = CanonicalCode::limitedLengths(d_freq, 15);
+    CanonicalCode ll_code(ll_lens);
+    CanonicalCode d_code(d_lens);
+
+    // Trim trailing zero lengths per HLIT/HDIST.
+    unsigned hlit = numLitLen;
+    while (hlit > 257 && ll_lens[hlit - 1] == 0)
+        --hlit;
+    unsigned hdist = numDist;
+    while (hdist > 1 && d_lens[hdist - 1] == 0)
+        --hdist;
+
+    // CL-encode the concatenated length sequence.
+    std::vector<unsigned> all_lens(ll_lens.begin(),
+                                   ll_lens.begin() + hlit);
+    all_lens.insert(all_lens.end(), d_lens.begin(),
+                    d_lens.begin() + hdist);
+    const std::vector<ClItem> cl_items = rleCodeLengths(all_lens);
+
+    std::vector<std::uint64_t> cl_freq(numCl, 0);
+    for (const auto &item : cl_items)
+        ++cl_freq[item.sym];
+    // The CL code needs at least two symbols to be well formed.
+    unsigned nonzero = 0;
+    for (auto f : cl_freq)
+        nonzero += f != 0;
+    if (nonzero < 2) {
+        for (unsigned s = 0; s < numCl && nonzero < 2; ++s) {
+            if (cl_freq[s] == 0) {
+                cl_freq[s] = 1;
+                ++nonzero;
+            }
+        }
+    }
+    const auto cl_lens = CanonicalCode::limitedLengths(cl_freq, 7);
+    CanonicalCode cl_code(cl_lens);
+
+    unsigned hclen = numCl;
+    while (hclen > 4 && cl_lens[clOrder[hclen - 1]] == 0)
+        --hclen;
+
+    // Emit header (RFC 1951 §3.2.7).
+    BitWriter bw;
+    bw.put(hlit - 257, 5);
+    bw.put(hdist - 1, 5);
+    bw.put(hclen - 4, 4);
+    for (unsigned i = 0; i < hclen; ++i)
+        bw.put(cl_lens[clOrder[i]], 3);
+    for (const auto &item : cl_items) {
+        cl_code.encode(bw, item.sym);
+        if (item.sym == 16)
+            bw.put(item.extra, 2);
+        else if (item.sym == 17)
+            bw.put(item.extra, 3);
+        else if (item.sym == 18)
+            bw.put(item.extra, 7);
+    }
+
+    // Emit token stream.
+    for (const auto &t : tokens) {
+        if (t.isMatch) {
+            const unsigned ls = lengthSymbol(t.length);
+            ll_code.encode(bw, ls);
+            bw.put(t.length - lenCodes[ls - 257].base,
+                   lenCodes[ls - 257].extra);
+            const unsigned ds = distanceSymbol(t.distance);
+            d_code.encode(bw, ds);
+            bw.put(t.distance - distCodes[ds].base, distCodes[ds].extra);
+        } else {
+            ll_code.encode(bw, t.literal);
+        }
+    }
+    ll_code.encode(bw, eob);
+
+    out.sizeBits = bw.sizeBits();
+    out.payload = bw.finish();
+    return out;
+}
+
+std::vector<std::uint8_t>
+RfcDeflate::decompress(const RfcCompressed &in) const
+{
+    BitReader br(in.payload);
+
+    const unsigned hlit = static_cast<unsigned>(br.get(5)) + 257;
+    const unsigned hdist = static_cast<unsigned>(br.get(5)) + 1;
+    const unsigned hclen = static_cast<unsigned>(br.get(4)) + 4;
+
+    std::vector<unsigned> cl_lens(numCl, 0);
+    for (unsigned i = 0; i < hclen; ++i)
+        cl_lens[clOrder[i]] = static_cast<unsigned>(br.get(3));
+    CanonicalCode cl_code(cl_lens);
+
+    std::vector<unsigned> all_lens;
+    all_lens.reserve(hlit + hdist);
+    while (all_lens.size() < hlit + hdist) {
+        const unsigned sym = cl_code.decode(br);
+        if (sym < 16) {
+            all_lens.push_back(sym);
+        } else if (sym == 16) {
+            panicIf(all_lens.empty(), "RFC deflate: CL 16 at start");
+            const unsigned n = static_cast<unsigned>(br.get(2)) + 3;
+            const unsigned v = all_lens.back();
+            for (unsigned k = 0; k < n; ++k)
+                all_lens.push_back(v);
+        } else if (sym == 17) {
+            const unsigned n = static_cast<unsigned>(br.get(3)) + 3;
+            for (unsigned k = 0; k < n; ++k)
+                all_lens.push_back(0);
+        } else {
+            const unsigned n = static_cast<unsigned>(br.get(7)) + 11;
+            for (unsigned k = 0; k < n; ++k)
+                all_lens.push_back(0);
+        }
+    }
+    panicIf(all_lens.size() != hlit + hdist,
+            "RFC deflate: CL stream overran header counts");
+
+    std::vector<unsigned> ll_lens(all_lens.begin(),
+                                  all_lens.begin() + hlit);
+    ll_lens.resize(numLitLen, 0);
+    std::vector<unsigned> d_lens(all_lens.begin() + hlit, all_lens.end());
+    d_lens.resize(numDist, 0);
+    CanonicalCode ll_code(ll_lens);
+    CanonicalCode d_code(d_lens);
+
+    std::vector<std::uint8_t> out;
+    out.reserve(in.originalSize);
+    for (;;) {
+        const unsigned sym = ll_code.decode(br);
+        if (sym == eob)
+            break;
+        if (sym < 256) {
+            out.push_back(static_cast<std::uint8_t>(sym));
+            continue;
+        }
+        const LenCode &lc = lenCodes[sym - 257];
+        const unsigned len = lc.base +
+            static_cast<unsigned>(br.get(lc.extra));
+        const unsigned ds = d_code.decode(br);
+        const LenCode &dc = distCodes[ds];
+        const unsigned dist = dc.base +
+            static_cast<unsigned>(br.get(dc.extra));
+        panicIf(dist == 0 || dist > out.size(),
+                "RFC deflate: corrupt distance");
+        const std::size_t from = out.size() - dist;
+        for (unsigned i = 0; i < len; ++i)
+            out.push_back(out[from + i]);
+    }
+
+    panicIf(out.size() != in.originalSize,
+            "RFC deflate: decoded size mismatch");
+    return out;
+}
+
+} // namespace tmcc

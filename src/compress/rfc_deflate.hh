@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A software-Deflate reference codec ("gzip" series of Fig. 15).
+ *
+ * This implements the RFC 1951 dynamic-Huffman block format faithfully:
+ * the combined literal/length alphabet with extra bits, the 30-symbol
+ * distance alphabet with extra bits, and the code-length (CL) tree with
+ * run-length codes 16/17/18 that compresses the two main trees — i.e.,
+ * exactly the machinery whose *reconstruction cost* motivates the paper's
+ * reduced uncompressed tree.  Only the gzip container (magic, CRC) and
+ * multi-block framing are omitted: each page is one final dynamic block.
+ *
+ * LZ matching uses the RFC's lazy matching over a 4KB window (a page is
+ * only 4KB, so gzip's 32KB window adds nothing).
+ */
+
+#ifndef TMCC_COMPRESS_RFC_DEFLATE_HH
+#define TMCC_COMPRESS_RFC_DEFLATE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/lz.hh"
+
+namespace tmcc
+{
+
+/** Result of RFC-style compression. */
+struct RfcCompressed
+{
+    std::vector<std::uint8_t> payload;
+    std::size_t sizeBits = 0;
+    std::size_t originalSize = 0;
+
+    std::size_t sizeBytes() const { return (sizeBits + 7) / 8; }
+};
+
+/** RFC 1951 dynamic-Huffman Deflate codec. */
+class RfcDeflate
+{
+  public:
+    RfcDeflate();
+
+    /** Compress one buffer as a single dynamic-Huffman block. */
+    RfcCompressed compress(const std::uint8_t *data,
+                           std::size_t size) const;
+
+    /** Decompress; must reproduce the original exactly. */
+    std::vector<std::uint8_t> decompress(const RfcCompressed &in) const;
+
+  private:
+    Lz lz_;
+};
+
+} // namespace tmcc
+
+#endif // TMCC_COMPRESS_RFC_DEFLATE_HH

@@ -1,0 +1,65 @@
+#include "dram/address_map.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace tmcc
+{
+
+AddressMap::AddressMap(const DramConfig &dram, const InterleaveConfig &il)
+    : dram_(dram), il_(il)
+{
+    fatalIf(!isPowerOf2(il.numMcs) || !isPowerOf2(il.channelsPerMc),
+            "MC/channel counts must be powers of two");
+    fatalIf(!isPowerOf2(il.mcGranularity) ||
+                !isPowerOf2(il.channelGranularity),
+            "interleave granularities must be powers of two");
+    fatalIf(il.mcGranularity < blockSize ||
+                il.channelGranularity < blockSize,
+            "interleave granularity below block size");
+    mcBits_ = bitsFor(il.numMcs);
+    chBits_ = bitsFor(il.channelsPerMc);
+    rankBits_ = bitsFor(dram.ranks);
+    bankBits_ = bitsFor(dram.bankGroups * dram.banksPerGroup);
+    colBits_ = bitsFor(dram.rowBytes / blockSize);
+}
+
+DramCoordinates
+AddressMap::decode(Addr dram_addr) const
+{
+    DramCoordinates c;
+
+    // Interleave stage: strip MC bits at mcGranularity, channel bits at
+    // channelGranularity, compacting the remaining address.
+    Addr a = dram_addr;
+    const unsigned mc_shift = floorLog2(il_.mcGranularity);
+    if (mcBits_ > 0) {
+        c.mc = static_cast<unsigned>(bits(a, mc_shift, mcBits_));
+        a = bits(a, 0, mc_shift) |
+            ((a >> (mc_shift + mcBits_)) << mc_shift);
+    }
+    const unsigned ch_shift = floorLog2(il_.channelGranularity);
+    if (chBits_ > 0) {
+        c.channel = static_cast<unsigned>(bits(a, ch_shift, chBits_));
+        a = bits(a, 0, ch_shift) |
+            ((a >> (ch_shift + chBits_)) << ch_shift);
+    }
+
+    // Device stage over the compacted per-channel address:
+    //   [row | rank | bank | column | blockOffset]
+    a >>= blockShift;
+    c.column = bits(a, 0, colBits_);
+    a >>= colBits_;
+    const auto raw_bank = static_cast<unsigned>(bits(a, 0, bankBits_));
+    a >>= bankBits_;
+    c.rank = static_cast<unsigned>(bits(a, 0, rankBits_));
+    a >>= rankBits_;
+    c.row = a;
+
+    // Skylake-like XOR permutation: fold low row bits into the bank id
+    // so strided streams spread across banks.
+    c.bank = raw_bank ^ static_cast<unsigned>(bits(c.row, 0, bankBits_));
+    return c;
+}
+
+} // namespace tmcc

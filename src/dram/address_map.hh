@@ -1,0 +1,52 @@
+/**
+ * @file
+ * DRAM address decomposition: MC / channel interleaving plus the
+ * XOR-based rank/bank hash "like Intel Skylake" (Table III).
+ */
+
+#ifndef TMCC_DRAM_ADDRESS_MAP_HH
+#define TMCC_DRAM_ADDRESS_MAP_HH
+
+#include "common/types.hh"
+#include "dram/dram_config.hh"
+
+namespace tmcc
+{
+
+/** Where one 64B access lands. */
+struct DramCoordinates
+{
+    unsigned mc = 0;
+    unsigned channel = 0;
+    unsigned rank = 0;
+    unsigned bank = 0; //!< flat bank id within the rank (group*4+bank)
+    std::uint64_t row = 0;
+    std::uint64_t column = 0;
+};
+
+/**
+ * Maps a flat DRAM address to device coordinates.
+ *
+ * The interleave stage first picks MC and channel by the configured
+ * granularities; the remaining address is hashed so that bank bits are
+ * XORed with low row bits (Skylake-style permutation) to spread
+ * row-conflicting streams.
+ */
+class AddressMap
+{
+  public:
+    AddressMap(const DramConfig &dram, const InterleaveConfig &il);
+
+    DramCoordinates decode(Addr dram_addr) const;
+
+    const InterleaveConfig &interleave() const { return il_; }
+
+  private:
+    DramConfig dram_;
+    InterleaveConfig il_;
+    unsigned mcBits_, chBits_, rankBits_, bankBits_, colBits_;
+};
+
+} // namespace tmcc
+
+#endif // TMCC_DRAM_ADDRESS_MAP_HH

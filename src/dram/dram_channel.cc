@@ -1,0 +1,148 @@
+#include "dram/dram_channel.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace tmcc
+{
+
+DramChannel::DramChannel(const DramConfig &cfg)
+    : cfg_(cfg), banks_(cfg.ranks * cfg.bankGroups * cfg.banksPerGroup)
+{}
+
+DramChannel::Bank &
+DramChannel::bank(const DramCoordinates &at)
+{
+    const unsigned banks_per_rank = cfg_.bankGroups * cfg_.banksPerGroup;
+    const std::size_t idx = at.rank * banks_per_rank + at.bank;
+    panicIf(idx >= banks_.size(), "bank index out of range");
+    return banks_[idx];
+}
+
+Tick
+DramChannel::accessLatency(Bank &b, std::uint64_t row, bool is_write)
+{
+    const Tick tCl = nsToTicks(is_write ? cfg_.tWrNs : cfg_.tClNs);
+    const Tick tRcd = nsToTicks(cfg_.tRcdNs);
+    const Tick tRp = nsToTicks(cfg_.tRpNs);
+
+    if (b.rowValid && b.openRow == row) {
+        if (b.consecutiveHits < cfg_.rowAccessCap) {
+            ++b.consecutiveHits;
+            rowHits_.inc();
+            return tCl;
+        }
+        // FR-FCFS-Capped: the row was force-closed after `cap` back to
+        // back hits to bound unfairness; pay a fresh activate.
+        capClosures_.inc();
+        b.consecutiveHits = 1;
+        rowMisses_.inc();
+        return tRcd + tCl;
+    }
+    if (b.rowValid) {
+        rowConflicts_.inc();
+        b.openRow = row;
+        b.consecutiveHits = 1;
+        return tRp + tRcd + tCl;
+    }
+    rowMisses_.inc();
+    b.rowValid = true;
+    b.openRow = row;
+    b.consecutiveHits = 1;
+    return tRcd + tCl;
+}
+
+Tick
+DramChannel::read(const DramCoordinates &at, Tick when)
+{
+    // Lower-priority writes must yield, but a full queue forces a drain
+    // before this read can be scheduled.
+    if (writeQueue_.size() >= cfg_.writeDrainHigh)
+        drainWrites(when, cfg_.writeDrainLow);
+
+    reads_.inc();
+    Bank &b = bank(at);
+
+    Tick start = std::max(when, b.readyAt);
+    if (lastOpWrite_) {
+        start = std::max(start, busFreeAt_ + nsToTicks(cfg_.tWtrNs));
+        lastOpWrite_ = false;
+    }
+    const Tick lat = accessLatency(b, at.row, false);
+
+    const Tick burst = nsToTicks(cfg_.tBurstNs);
+    const Tick data_start = std::max(start + lat, busFreeAt_);
+    const Tick complete = data_start + burst;
+    busFreeAt_ = complete;
+    busBusyReads_ += burst;
+    b.readyAt = complete;
+    return complete;
+}
+
+void
+DramChannel::write(const DramCoordinates &at, Tick when)
+{
+    writes_.inc();
+    writeQueue_.push_back({at, when});
+    if (writeQueue_.size() >= cfg_.writeQueueDepth)
+        drainWrites(when, cfg_.writeDrainLow);
+}
+
+void
+DramChannel::drainWrites(Tick when, std::size_t down_to)
+{
+    if (writeQueue_.size() <= down_to)
+        return;
+    writeDrains_.inc();
+
+    // Read-to-write turnaround once per drain batch.
+    Tick cursor = std::max(when, busFreeAt_) + nsToTicks(cfg_.tRtwNs);
+
+    while (writeQueue_.size() > down_to) {
+        const PendingWrite w = writeQueue_.front();
+        writeQueue_.pop_front();
+
+        Bank &b = bank(w.at);
+        const Tick start = std::max({cursor, b.readyAt, w.when});
+        const Tick lat = accessLatency(b, w.at.row, true);
+        const Tick burst = nsToTicks(cfg_.tBurstNs);
+        const Tick complete = start + lat + burst;
+        b.readyAt = complete;
+        cursor = start + burst; // writes pipeline on the bus
+        busBusyWrites_ += burst;
+    }
+    busFreeAt_ = std::max(busFreeAt_, cursor);
+    lastOpWrite_ = true;
+}
+
+void
+DramChannel::drainAll(Tick when)
+{
+    drainWrites(when, 0);
+}
+
+double
+DramChannel::busUtilization(Tick start, Tick end) const
+{
+    if (end <= start)
+        return 0.0;
+    return static_cast<double>(busBusyReads_ + busBusyWrites_) /
+           static_cast<double>(end - start);
+}
+
+void
+DramChannel::dumpStats(StatDump &dump, const std::string &prefix) const
+{
+    dump.set(prefix + ".reads", reads_.value());
+    dump.set(prefix + ".writes", writes_.value());
+    dump.set(prefix + ".row_hits", rowHits_.value());
+    dump.set(prefix + ".row_misses", rowMisses_.value());
+    dump.set(prefix + ".row_conflicts", rowConflicts_.value());
+    dump.set(prefix + ".cap_closures", capClosures_.value());
+    dump.set(prefix + ".write_drains", writeDrains_.value());
+    dump.set(prefix + ".bus_busy_read_ns", ticksToNs(busBusyReads_));
+    dump.set(prefix + ".bus_busy_write_ns", ticksToNs(busBusyWrites_));
+}
+
+} // namespace tmcc

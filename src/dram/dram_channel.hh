@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Timing model of one DDR4 channel with FR-FCFS-Capped scheduling
+ * (Table III: row access cap of 4) and buffered, lower-priority writes.
+ *
+ * The model is request-level: the caller presents each 64B access with
+ * its arrival tick; the channel tracks per-bank open rows, bank ready
+ * times and data-bus occupancy, and returns the completion tick.
+ * Because the simulation driver presents requests in non-decreasing
+ * arrival order, bank conflicts and bus queueing compose exactly as in
+ * an event-driven model for this workload class.
+ *
+ * Writes are posted: they enter the write queue immediately and drain in
+ * batches when the queue crosses its high watermark, stealing data-bus
+ * and bank time from subsequent reads (§VI's write-mode discussion; the
+ * paper's per-rank write mode is modelled by charging drains only to the
+ * target rank's banks plus the shared bus).
+ */
+
+#ifndef TMCC_DRAM_DRAM_CHANNEL_HH
+#define TMCC_DRAM_DRAM_CHANNEL_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/address_map.hh"
+#include "dram/dram_config.hh"
+
+namespace tmcc
+{
+
+/** One DDR4 channel. */
+class DramChannel : public Stated
+{
+  public:
+    explicit DramChannel(const DramConfig &cfg);
+
+    /** Service a 64B read arriving at `when`; returns completion tick. */
+    Tick read(const DramCoordinates &at, Tick when);
+
+    /**
+     * Post a 64B write at `when`.  Returns immediately; the write costs
+     * bandwidth later when the queue drains.
+     */
+    void write(const DramCoordinates &at, Tick when);
+
+    /** Force all pending writes to drain (used at sim boundaries). */
+    void drainAll(Tick when);
+
+    /** Fraction of the [start, end] window the data bus was busy. */
+    double busUtilization(Tick start, Tick end) const;
+
+    void dumpStats(StatDump &dump,
+                   const std::string &prefix) const override;
+
+    const Counter &reads() const { return reads_; }
+    const Counter &writes() const { return writes_; }
+    const Counter &rowHits() const { return rowHits_; }
+    Tick busBusyReads() const { return busBusyReads_; }
+    Tick busBusyWrites() const { return busBusyWrites_; }
+
+  private:
+    struct Bank
+    {
+        std::uint64_t openRow = ~0ULL;
+        bool rowValid = false;
+        Tick readyAt = 0;
+        unsigned consecutiveHits = 0;
+    };
+
+    struct PendingWrite
+    {
+        DramCoordinates at;
+        Tick when;
+    };
+
+    Bank &bank(const DramCoordinates &at);
+
+    /** Row-buffer policy: returns access latency and updates the bank. */
+    Tick accessLatency(Bank &b, std::uint64_t row, bool is_write);
+
+    /** Drain writes down to the low watermark starting at `when`. */
+    void drainWrites(Tick when, std::size_t down_to);
+
+    DramConfig cfg_;
+    std::vector<Bank> banks_; //!< [rank][bank] flattened
+    Tick busFreeAt_ = 0;
+    std::deque<PendingWrite> writeQueue_;
+    bool lastOpWrite_ = false;
+
+    Counter reads_, writes_, rowHits_, rowMisses_, rowConflicts_;
+    Counter capClosures_, writeDrains_;
+    Tick busBusyReads_ = 0;
+    Tick busBusyWrites_ = 0;
+};
+
+} // namespace tmcc
+
+#endif // TMCC_DRAM_DRAM_CHANNEL_HH

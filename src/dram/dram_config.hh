@@ -1,0 +1,72 @@
+/**
+ * @file
+ * DDR4-3200 configuration mirroring Table III of the paper.
+ */
+
+#ifndef TMCC_DRAM_DRAM_CONFIG_HH
+#define TMCC_DRAM_DRAM_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace tmcc
+{
+
+/** Timing and geometry of one DRAM channel (Table III). */
+struct DramConfig
+{
+    // Geometry.
+    unsigned ranks = 8;
+    unsigned bankGroups = 4;
+    unsigned banksPerGroup = 4;
+    std::size_t rowBytes = 8192; //!< row buffer (page) size per bank
+    std::uint64_t channelBytes = 16ULL << 30; //!< capacity per channel
+
+    // DDR4-3200 timing.
+    double tCkNs = 0.625;   //!< clock period (1600 MHz, DDR)
+    double tClNs = 13.75;   //!< CAS latency
+    double tRcdNs = 13.75;  //!< RAS-to-CAS
+    double tRpNs = 13.75;   //!< precharge
+    double tBurstNs = 2.5;  //!< BL8 transfer of one 64B beat group
+    double tWrNs = 15.0;    //!< write recovery
+    double tRtwNs = 7.5;    //!< read-to-write turnaround
+    double tWtrNs = 7.5;    //!< write-to-read turnaround (same rank)
+
+    // Scheduling (FR-FCFS-Capped, Table III: row access cap 4).
+    unsigned rowAccessCap = 4;
+
+    // Write buffering.
+    unsigned writeQueueDepth = 64;
+    unsigned writeDrainHigh = 48; //!< start draining above this
+    unsigned writeDrainLow = 16;  //!< stop draining below this
+
+    /** Peak bandwidth in bytes per nanosecond (= GB/s). */
+    double peakGBs() const { return blockSize / tBurstNs; }
+
+    unsigned totalBanks() const { return ranks * bankGroups *
+                                         banksPerGroup; }
+};
+
+/** How physical addresses spread over MCs and channels (§VIII). */
+struct InterleaveConfig
+{
+    unsigned numMcs = 1;
+    unsigned channelsPerMc = 1;
+
+    /**
+     * Interleave granularity in bytes across MCs.  Baseline in Fig. 22
+     * is 512B; TMCC requires >= 4KB.
+     */
+    std::size_t mcGranularity = 4096;
+
+    /**
+     * Interleave granularity across channels within an MC; baseline is
+     * 256B; "page across channels" sets this to 4096.
+     */
+    std::size_t channelGranularity = 256;
+};
+
+} // namespace tmcc
+
+#endif // TMCC_DRAM_DRAM_CONFIG_HH

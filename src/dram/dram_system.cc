@@ -1,0 +1,84 @@
+#include "dram/dram_system.hh"
+
+#include "common/log.hh"
+
+namespace tmcc
+{
+
+DramSystem::DramSystem(const DramConfig &dram, const InterleaveConfig &il)
+    : cfg_(dram), il_(il), map_(dram, il)
+{
+    for (unsigned i = 0; i < il.numMcs * il.channelsPerMc; ++i)
+        channels_.push_back(std::make_unique<DramChannel>(dram));
+}
+
+DramChannel &
+DramSystem::channel(unsigned mc, unsigned ch)
+{
+    return *channels_.at(mc * il_.channelsPerMc + ch);
+}
+
+const DramChannel &
+DramSystem::channel(unsigned mc, unsigned ch) const
+{
+    return *channels_.at(mc * il_.channelsPerMc + ch);
+}
+
+Tick
+DramSystem::read(Addr addr, Tick when)
+{
+    const DramCoordinates c = map_.decode(addr);
+    return channel(c.mc, c.channel).read(c, when);
+}
+
+void
+DramSystem::write(Addr addr, Tick when)
+{
+    const DramCoordinates c = map_.decode(addr);
+    channel(c.mc, c.channel).write(c, when);
+}
+
+void
+DramSystem::drainAll(Tick when)
+{
+    for (auto &ch : channels_)
+        ch->drainAll(when);
+}
+
+Tick
+DramSystem::busBusyReads() const
+{
+    Tick total = 0;
+    for (const auto &ch : channels_)
+        total += ch->busBusyReads();
+    return total;
+}
+
+Tick
+DramSystem::busBusyWrites() const
+{
+    Tick total = 0;
+    for (const auto &ch : channels_)
+        total += ch->busBusyWrites();
+    return total;
+}
+
+std::uint64_t
+DramSystem::capacityBytes() const
+{
+    return cfg_.channelBytes * il_.numMcs * il_.channelsPerMc;
+}
+
+void
+DramSystem::dumpStats(StatDump &dump, const std::string &prefix) const
+{
+    for (unsigned mc = 0; mc < il_.numMcs; ++mc) {
+        for (unsigned ch = 0; ch < il_.channelsPerMc; ++ch) {
+            channel(mc, ch).dumpStats(
+                dump, prefix + ".mc" + std::to_string(mc) + ".ch" +
+                          std::to_string(ch));
+        }
+    }
+}
+
+} // namespace tmcc

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The full DRAM back end: address map plus one DramChannel per
+ * (MC, channel) pair.
+ */
+
+#ifndef TMCC_DRAM_DRAM_SYSTEM_HH
+#define TMCC_DRAM_DRAM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "dram/address_map.hh"
+#include "dram/dram_channel.hh"
+
+namespace tmcc
+{
+
+/** All channels of all memory controllers. */
+class DramSystem : public Stated
+{
+  public:
+    DramSystem(const DramConfig &dram, const InterleaveConfig &il);
+
+    /** 64B read at flat DRAM address `addr`; returns completion tick. */
+    Tick read(Addr addr, Tick when);
+
+    /** Posted 64B write. */
+    void write(Addr addr, Tick when);
+
+    /** Drain all write queues. */
+    void drainAll(Tick when);
+
+    DramChannel &channel(unsigned mc, unsigned ch);
+    const DramChannel &channel(unsigned mc, unsigned ch) const;
+
+    const AddressMap &map() const { return map_; }
+    const DramConfig &config() const { return cfg_; }
+
+    /** Aggregate read/write bus-busy across channels. */
+    Tick busBusyReads() const;
+    Tick busBusyWrites() const;
+
+    /** Total capacity across MCs/channels in bytes. */
+    std::uint64_t capacityBytes() const;
+
+    void dumpStats(StatDump &dump,
+                   const std::string &prefix) const override;
+
+  private:
+    DramConfig cfg_;
+    InterleaveConfig il_;
+    AddressMap map_;
+    std::vector<std::unique_ptr<DramChannel>> channels_;
+};
+
+} // namespace tmcc
+
+#endif // TMCC_DRAM_DRAM_SYSTEM_HH

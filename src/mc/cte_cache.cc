@@ -1,0 +1,93 @@
+#include "mc/cte_cache.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace tmcc
+{
+
+CteCache::CteCache(std::size_t size_bytes, unsigned pages_per_block,
+                   unsigned assoc)
+    : pagesPerBlock_(pages_per_block), assoc_(assoc)
+{
+    fatalIf(pages_per_block == 0, "CTE block must cover >= 1 page");
+    const std::size_t blocks = size_bytes / blockSize;
+    fatalIf(blocks % assoc != 0, "CTE cache blocks must divide assoc");
+    sets_ = blocks / assoc;
+    fatalIf(!isPowerOf2(sets_), "CTE cache sets must be a power of two");
+    ways_.resize(blocks);
+}
+
+bool
+CteCache::lookup(Ppn ppn)
+{
+    const std::uint64_t tag = blockOf(ppn);
+    Way *base = &ways_[(tag & (sets_ - 1)) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lru = ++lruClock_;
+            hits_.inc();
+            return true;
+        }
+    }
+    misses_.inc();
+    return false;
+}
+
+bool
+CteCache::probe(Ppn ppn) const
+{
+    const std::uint64_t tag = blockOf(ppn);
+    const Way *base = &ways_[(tag & (sets_ - 1)) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+CteCache::insert(Ppn ppn)
+{
+    const std::uint64_t tag = blockOf(ppn);
+    Way *base = &ways_[(tag & (sets_ - 1)) * assoc_];
+    Way *victim = &base[0];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lru = ++lruClock_;
+            return; // already present
+        }
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    victim->tag = tag;
+    victim->valid = true;
+    victim->lru = ++lruClock_;
+}
+
+void
+CteCache::invalidate(Ppn ppn)
+{
+    const std::uint64_t tag = blockOf(ppn);
+    Way *base = &ways_[(tag & (sets_ - 1)) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            base[w].valid = false;
+}
+
+void
+CteCache::dumpStats(StatDump &dump, const std::string &prefix) const
+{
+    dump.set(prefix + ".hits", hits_.value());
+    dump.set(prefix + ".misses", misses_.value());
+    const auto total = hits_.value() + misses_.value();
+    dump.set(prefix + ".hit_rate",
+             total ? static_cast<double>(hits_.value()) /
+                         static_cast<double>(total)
+                   : 0.0);
+}
+
+} // namespace tmcc

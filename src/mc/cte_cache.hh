@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The MC's dedicated CTE cache (§II/III).  It caches 64B CTE *blocks*:
+ * under TMCC each block holds eight 8B page-level CTEs (32KB reach per
+ * block, Table III); under Compresso one block is a single page's
+ * metadata (4KB reach).
+ *
+ * The cache is indexed by CTE block number = PPN / entriesPerBlock, so
+ * page-level translation gets its 8x reach (and the spatial-locality
+ * benefit of §IV) purely from the format, exactly as in the paper.
+ */
+
+#ifndef TMCC_MC_CTE_CACHE_HH
+#define TMCC_MC_CTE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace tmcc
+{
+
+/** Set-associative cache of CTE blocks. */
+class CteCache : public Stated
+{
+  public:
+    /**
+     * @param size_bytes      total capacity (64KB TMCC, 128KB Compresso)
+     * @param pages_per_block CTEs covered by one 64B block (8 or 1)
+     */
+    CteCache(std::size_t size_bytes, unsigned pages_per_block,
+             unsigned assoc = 8);
+
+    /** Look up the CTE covering `ppn`; updates LRU. */
+    bool lookup(Ppn ppn);
+
+    /** Probe without side effects. */
+    bool probe(Ppn ppn) const;
+
+    /** Install the block covering `ppn` (after a DRAM CTE fetch). */
+    void insert(Ppn ppn);
+
+    /** Invalidate the block covering `ppn` (CTE rewritten in DRAM). */
+    void invalidate(Ppn ppn);
+
+    unsigned pagesPerBlock() const { return pagesPerBlock_; }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+    void dumpStats(StatDump &dump,
+                   const std::string &prefix) const override;
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        std::uint64_t lru = 0;
+    };
+
+    std::uint64_t blockOf(Ppn ppn) const { return ppn / pagesPerBlock_; }
+
+    unsigned pagesPerBlock_;
+    std::size_t sets_;
+    unsigned assoc_;
+    std::vector<Way> ways_;
+    std::uint64_t lruClock_ = 0;
+    Counter hits_, misses_;
+};
+
+} // namespace tmcc
+
+#endif // TMCC_MC_CTE_CACHE_HH

@@ -1,0 +1,194 @@
+#include "mc/free_list.hh"
+
+#include "common/log.hh"
+
+namespace tmcc
+{
+
+// ---------------------------------------------------------------------
+// Ml1FreeList
+// ---------------------------------------------------------------------
+
+void
+Ml1FreeList::seed(DramFrame first, std::uint64_t count)
+{
+    frames_.reserve(frames_.size() + count);
+    // Push in reverse so pops come out in ascending order.
+    for (std::uint64_t i = count; i-- > 0;)
+        frames_.push_back(first + i);
+}
+
+DramFrame
+Ml1FreeList::pop()
+{
+    panicIf(frames_.empty(), "ML1 free list underflow");
+    pops_.inc();
+    const DramFrame f = frames_.back();
+    frames_.pop_back();
+    return f;
+}
+
+void
+Ml1FreeList::push(DramFrame frame)
+{
+    pushes_.inc();
+    frames_.push_back(frame);
+}
+
+void
+Ml1FreeList::dumpStats(StatDump &dump, const std::string &prefix) const
+{
+    dump.set(prefix + ".size", frames_.size());
+    dump.set(prefix + ".pops", pops_.value());
+    dump.set(prefix + ".pushes", pushes_.value());
+}
+
+// ---------------------------------------------------------------------
+// Ml2FreeLists
+// ---------------------------------------------------------------------
+
+Ml2FreeLists::Ml2FreeLists(Ml1FreeList &ml1) : ml1_(ml1) {}
+
+unsigned
+Ml2FreeLists::classFor(std::size_t bytes)
+{
+    for (unsigned c = 0; c < subChunkClasses.size(); ++c)
+        if (bytes <= subChunkClasses[c].bytes)
+            return c;
+    return static_cast<unsigned>(subChunkClasses.size());
+}
+
+bool
+Ml2FreeLists::alloc(unsigned cls, SubChunk &out)
+{
+    panicIf(cls >= subChunkClasses.size(), "bad sub-chunk class");
+    auto &slots = freeSlots_[cls];
+
+    if (slots.empty()) {
+        // Grow ML2: take M chunks from ML1 and carve a super-chunk.
+        const SubChunkClass &c = subChunkClasses[cls];
+        if (ml1_.size() < c.chunksM)
+            return false;
+        SuperChunk sc;
+        sc.sizeClass = cls;
+        for (unsigned i = 0; i < c.chunksM; ++i)
+            sc.frames.push_back(ml1_.pop());
+        heldChunks_ += c.chunksM;
+        const std::uint64_t id = nextSuperId_++;
+        superChunks_.emplace(id, std::move(sc));
+        superChunksCreated_.inc();
+        // Newly carved slots go on top of the list (§IV-B).
+        for (unsigned slot = c.subChunksN; slot-- > 0;)
+            slots.emplace_back(id, slot);
+    }
+
+    const auto [id, slot] = slots.back();
+    slots.pop_back();
+    SuperChunk &sc = superChunks_.at(id);
+    sc.usedMask |= 1u << slot;
+    ++sc.used;
+
+    const SubChunkClass &c = subChunkClasses[cls];
+    out.superChunk = id;
+    out.slot = slot;
+    out.sizeClass = cls;
+    // Sub-chunk `slot` occupies bytes [slot*size, (slot+1)*size) of the
+    // concatenated M chunks.
+    const std::uint64_t byte_off =
+        static_cast<std::uint64_t>(slot) * c.bytes;
+    const unsigned frame_idx = static_cast<unsigned>(byte_off / pageSize);
+    out.dramAddr = (sc.frames[frame_idx] << pageShift) +
+                   (byte_off & (pageSize - 1));
+    liveBytes_ += c.bytes;
+    allocs_.inc();
+    return true;
+}
+
+void
+Ml2FreeLists::free(const SubChunk &sub)
+{
+    frees_.inc();
+    auto it = superChunks_.find(sub.superChunk);
+    panicIf(it == superChunks_.end(), "free of unknown super-chunk");
+    SuperChunk &sc = it->second;
+    panicIf((sc.usedMask & (1u << sub.slot)) == 0,
+            "double free of sub-chunk");
+    sc.usedMask &= ~(1u << sub.slot);
+    --sc.used;
+    const SubChunkClass &c = subChunkClasses[sc.sizeClass];
+    liveBytes_ -= c.bytes;
+
+    if (sc.used == 0) {
+        // Whole super-chunk free: return chunks to ML1 (§IV-B) and drop
+        // its remaining slots from the class list.
+        auto &slots = freeSlots_[sc.sizeClass];
+        std::erase_if(slots, [&](const auto &p) {
+            return p.first == sub.superChunk;
+        });
+        for (DramFrame f : sc.frames)
+            ml1_.push(f);
+        heldChunks_ -= c.chunksM;
+        superChunks_.erase(it);
+        superChunksReturned_.inc();
+    } else {
+        // Transitioning to having a free sub-chunk tracks at the top.
+        freeSlots_[sc.sizeClass].emplace_back(sub.superChunk, sub.slot);
+    }
+}
+
+void
+Ml2FreeLists::dumpStats(StatDump &dump, const std::string &prefix) const
+{
+    dump.set(prefix + ".allocs", allocs_.value());
+    dump.set(prefix + ".frees", frees_.value());
+    dump.set(prefix + ".super_chunks", superChunks_.size());
+    dump.set(prefix + ".super_chunks_created",
+             superChunksCreated_.value());
+    dump.set(prefix + ".super_chunks_returned",
+             superChunksReturned_.value());
+    dump.set(prefix + ".live_bytes", liveBytes_);
+    dump.set(prefix + ".held_chunks", heldChunks_);
+}
+
+// ---------------------------------------------------------------------
+// ChunkFreeList
+// ---------------------------------------------------------------------
+
+ChunkFreeList::ChunkFreeList(std::size_t chunk_bytes)
+    : chunkBytes_(chunk_bytes)
+{}
+
+void
+ChunkFreeList::seed(Addr base, std::uint64_t chunk_count)
+{
+    chunks_.reserve(chunks_.size() + chunk_count);
+    for (std::uint64_t i = chunk_count; i-- > 0;)
+        chunks_.push_back(base + i * chunkBytes_);
+}
+
+Addr
+ChunkFreeList::pop()
+{
+    panicIf(chunks_.empty(), "chunk free list underflow");
+    pops_.inc();
+    const Addr a = chunks_.back();
+    chunks_.pop_back();
+    return a;
+}
+
+void
+ChunkFreeList::push(Addr chunk_addr)
+{
+    pushes_.inc();
+    chunks_.push_back(chunk_addr);
+}
+
+void
+ChunkFreeList::dumpStats(StatDump &dump, const std::string &prefix) const
+{
+    dump.set(prefix + ".size", chunks_.size());
+    dump.set(prefix + ".pops", pops_.value());
+    dump.set(prefix + ".pushes", pushes_.value());
+}
+
+} // namespace tmcc

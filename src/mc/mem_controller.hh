@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The memory-controller architecture interface: what the simulation
+ * pipeline sees of "no compression" vs Compresso vs the OS-inspired
+ * designs (barebone and TMCC).
+ */
+
+#ifndef TMCC_MC_MEM_CONTROLLER_HH
+#define TMCC_MC_MEM_CONTROLLER_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/dram_system.hh"
+
+namespace tmcc
+{
+
+/** One LLC-miss read reaching the MC. */
+struct McReadRequest
+{
+    unsigned core = 0;
+    Addr paddr = 0;
+    Tick when = 0;
+    bool fromWalker = false; //!< request originated from a page walk
+    bool background = false; //!< prefetch (does not block the core)
+
+    /** TMCC: truncated CTE piggybacked from a compressed PTB (§V-A3). */
+    bool hasEmbeddedCte = false;
+    std::uint64_t embeddedCte = 0;
+};
+
+/** What the MC returns to the LLC. */
+struct McReadResponse
+{
+    Tick complete = 0;
+
+    // Classification for Fig. 19 / Fig. 2 / Fig. 18.
+    bool cteCacheHit = false;
+    bool parallelAccess = false;    //!< embedded-CTE speculative fetch
+    bool embeddedMismatch = false;  //!< speculation failed, re-accessed
+    bool serializedNoCte = false;   //!< CTE fetched serially from DRAM
+    bool hitMl2 = false;            //!< page was compressed (Deflate)
+
+    /** Walker fills should be cached PTB-compressed in L2 (§V-A4). */
+    bool fillCompressedPtb = false;
+
+    /** The correct CTE piggybacked back toward L2 (§V-A3). */
+    bool hasCorrectCte = false;
+    std::uint64_t correctCte = 0;
+};
+
+/** Abstract MC architecture. */
+class MemController : public Stated
+{
+  public:
+    explicit MemController(DramSystem &dram) : dram_(dram) {}
+    ~MemController() override = default;
+
+    /** Service an LLC read miss. */
+    virtual McReadResponse read(const McReadRequest &req) = 0;
+
+    /**
+     * Accept a dirty line leaving L3.  `line_compressed` is the on-chip
+     * PTB-encoding bit (TMCC uses it to maintain the CTE bit vector).
+     */
+    virtual void writeback(Addr paddr, Tick when,
+                           bool line_compressed) = 0;
+
+    /** Settle background work (migrations, write drains). */
+    virtual void drain(Tick when) { dram_.drainAll(when); }
+
+    /** Total DRAM bytes this architecture currently uses for data. */
+    virtual std::uint64_t dramUsedBytes() const = 0;
+
+    DramSystem &dram() { return dram_; }
+
+  protected:
+    DramSystem &dram_;
+};
+
+/** The trivial architecture: physical address == DRAM address. */
+class NoCompressionMc : public MemController
+{
+  public:
+    explicit NoCompressionMc(DramSystem &dram) : MemController(dram) {}
+
+    McReadResponse
+    read(const McReadRequest &req) override
+    {
+        McReadResponse resp;
+        // Background (prefetch) fills ride idle DRAM slots; the
+        // request-level model charges no contention for them.
+        resp.complete = req.background
+                            ? req.when
+                            : dram_.read(req.paddr, req.when);
+        reads_.inc();
+        return resp;
+    }
+
+    void
+    writeback(Addr paddr, Tick when, bool /*line_compressed*/) override
+    {
+        dram_.write(paddr, when);
+        writebacks_.inc();
+    }
+
+    std::uint64_t
+    dramUsedBytes() const override
+    {
+        return usedBytes_;
+    }
+
+    /** The driver reports how much physical memory the workload maps. */
+    void setUsedBytes(std::uint64_t bytes) { usedBytes_ = bytes; }
+
+    void
+    dumpStats(StatDump &dump, const std::string &prefix) const override
+    {
+        dump.set(prefix + ".reads", reads_.value());
+        dump.set(prefix + ".writebacks", writebacks_.value());
+    }
+
+  private:
+    Counter reads_, writebacks_;
+    std::uint64_t usedBytes_ = 0;
+};
+
+} // namespace tmcc
+
+#endif // TMCC_MC_MEM_CONTROLLER_HH

@@ -1,0 +1,99 @@
+#include "mc/recency_list.hh"
+
+#include "common/log.hh"
+
+namespace tmcc
+{
+
+RecencyList::RecencyList(double sample_probability, std::uint64_t seed)
+    : sampleP_(sample_probability), rng_(seed)
+{}
+
+void
+RecencyList::insertHot(Ppn ppn)
+{
+    auto it = index_.find(ppn);
+    if (it != index_.end()) {
+        list_.erase(it->second);
+        index_.erase(it);
+    }
+    list_.push_front(ppn);
+    index_[ppn] = list_.begin();
+}
+
+void
+RecencyList::insertCold(Ppn ppn)
+{
+    auto it = index_.find(ppn);
+    if (it != index_.end()) {
+        list_.erase(it->second);
+        index_.erase(it);
+    }
+    list_.push_back(ppn);
+    index_[ppn] = std::prev(list_.end());
+}
+
+void
+RecencyList::touch(Ppn ppn)
+{
+    touches_.inc();
+    if (!rng_.chance(sampleP_))
+        return;
+    auto it = index_.find(ppn);
+    if (it == index_.end())
+        return; // not tracked (e.g., incompressible)
+    promotions_.inc();
+    list_.erase(it->second);
+    list_.push_front(ppn);
+    it->second = list_.begin();
+}
+
+Ppn
+RecencyList::coldest() const
+{
+    return list_.empty() ? invalidAddr : list_.back();
+}
+
+Ppn
+RecencyList::popColdest()
+{
+    panicIf(list_.empty(), "recency list underflow");
+    evictions_.inc();
+    const Ppn ppn = list_.back();
+    list_.pop_back();
+    index_.erase(ppn);
+    return ppn;
+}
+
+void
+RecencyList::remove(Ppn ppn)
+{
+    auto it = index_.find(ppn);
+    if (it == index_.end())
+        return;
+    list_.erase(it->second);
+    index_.erase(it);
+}
+
+bool
+RecencyList::maybeReadmit(Ppn ppn)
+{
+    if (contains(ppn) || !rng_.chance(sampleP_))
+        return false;
+    readmissions_.inc();
+    insertHot(ppn);
+    return true;
+}
+
+void
+RecencyList::dumpStats(StatDump &dump, const std::string &prefix) const
+{
+    dump.set(prefix + ".size", list_.size());
+    dump.set(prefix + ".touches", touches_.value());
+    dump.set(prefix + ".promotions", promotions_.value());
+    dump.set(prefix + ".evictions", evictions_.value());
+    dump.set(prefix + ".readmissions", readmissions_.value());
+    dump.set(prefix + ".overhead_bytes", overheadBytes());
+}
+
+} // namespace tmcc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The Recency List of §IV-B: a doubly linked list over the pages in ML1
+ * whose head is the hottest and tail the coldest page.  ML1 updates it
+ * for ~1% of randomly chosen accesses; eviction victims come from the
+ * tail.  Incompressible pages are removed so they are not uselessly
+ * recompressed, and re-enter with 1% probability after a writeback.
+ *
+ * The real structure stores PPN + two pointers per element; that DRAM
+ * overhead ("Recency List uses 0.4% of DRAM", §V-A6) is reported by
+ * overheadBytes().
+ */
+
+#ifndef TMCC_MC_RECENCY_LIST_HH
+#define TMCC_MC_RECENCY_LIST_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace tmcc
+{
+
+/** Sampled-LRU list of ML1 pages. */
+class RecencyList : public Stated
+{
+  public:
+    explicit RecencyList(double sample_probability = 0.01,
+                         std::uint64_t seed = 0x5eed);
+
+    /** Add a page at the hot end (new arrivals in ML1). */
+    void insertHot(Ppn ppn);
+
+    /** Add a page at the cold end (deferred eviction victims). */
+    void insertCold(Ppn ppn);
+
+    /**
+     * Observe an access to `ppn`; with the sampling probability the
+     * page's element moves to the hot end.
+     */
+    void touch(Ppn ppn);
+
+    /** Coldest page, or invalidAddr if empty. */
+    Ppn coldest() const;
+
+    /** Remove and return the coldest page. */
+    Ppn popColdest();
+
+    /** Remove a page (migrated to ML2 or marked incompressible). */
+    void remove(Ppn ppn);
+
+    bool contains(Ppn ppn) const { return index_.count(ppn) != 0; }
+    std::size_t size() const { return list_.size(); }
+
+    /**
+     * Called on a writeback to an incompressible ML1 page: with 1%
+     * probability re-admit it to the list (its compressibility may have
+     * changed).  Returns true if re-admitted.
+     */
+    bool maybeReadmit(Ppn ppn);
+
+    /** DRAM the list costs: PPN + 2 pointers per tracked page. */
+    std::uint64_t
+    overheadBytes() const
+    {
+        return list_.size() * 3 * 8;
+    }
+
+    void dumpStats(StatDump &dump,
+                   const std::string &prefix) const override;
+
+  private:
+    double sampleP_;
+    Rng rng_;
+    std::list<Ppn> list_; //!< front = hottest, back = coldest
+    std::unordered_map<Ppn, std::list<Ppn>::iterator> index_;
+    Counter touches_, promotions_, evictions_, readmissions_;
+};
+
+} // namespace tmcc
+
+#endif // TMCC_MC_RECENCY_LIST_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Experiment configuration: Table III defaults plus the architecture
+ * selector and workload/scale knobs.
+ */
+
+#ifndef TMCC_SIM_SIM_CONFIG_HH
+#define TMCC_SIM_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/hierarchy.hh"
+#include "compresso/compresso_mc.hh"
+#include "dram/dram_config.hh"
+#include "tmcc/os_mc.hh"
+
+namespace tmcc
+{
+
+/** Which MC architecture to simulate. */
+enum class Arch
+{
+    NoCompression,
+    Compresso,
+    Barebone, //!< OS-inspired without TMCC's two optimizations
+    BarebonePlusMl1, //!< barebone + CTE embedding only (Fig. 20 split)
+    BarebonePlusMl2, //!< barebone + fast Deflate only (Fig. 20 split)
+    Tmcc,     //!< OS-inspired + CTE embedding + fast Deflate
+};
+
+const char *archName(Arch arch);
+
+/** Full experiment description. */
+struct SimConfig
+{
+    std::string workload = "pageRank";
+    double scale = 0.5; //!< workload footprint scale (see factory.cc)
+    unsigned cores = 4;
+    std::uint64_t seed = 1;
+
+    Arch arch = Arch::Tmcc;
+
+    // CPU (Table III): 2.8GHz; cache latencies in CPU cycles.
+    double cpuGhz = 2.8;
+    unsigned l1Cycles = 3;
+    unsigned l2Cycles = 11; //!< additional
+    unsigned l3Cycles = 50; //!< additional
+    double nocToMcNs = 18.0;
+
+    unsigned tlbEntries = 2048;
+    unsigned cteBufferEntries = 64; //!< per-core CTE Buffer (§V-A6)
+    bool hugePages = false;
+
+    /**
+     * 2D (nested) paging for virtual machines (§V-A3, Fig. 12b): the
+     * workload's table becomes a *guest* table in guest-physical
+     * space, and every guest PTB fetch plus the final data access is
+     * translated through a *host* page table.  TMCC's CTE embedding
+     * applies to the host PTBs of every constituent host walk.
+     */
+    bool nestedPaging = false;
+
+    /**
+     * Out-of-order latency overlap: the fraction of a load's
+     * beyond-L1 latency the 4-wide OoO core hides via MLP.  1.0 = fully
+     * blocking in-order.  Applied uniformly, so it compresses relative
+     * gaps the way an OoO core does.
+     */
+    double memOverlapFactor = 2.0;
+
+    HierarchyConfig hierarchy;
+    DramConfig dram;
+    InterleaveConfig interleave;
+
+    CompressoConfig compresso;
+    OsMcConfig osMc;
+
+    /**
+     * DRAM budget for the OS-inspired architectures as a fraction of
+     * the workload footprint (Table IV columns); 0 = match Compresso's
+     * usage (iso-savings, Fig. 17).
+     */
+    double dramBudgetFraction = 0.0;
+
+    // Phase lengths (accesses per core).
+    std::uint64_t placementAccesses = 400'000;
+    std::uint64_t warmAccesses = 300'000;
+    std::uint64_t measureAccesses = 500'000;
+
+    /**
+     * The reach-scaled preset used by the benches: workload footprints
+     * are ~1/400 of the paper's, so every capacity-like structure
+     * (TLB reach, CTE-cache reach, LLC, free-list watermarks) scales by
+     * a similar factor to preserve the reach ratios §III/IV build on:
+     *
+     *   footprint >> TMCC CTE reach = 4x Compresso CTE reach
+     *   Compresso CTE reach ~ TLB reach ~ LLC
+     *
+     * Timing parameters (latencies, DRAM, Deflate ASICs) stay at the
+     * paper's full-scale values: latencies do not scale with capacity.
+     */
+    static SimConfig scaledDefault();
+};
+
+} // namespace tmcc
+
+#endif // TMCC_SIM_SIM_CONFIG_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Aggregated results of one simulation run: everything the paper's
+ * tables and figures consume.
+ */
+
+#ifndef TMCC_SIM_SIM_RESULT_HH
+#define TMCC_SIM_SIM_RESULT_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace tmcc
+{
+
+/** Measured outcomes of one run. */
+struct SimResult
+{
+    // Throughput.
+    std::uint64_t accesses = 0;
+    std::uint64_t storeAccesses = 0;
+    Tick elapsed = 0;
+
+    /** Performance: accesses per nanosecond across all cores. */
+    double
+    accessesPerNs() const
+    {
+        return elapsed ? static_cast<double>(accesses) /
+                             ticksToNs(elapsed)
+                       : 0.0;
+    }
+
+    /** The paper's metric shape: stores per CPU cycle (2.8GHz). */
+    double
+    storesPerCycle() const
+    {
+        return elapsed ? static_cast<double>(storeAccesses) /
+                             (ticksToNs(elapsed) * 2.8)
+                       : 0.0;
+    }
+
+    // Translation behaviour (Figs. 1, 5).
+    std::uint64_t tlbMisses = 0;
+    std::uint64_t tlbHits = 0;
+    std::uint64_t llcMisses = 0;        //!< demand L3 misses
+    std::uint64_t llcWritebacks = 0;
+    std::uint64_t cteHits = 0;
+    std::uint64_t cteMisses = 0;
+    std::uint64_t cteMissesAfterTlbMiss = 0;
+
+    // ML1 access split (Fig. 19).
+    std::uint64_t ml1CteHit = 0;
+    std::uint64_t ml1Parallel = 0;
+    std::uint64_t ml1Mismatch = 0;
+    std::uint64_t ml1Serial = 0;
+
+    // ML2 (Fig. 21).
+    std::uint64_t ml2Accesses = 0;
+
+    // Latency (Fig. 18).
+    double avgL3MissLatencyNs = 0.0;
+
+    // Bandwidth (Fig. 16 / 22).
+    double readBusUtil = 0.0;
+    double writeBusUtil = 0.0;
+
+    // Capacity.
+    std::uint64_t footprintBytes = 0;
+    std::uint64_t dramUsedBytes = 0;
+
+    double
+    compressionRatio() const
+    {
+        return dramUsedBytes
+                   ? static_cast<double>(footprintBytes) /
+                         static_cast<double>(dramUsedBytes)
+                   : 1.0;
+    }
+
+    /** Every component's raw counters. */
+    StatDump stats;
+};
+
+} // namespace tmcc
+
+#endif // TMCC_SIM_SIM_RESULT_HH

@@ -1,0 +1,708 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/log.hh"
+
+namespace tmcc
+{
+
+SimConfig
+SimConfig::scaledDefault()
+{
+    SimConfig cfg;
+    cfg.scale = 0.25;           // graph footprints ~115MB
+    cfg.tlbEntries = 1024;      // reach 4MB
+    cfg.hierarchy.l3Bytes = 2 * 1024 * 1024;
+    // CTE caches keep their Table III sizes; only footprints shrink,
+    // so the reach hierarchy (TMCC 32MB = 4x Compresso 8MB ~ TLB 4MB)
+    // is preserved at a gentler footprint/reach ratio.
+    cfg.compresso.cteCacheBytes = 128 * 1024; // reach 8MB
+    cfg.compresso.llcVictimBytes = 256 * 1024;
+    cfg.osMc.cteCacheBytes = 32 * 1024;       // reach 16MB
+    cfg.osMc.freeListLow = 1000;
+    cfg.osMc.freeListCritical = 750;
+    // The 1% Recency List sampling of §IV-B assumes ML1 >> hot set so
+    // stale ordering is harmless; with reaches scaled down ~400x the
+    // sampling rate scales up to keep the ordering quality comparable.
+    cfg.osMc.recencySampleP = 0.10;
+    cfg.placementAccesses = 300'000;
+    cfg.warmAccesses = 200'000;
+    cfg.measureAccesses = 300'000;
+    return cfg;
+}
+
+Ppn
+System::dataFrame(Ppn ppn) const
+{
+    if (!cfg_.nestedPaging)
+        return ppn;
+    const WalkResult w = hostTable_->walk(ppn << pageShift);
+    panicIf(!w.valid, "unmapped guest frame in nested mode");
+    return w.ppn;
+}
+
+const char *
+archName(Arch arch)
+{
+    switch (arch) {
+      case Arch::NoCompression: return "no-compression";
+      case Arch::Compresso: return "compresso";
+      case Arch::Barebone: return "os-inspired-barebone";
+      case Arch::BarebonePlusMl1: return "barebone+ml1opt";
+      case Arch::BarebonePlusMl2: return "barebone+ml2opt";
+      case Arch::Tmcc: return "tmcc";
+    }
+    return "?";
+}
+
+System::System(const SimConfig &cfg) : cfg_(cfg)
+{
+    cpuPeriod_ = nsToTicks(1.0 / cfg.cpuGhz);
+
+    buildWorkloads();
+
+    // Physical memory: footprint + page tables + allocator slack.  With
+    // hardware compression the OS may boot with more physical pages
+    // than DRAM (§V-A5); the MC maps them onto DRAM.
+    std::uint64_t footprint_pages = 0;
+    // Regions may be shared across cores; dedupe by base address.
+    std::unordered_map<Addr, const WlRegion *> regions;
+    for (const auto &wl : workloads_)
+        for (const auto &r : wl->regions())
+            regions.emplace(r.base, &r);
+    for (const auto &[base, r] : regions)
+        footprint_pages += r->bytes / pageSize;
+    footprintBytes_ = footprint_pages * pageSize;
+
+    if (cfg_.nestedPaging) {
+        // Guest table lives in its own guest-physical space; the host
+        // table (and every host frame) lives in physMem_.
+        guestPhysMem_ =
+            std::make_unique<PhysMem>(footprint_pages * 5 / 4 + 8192);
+        physMem_ =
+            std::make_unique<PhysMem>(footprint_pages * 3 / 2 + 16384);
+        pageTable_ = std::make_unique<PageTable>(*guestPhysMem_);
+        hostTable_ = std::make_unique<PageTable>(*physMem_);
+    } else {
+        physMem_ =
+            std::make_unique<PhysMem>(footprint_pages * 5 / 4 + 8192);
+        pageTable_ = std::make_unique<PageTable>(*physMem_);
+    }
+    hierarchy_ = std::make_unique<Hierarchy>(cfg.hierarchy, cfg.cores);
+    dram_ = std::make_unique<DramSystem>(cfg.dram, cfg.interleave);
+
+    mapAddressSpace();
+
+    if (cfg_.nestedPaging) {
+        // Host-map every guest frame (guest PT pages included), then
+        // attach content profiles to the *host* frames, which are what
+        // the MC architectures see.
+        PteFlags hf;
+        hf.accessed = true;
+        hf.dirty = true;
+        for (Ppn gppn = 1; gppn < guestPhysMem_->allocatedPages() + 1;
+             ++gppn) {
+            const Ppn hppn = physMem_->allocFrame();
+            hostTable_->map(gppn, hppn, hf);
+        }
+        for (const auto &[base, r] : regions) {
+            const unsigned mix_id = regionMix_.at(base);
+            for (std::uint64_t i = 0; i < r->bytes / pageSize; ++i) {
+                const WalkResult w =
+                    pageTable_->walk(r->base + i * pageSize);
+                if (w.valid)
+                    profiles_.assignPage(dataFrame(w.ppn), mix_id);
+            }
+        }
+    }
+
+    // Estimate Compresso's DRAM usage from the profiles to support the
+    // iso-savings configuration (Fig. 17).
+    std::uint64_t compresso_usage = 0;
+    std::uint64_t ml2_cost_total = 0;
+    std::uint64_t incompressible_pages = 0;
+    std::uint64_t compressible_pages = 0;
+    for (const auto &[base, r] : regions) {
+        const std::uint64_t pages = r->bytes / pageSize;
+        for (std::uint64_t i = 0; i < pages; ++i) {
+            const Vpn vpn = pageNumber(r->base) + i;
+            const WalkResult w = pageTable_->walk(vpn << pageShift);
+            if (!w.valid)
+                continue;
+            const Ppn frame = dataFrame(w.ppn);
+            const PageProfile &prof = profiles_.profile(frame);
+            const std::uint64_t chunks =
+                std::max<std::uint64_t>(1, (prof.blockBytes + 511) / 512);
+            compresso_usage += chunks * 512;
+            // ML2 cost of this page: its sub-chunk class size, or a
+            // full frame if it cannot compress at all.
+            const unsigned cls =
+                Ml2FreeLists::classFor(prof.deflateBytes);
+            if (prof.deflateIncompressible() ||
+                cls >= subChunkClasses.size()) {
+                ++incompressible_pages;
+            } else {
+                ml2_cost_total += subChunkClasses[cls].bytes;
+                ++compressible_pages;
+            }
+        }
+    }
+
+    // Build the selected MC architecture.
+    switch (cfg_.arch) {
+      case Arch::NoCompression: {
+        auto mc = std::make_unique<NoCompressionMc>(*dram_);
+        mc->setUsedBytes(footprintBytes_);
+        mc_ = std::move(mc);
+        break;
+      }
+      case Arch::Compresso: {
+        auto mc = std::make_unique<CompressoMc>(*dram_, profiles_,
+                                                cfg_.compresso);
+        compressoMc_ = mc.get();
+        mc_ = std::move(mc);
+        break;
+      }
+      default: {
+        OsMcConfig oc = cfg_.osMc;
+        oc.embedCtes = cfg_.arch == Arch::Tmcc ||
+                       cfg_.arch == Arch::BarebonePlusMl1;
+        oc.fastDeflate = cfg_.arch == Arch::Tmcc ||
+                         cfg_.arch == Arch::BarebonePlusMl2;
+        // Target total usage: either an explicit fraction of the
+        // footprint (Table IV sweeps) or Compresso's usage (Fig. 17's
+        // iso-savings comparison).
+        const std::uint64_t target_usage =
+            cfg_.dramBudgetFraction > 0.0
+                ? static_cast<std::uint64_t>(cfg_.dramBudgetFraction *
+                                             footprintBytes_)
+                : compresso_usage;
+        // Usage decomposes as (I + ml1)*4K + (Fc - ml1)*avgMl2Cost,
+        // where I pages are incompressible (pinned to ML1) and Fc are
+        // compressible; solve for the compressible ML1 share.
+        const double avg_ml2 =
+            compressible_pages
+                ? static_cast<double>(ml2_cost_total) /
+                      static_cast<double>(compressible_pages)
+                : static_cast<double>(pageSize);
+        double ml1_pages =
+            (static_cast<double>(target_usage) -
+             static_cast<double>(incompressible_pages) * pageSize -
+             static_cast<double>(compressible_pages) * avg_ml2) /
+            (static_cast<double>(pageSize) - avg_ml2);
+        ml1_pages = std::clamp(ml1_pages, 0.0,
+                               static_cast<double>(compressible_pages));
+        // The seeded frame pool must fund ML1 pages AND the chunks ML2
+        // carves out of the ML1 free list, i.e. the whole target usage,
+        // plus page tables and the free-list floor (kept free).
+        oc.ml1TargetPages = static_cast<std::uint64_t>(ml1_pages) +
+                            incompressible_pages +
+                            physMem_->pageTablePages();
+        oc.dramBudgetBytes = target_usage +
+                             physMem_->pageTablePages() * pageSize +
+                             (oc.freeListLow + 512) * pageSize;
+        auto mc = std::make_unique<OsInspiredMc>(*dram_, profiles_,
+                                                 *physMem_, oc);
+        osMc_ = mc.get();
+        mc_ = std::move(mc);
+        break;
+      }
+    }
+
+    tlbs_.clear();
+    walkers_.clear();
+    cteBuffers_.clear();
+    cores_.assign(cfg_.cores, CoreState{});
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        tlbs_.push_back(std::make_unique<Tlb>(cfg_.tlbEntries));
+        walkers_.push_back(std::make_unique<Walker>(*pageTable_));
+        cteBuffers_.push_back(
+            std::make_unique<CteBuffer>(cfg_.cteBufferEntries));
+        if (cfg_.nestedPaging)
+            hostWalkers_.push_back(
+                std::make_unique<Walker>(*hostTable_));
+    }
+}
+
+void
+System::buildWorkloads()
+{
+    for (unsigned c = 0; c < cfg_.cores; ++c)
+        workloads_.push_back(makeWorkload(cfg_.workload, c, cfg_.cores,
+                                          cfg_.scale, cfg_.seed));
+}
+
+void
+System::mapAddressSpace()
+{
+    // One mix per distinct content spec.
+    std::vector<std::pair<ContentSpec, unsigned>> mixes;
+    auto mix_for = [&](const ContentSpec &spec) {
+        for (const auto &[s, id] : mixes)
+            if (s == spec)
+                return id;
+        ContentMix mix;
+        mix.parts.push_back({spec, 1.0});
+        const unsigned id = profiles_.registerMix(mix);
+        mixes.emplace_back(spec, id);
+        return id;
+    };
+
+    Rng rng(cfg_.seed ^ 0xabcd);
+    std::unordered_map<Addr, const WlRegion *> regions;
+    for (const auto &wl : workloads_)
+        for (const auto &r : wl->regions())
+            regions.emplace(r.base, &r);
+
+    for (const auto &[base, r] : regions) {
+        const unsigned mix_id = mix_for(r->content);
+        regionMix_[base] = mix_id;
+        const std::uint64_t pages = r->bytes / pageSize;
+        if (cfg_.hugePages) {
+            const std::uint64_t huge_pages =
+                (r->bytes + hugePageSize - 1) / hugePageSize;
+            for (std::uint64_t h = 0; h < huge_pages; ++h) {
+                const Vpn vpn_base = pageNumber(r->base) +
+                                     h * (hugePageSize / pageSize);
+                const Ppn ppn_base = physMem_->allocHugeFrame();
+                PteFlags f;
+                f.accessed = true;
+                f.dirty = true;
+                pageTable_->mapHuge(vpn_base, ppn_base, f);
+                for (std::uint64_t i = 0;
+                     i < hugePageSize / pageSize; ++i)
+                    profiles_.assignPage(ppn_base + i, mix_id);
+            }
+            continue;
+        }
+        for (std::uint64_t i = 0; i < pages; ++i) {
+            const Vpn vpn = pageNumber(r->base) + i;
+            PhysMem &pm =
+                cfg_.nestedPaging ? *guestPhysMem_ : *physMem_;
+            const Ppn ppn = pm.allocFrame();
+            PteFlags f;
+            f.accessed = true;
+            // After the fast-forward phase nearly every data page has
+            // been written; a tiny fraction of stragglers makes the
+            // Fig. 6 status-bit uniformity realistic rather than exact.
+            f.dirty = !rng.chance(0.0006);
+            pageTable_->map(vpn, ppn, f);
+            if (!cfg_.nestedPaging)
+                profiles_.assignPage(ppn, mix_id);
+            // Nested mode: host frames do not exist yet; profiles are
+            // attached after the host mapping (see the constructor).
+        }
+    }
+}
+
+void
+System::warmPlacement()
+{
+    // Touch-count run: the stand-in for gem5's KVM fast forward.  The
+    // counts order pages hottest-first for initial ML1/ML2 placement.
+    std::unordered_map<Vpn, std::uint32_t> touches;
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        for (std::uint64_t i = 0; i < cfg_.placementAccesses; ++i) {
+            const MemAccess a = workloads_[c]->next();
+            ++touches[pageNumber(a.vaddr)];
+        }
+    }
+
+    if (osMc_ == nullptr && compressoMc_ == nullptr)
+        return;
+
+    // Page-table pages are the hottest of all (every walk touches
+    // them): place first.
+    std::vector<Ppn> pt_pages;
+    physMem_->forEachPtPage(
+        [&](Ppn ppn, const PtPage &) { pt_pages.push_back(ppn); });
+
+    std::vector<std::pair<std::uint32_t, Vpn>> order;
+    order.reserve(touches.size());
+    for (const auto &[vpn, count] : touches)
+        order.emplace_back(count, vpn);
+    std::sort(order.begin(), order.end(),
+              [](const auto &a, const auto &b) { return a.first > b.first; });
+
+    if (osMc_ != nullptr) {
+        for (Ppn pt : pt_pages)
+            osMc_->placePage(pt);
+        for (const auto &[count, vpn] : order) {
+            const WalkResult w = pageTable_->walk(vpn << pageShift);
+            if (w.valid)
+                osMc_->placePage(dataFrame(w.ppn));
+        }
+        // Remaining (untouched) pages are the coldest.
+        std::unordered_map<Addr, const WlRegion *> regions;
+        for (const auto &wl : workloads_)
+            for (const auto &r : wl->regions())
+                regions.emplace(r.base, &r);
+        for (const auto &[base, r] : regions) {
+            for (std::uint64_t i = 0; i < r->bytes / pageSize; ++i) {
+                const WalkResult w =
+                    pageTable_->walk(r->base + i * pageSize);
+                if (w.valid)
+                    osMc_->placePage(dataFrame(w.ppn));
+            }
+        }
+    }
+    if (compressoMc_ != nullptr) {
+        for (Ppn pt : pt_pages)
+            compressoMc_->registerPage(pt);
+        std::unordered_map<Addr, const WlRegion *> regions;
+        for (const auto &wl : workloads_)
+            for (const auto &r : wl->regions())
+                regions.emplace(r.base, &r);
+        for (const auto &[base, r] : regions) {
+            for (std::uint64_t i = 0; i < r->bytes / pageSize; ++i) {
+                const WalkResult w =
+                    pageTable_->walk(r->base + i * pageSize);
+                if (w.valid)
+                    compressoMc_->registerPage(dataFrame(w.ppn));
+            }
+        }
+    }
+}
+
+void
+System::collectPtbCtes(unsigned core, Addr ptb_addr)
+{
+    if (osMc_ == nullptr || !cfg_.osMc.embedCtes)
+        return;
+    if (cfg_.arch != Arch::Tmcc && cfg_.arch != Arch::BarebonePlusMl1)
+        return;
+    const OsInspiredMc::PtbView view = osMc_->ptbView(ptb_addr);
+    if (!view.compressed)
+        return;
+    hierarchy_->l2(core).setCompressed(ptb_addr, true);
+    for (unsigned i = 0; i < ptesPerPtb; ++i) {
+        if (!view.present[i])
+            continue;
+        cteBuffers_[core]->insert(view.ppns[i], view.hasCte[i],
+                                  view.cte[i], ptb_addr);
+    }
+}
+
+void
+System::handleMcResponse(unsigned core, Addr paddr,
+                         const McReadResponse &resp, bool from_walker,
+                         bool after_tlb_miss, bool measuring)
+{
+    // Piggybacked correct CTE: refresh the CTE buffer and lazily patch
+    // the PTB in L2 when the stored embedded CTE was stale (§V-A3).
+    if (resp.hasCorrectCte && osMc_ != nullptr) {
+        const Addr stale_ptb = cteBuffers_[core]->updateOnResponse(
+            pageNumber(paddr), resp.correctCte);
+        if (stale_ptb != invalidAddr) {
+            osMc_->lazyUpdatePtb(stale_ptb, pageNumber(paddr),
+                                 resp.correctCte);
+            hierarchy_->touchL2Dirty(core, stale_ptb);
+        }
+    }
+
+    if (!measuring)
+        return;
+    ++result_.llcMisses;
+    if (cfg_.arch != Arch::NoCompression) {
+        if (resp.cteCacheHit)
+            ++result_.cteHits;
+        else
+            ++result_.cteMisses;
+        if (!resp.cteCacheHit && after_tlb_miss)
+            ++result_.cteMissesAfterTlbMiss;
+    }
+    if (resp.hitMl2) {
+        ++result_.ml2Accesses;
+    } else {
+        if (resp.cteCacheHit)
+            ++result_.ml1CteHit;
+        else if (resp.parallelAccess)
+            ++result_.ml1Parallel;
+        else if (resp.embeddedMismatch)
+            ++result_.ml1Mismatch;
+        else
+            ++result_.ml1Serial;
+    }
+    (void)from_walker;
+}
+
+Tick
+System::memoryAccess(unsigned core, Addr paddr, bool is_write,
+                     bool from_walker, Tick start, bool after_tlb_miss,
+                     bool measuring)
+{
+    AccessOutcome out =
+        hierarchy_->access(core, paddr, is_write, from_walker);
+
+    const Tick l1 = cfg_.l1Cycles * cpuPeriod_;
+    const Tick l2 = cfg_.l2Cycles * cpuPeriod_;
+    const Tick l3 = cfg_.l3Cycles * cpuPeriod_;
+    const Tick noc = nsToTicks(cfg_.nocToMcNs);
+
+    Tick done = start;
+    switch (out.level) {
+      case HitLevel::L1:
+        done = start + l1;
+        break;
+      case HitLevel::L2:
+        done = start + l1 + l2;
+        break;
+      case HitLevel::L3:
+        done = start + l1 + l2 + l3;
+        break;
+      case HitLevel::Memory: {
+        McReadRequest req;
+        req.core = core;
+        req.paddr = paddr;
+        req.when = start + l1 + l2 + l3 + noc;
+        req.fromWalker = from_walker;
+        if (osMc_ != nullptr &&
+            (cfg_.arch == Arch::Tmcc ||
+             cfg_.arch == Arch::BarebonePlusMl1)) {
+            const CteBuffer::Entry *e =
+                cteBuffers_[core]->lookup(pageNumber(paddr));
+            if (e != nullptr && e->hasCte) {
+                req.hasEmbeddedCte = true;
+                req.embeddedCte = e->cte;
+            }
+        }
+        const McReadResponse resp = mc_->read(req);
+        // Fig. 18 convention: the 53ns no-compression miss latency is
+        // one NoC traversal plus the DRAM access; the return path is
+        // folded into the DRAM/NoC figure.
+        done = resp.complete;
+        if (measuring)
+            l3MissLatency_.sample(
+                ticksToNs(done - (start + l1 + l2 + l3)));
+
+        handleMcResponse(core, paddr, resp, from_walker,
+                         after_tlb_miss, measuring);
+
+        const AccessOutcome fill = hierarchy_->fill(
+            core, paddr, is_write, resp.fillCompressedPtb, from_walker);
+        for (const CacheLine &wb : fill.memWritebacks) {
+            mc_->writeback(wb.addr, done, wb.compressed);
+            if (measuring)
+                ++result_.llcWritebacks;
+        }
+        break;
+      }
+    }
+
+    // Writebacks surfaced by promotions/evictions on the hit path.
+    for (const CacheLine &wb : out.memWritebacks) {
+        mc_->writeback(wb.addr, done, wb.compressed);
+        if (measuring)
+            ++result_.llcWritebacks;
+    }
+
+    // Walker fetch of a (possibly compressed) PTB: harvest embedded
+    // CTEs into this core's CTE buffer.
+    if (from_walker)
+        collectPtbCtes(core, blockAlign(paddr));
+
+    // Prefetch proposals: background fills that stay within the page.
+    for (Addr pf : out.prefetches) {
+        if (pageNumber(pf) != pageNumber(paddr))
+            continue;
+        std::vector<CacheLine> wbs;
+        if (hierarchy_->prefetchLookup(core, pf, wbs)) {
+            McReadRequest req;
+            req.core = core;
+            req.paddr = pf;
+            req.when = start + l1 + l2 + l3 + noc;
+            req.background = true;
+            const McReadResponse resp = mc_->read(req);
+            handleMcResponse(core, pf, resp, false, false, false);
+            const AccessOutcome fill =
+                hierarchy_->fill(core, pf, false, false, false);
+            for (const CacheLine &wb : fill.memWritebacks)
+                mc_->writeback(wb.addr, resp.complete, wb.compressed);
+        }
+        for (const CacheLine &wb : wbs)
+            mc_->writeback(wb.addr, done, wb.compressed);
+    }
+
+    return done;
+}
+
+Addr
+System::hostTranslate(unsigned core, Addr gpa, Tick &t, bool measuring)
+{
+    // A constituent host walk of the 2D walk (Fig. 12b): fetch the
+    // host PTBs through the hierarchy; host PTBs are real PT pages, so
+    // TMCC's embedded CTEs accelerate these fetches like any walk.
+    const WalkPlan plan = hostWalkers_[core]->plan(gpa);
+    panicIf(!plan.valid, "host page fault in nested walk");
+    for (const WalkStep &step : plan.fetches)
+        t = memoryAccess(core, step.ptbAddr, false, true, t, true,
+                         measuring);
+    return (plan.ppn << pageShift) | (gpa & (pageSize - 1));
+}
+
+Tick
+System::pageWalk(unsigned core, Addr vaddr, Tick start, Ppn &ppn,
+                 bool measuring)
+{
+    const WalkPlan plan = walkers_[core]->plan(vaddr);
+    panicIf(!plan.valid, "page fault: unmapped address in workload");
+
+    Tick t = start + cpuPeriod_; // walker dispatch
+    if (cfg_.nestedPaging) {
+        // 2D walk: every guest PTB address is guest-physical and must
+        // itself be host-translated before the fetch.
+        for (const WalkStep &step : plan.fetches) {
+            const Addr host_ptb =
+                hostTranslate(core, step.ptbAddr, t, measuring);
+            t = memoryAccess(core, host_ptb, false, true, t, true,
+                             measuring);
+        }
+        // Final guest ppn -> host frame for the data access.
+        const Addr host_data =
+            hostTranslate(core, plan.ppn << pageShift, t, measuring);
+        ppn = pageNumber(host_data);
+        tlbs_[core]->insert(pageNumber(vaddr), ppn);
+        return t;
+    }
+    for (const WalkStep &step : plan.fetches)
+        t = memoryAccess(core, step.ptbAddr, false, true, t, true,
+                         measuring);
+
+    ppn = plan.ppn;
+    if (plan.huge) {
+        const Ppn base = plan.ppn & ~((hugePageSize / pageSize) - 1);
+        tlbs_[core]->insertHuge(
+            pageNumber(vaddr) & ~((hugePageSize / pageSize) - 1), base);
+    } else {
+        tlbs_[core]->insert(pageNumber(vaddr), plan.ppn);
+    }
+    return t;
+}
+
+void
+System::step(unsigned core, bool measuring)
+{
+    CoreState &cs = cores_[core];
+    const MemAccess a = workloads_[core]->next();
+    Tick t = cs.now + a.thinkCycles * cpuPeriod_;
+
+    Ppn ppn = 0;
+    bool tlb_miss = false;
+    if (!tlbs_[core]->lookup(a.vaddr, ppn)) {
+        tlb_miss = true;
+        if (measuring)
+            ++result_.tlbMisses;
+        t = pageWalk(core, a.vaddr, t, ppn, measuring);
+        pageTable_->setAccessedDirty(a.vaddr, a.isWrite);
+    } else if (measuring) {
+        ++result_.tlbHits;
+    }
+
+    const Addr paddr = (ppn << pageShift) | (a.vaddr & (pageSize - 1));
+    const Tick done = memoryAccess(core, paddr, a.isWrite, false, t,
+                                   tlb_miss, measuring);
+
+    // Stores retire through a finite store buffer: the core does not
+    // wait for the fill unless every buffer slot is still in flight
+    // (which throttles open-loop write streams to what the memory
+    // system can absorb).  Loads block (in-order core model).
+    const Tick l1 = cfg_.l1Cycles * cpuPeriod_;
+    if (a.isWrite) {
+        auto slot = std::min_element(cs.storeSlots.begin(),
+                                     cs.storeSlots.end());
+        const Tick issue = std::max(t, *slot);
+        *slot = std::max(done, issue);
+        cs.now = issue + l1;
+    } else if (done > t + l1) {
+        // OoO overlap: part of the beyond-L1 stall is hidden by MLP.
+        cs.now = t + l1 +
+                 static_cast<Tick>(
+                     static_cast<double>(done - t - l1) /
+                     cfg_.memOverlapFactor);
+    } else {
+        cs.now = done;
+    }
+    ++cs.accesses;
+    if (measuring) {
+        ++result_.accesses;
+        if (a.isWrite)
+            ++result_.storeAccesses;
+    }
+}
+
+SimResult
+System::run()
+{
+    warmPlacement();
+
+    // Cache/TLB/ML warm-up window.
+    for (unsigned c = 0; c < cfg_.cores; ++c)
+        cores_[c] = CoreState{};
+    std::uint64_t warm_target = cfg_.warmAccesses;
+    for (std::uint64_t i = 0; i < warm_target; ++i)
+        for (unsigned c = 0; c < cfg_.cores; ++c)
+            step(c, false);
+
+    // Measured window.
+    measureStart_ = 0;
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        measureStart_ = std::max(measureStart_, cores_[c].now);
+        cores_[c].accesses = 0;
+    }
+    for (unsigned c = 0; c < cfg_.cores; ++c)
+        cores_[c].now = measureStart_;
+    busReadsAtStart_ = dram_->busBusyReads();
+    busWritesAtStart_ = dram_->busBusyWrites();
+
+    // Interleave cores by local time.
+    bool running = true;
+    while (running) {
+        unsigned next = 0;
+        for (unsigned c = 1; c < cfg_.cores; ++c)
+            if (cores_[c].now < cores_[next].now)
+                next = c;
+        step(next, true);
+        running = false;
+        for (unsigned c = 0; c < cfg_.cores; ++c)
+            if (cores_[c].accesses < cfg_.measureAccesses)
+                running = true;
+    }
+
+    Tick end = 0;
+    for (unsigned c = 0; c < cfg_.cores; ++c)
+        end = std::max(end, cores_[c].now);
+    mc_->drain(end);
+
+    result_.elapsed = end - measureStart_;
+    result_.footprintBytes = footprintBytes_;
+    result_.dramUsedBytes = mc_->dramUsedBytes();
+    result_.avgL3MissLatencyNs = l3MissLatency_.mean();
+    const Tick window = result_.elapsed * cfg_.cores > 0
+                            ? result_.elapsed
+                            : Tick{1};
+    result_.readBusUtil =
+        static_cast<double>(dram_->busBusyReads() - busReadsAtStart_) /
+        static_cast<double>(window);
+    result_.writeBusUtil =
+        static_cast<double>(dram_->busBusyWrites() - busWritesAtStart_) /
+        static_cast<double>(window);
+
+    // Raw component counters.
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        tlbs_[c]->dumpStats(result_.stats,
+                            "core" + std::to_string(c) + ".tlb");
+        walkers_[c]->dumpStats(result_.stats,
+                               "core" + std::to_string(c) + ".walker");
+        cteBuffers_[c]->dumpStats(
+            result_.stats, "core" + std::to_string(c) + ".cte_buffer");
+    }
+    hierarchy_->dumpStats(result_.stats, "hier");
+    dram_->dumpStats(result_.stats, "dram");
+    mc_->dumpStats(result_.stats, "mc");
+
+    return result_;
+}
+
+} // namespace tmcc

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The assembled simulated system (§VI): cores with TLBs and page
+ * walkers, the cache hierarchy, one of the MC architectures, and the
+ * DRAM back end, driven by workload engines.
+ *
+ * The run proceeds in the paper's phases: map the address space, warm
+ * placement (touch-count ordering stands in for the KVM fast-forward),
+ * ML1/ML2 + cache/TLB warm-up, then a measured window.
+ */
+
+#ifndef TMCC_SIM_SYSTEM_HH
+#define TMCC_SIM_SYSTEM_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "compresso/compresso_mc.hh"
+#include "dram/dram_system.hh"
+#include "mc/mem_controller.hh"
+#include "sim/sim_config.hh"
+#include "sim/sim_result.hh"
+#include "tmcc/cte_buffer.hh"
+#include "tmcc/os_mc.hh"
+#include "vm/page_table.hh"
+#include "vm/phys_mem.hh"
+#include "vm/tlb.hh"
+#include "vm/walker.hh"
+#include "workloads/profile_library.hh"
+#include "workloads/workload.hh"
+
+namespace tmcc
+{
+
+/** One simulated machine + workload. */
+class System
+{
+  public:
+    explicit System(const SimConfig &cfg);
+
+    /** Run all phases; returns the measured-window results. */
+    SimResult run();
+
+    // Component access for tests and benches.
+    PhysMem &physMem() { return *physMem_; }
+    PageTable &pageTable() { return *pageTable_; }
+    Hierarchy &hierarchy() { return *hierarchy_; }
+    DramSystem &dram() { return *dram_; }
+    MemController &mc() { return *mc_; }
+    OsInspiredMc *osMc() { return osMc_; }
+    CompressoMc *compressoMc() { return compressoMc_; }
+    ProfileLibrary &profiles() { return profiles_; }
+    Tlb &tlb(unsigned core) { return *tlbs_[core]; }
+    const SimConfig &config() const { return cfg_; }
+    std::uint64_t footprintBytes() const { return footprintBytes_; }
+
+  private:
+    struct CoreState
+    {
+        Tick now = 0;
+        std::uint64_t accesses = 0;
+        /** Store-buffer slots: completion times of in-flight stores. */
+        std::vector<Tick> storeSlots = std::vector<Tick>(16, 0);
+    };
+
+    void buildWorkloads();
+    void mapAddressSpace();
+    void warmPlacement();
+
+    /** Host frame backing a (possibly guest) page number. */
+    Ppn dataFrame(Ppn ppn) const;
+
+    /** Process one access from `core`; returns latency charged. */
+    void step(unsigned core, bool measuring);
+
+    /**
+     * Perform a full cache/memory access for `paddr`.  Returns the
+     * completion tick.  Walker accesses start at L2 and may fill the
+     * core's CTE buffer from compressed PTBs.
+     */
+    Tick memoryAccess(unsigned core, Addr paddr, bool is_write,
+                      bool from_walker, Tick start, bool after_tlb_miss,
+                      bool measuring);
+
+    /** TLB miss path: page walk with PTB fetches. */
+    Tick pageWalk(unsigned core, Addr vaddr, Tick start, Ppn &ppn,
+                  bool measuring);
+
+    /**
+     * Nested paging: translate a guest-physical address through the
+     * host table, fetching the host PTBs (a constituent host walk of
+     * the 2D walk); returns the host-physical address.
+     */
+    Addr hostTranslate(unsigned core, Addr gpa, Tick &t,
+                       bool measuring);
+
+    void handleMcResponse(unsigned core, Addr paddr,
+                          const McReadResponse &resp, bool from_walker,
+                          bool after_tlb_miss, bool measuring);
+
+    void collectPtbCtes(unsigned core, Addr ptb_addr);
+
+    SimConfig cfg_;
+    Tick cpuPeriod_;
+
+    std::unique_ptr<PhysMem> physMem_;
+    std::unique_ptr<PageTable> pageTable_;
+
+    // Nested paging (§V-A3): the workload table above becomes the
+    // guest table (built in guestPhysMem_); hostTable_ lives in
+    // physMem_ and maps guest-physical frames to host frames.
+    std::unique_ptr<PhysMem> guestPhysMem_;
+    std::unique_ptr<PageTable> hostTable_;
+    std::vector<std::unique_ptr<Walker>> hostWalkers_;
+    std::unique_ptr<Hierarchy> hierarchy_;
+    std::unique_ptr<DramSystem> dram_;
+    ProfileLibrary profiles_;
+
+    std::unique_ptr<MemController> mc_;
+    OsInspiredMc *osMc_ = nullptr;       //!< set when arch is OS-based
+    CompressoMc *compressoMc_ = nullptr; //!< set when arch is Compresso
+
+    std::vector<std::unique_ptr<Workload>> workloads_;
+    std::vector<std::unique_ptr<Tlb>> tlbs_;
+    std::vector<std::unique_ptr<Walker>> walkers_;
+    std::vector<std::unique_ptr<CteBuffer>> cteBuffers_;
+    std::vector<CoreState> cores_;
+
+    std::uint64_t footprintBytes_ = 0;
+    std::unordered_map<Addr, unsigned> regionMix_; //!< base -> mix id
+
+    // Measured-window accumulators.
+    SimResult result_;
+    Average l3MissLatency_;
+    Tick measureStart_ = 0;
+    Tick busReadsAtStart_ = 0, busWritesAtStart_ = 0;
+};
+
+} // namespace tmcc
+
+#endif // TMCC_SIM_SYSTEM_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The per-core CTE Buffer of §V-A3 / Fig. 10: a 64-entry table in L2,
+ * keyed by PPN, filled with the CTEs embedded in every compressed PTB
+ * the page walker fetches.  When L2 later sees an access whose PPN hits
+ * the buffer, the embedded CTE is piggybacked toward the MC so the MC
+ * can fetch data and the real CTE from DRAM in parallel.  Responses
+ * carry the correct CTE back; a mismatch triggers the lazy PTB update
+ * at the recorded PTB physical address.
+ */
+
+#ifndef TMCC_TMCC_CTE_BUFFER_HH
+#define TMCC_TMCC_CTE_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace tmcc
+{
+
+/** One CTE Buffer (64 entries, ~1KB total; §V-A6). */
+class CteBuffer : public Stated
+{
+  public:
+    explicit CteBuffer(unsigned entries = 64);
+
+    struct Entry
+    {
+        Ppn ppn = 0;
+        bool hasCte = false;        //!< some PTB slots carry no CTE
+        std::uint64_t cte = 0;      //!< truncated embedded CTE
+        Addr ptbAddr = invalidAddr; //!< PTB holding the (stale?) CTE
+        bool valid = false;
+        std::uint64_t lru = 0;
+    };
+
+    /** Insert one key-value pair from a fetched compressed PTB. */
+    void insert(Ppn ppn, bool has_cte, std::uint64_t cte, Addr ptb_addr);
+
+    /** Look up by PPN; nullptr on miss. */
+    const Entry *lookup(Ppn ppn);
+
+    /**
+     * Response handling (§V-A3): store the correct CTE into the entry;
+     * returns the PTB address to lazily update if the entry existed and
+     * its CTE was missing or mismatched, else invalidAddr.
+     */
+    Addr updateOnResponse(Ppn ppn, std::uint64_t correct_cte);
+
+    void flush();
+
+    void dumpStats(StatDump &dump,
+                   const std::string &prefix) const override;
+
+  private:
+    Entry *find(Ppn ppn);
+
+    std::vector<Entry> entries_;
+    std::uint64_t lruClock_ = 0;
+    Counter inserts_, hits_, misses_, staleUpdates_;
+};
+
+} // namespace tmcc
+
+#endif // TMCC_TMCC_CTE_BUFFER_HH

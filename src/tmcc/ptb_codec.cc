@@ -1,0 +1,42 @@
+#include "tmcc/ptb_codec.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+
+namespace tmcc
+{
+
+PtbCodec::PtbCodec(const PtbCodecConfig &cfg) : cfg_(cfg)
+{
+    cteBits_ = bitsFor(cfg.managedDramBytes / pageSize);
+    ppnBits_ = bitsFor(cfg.physPages);
+
+    // Freed space when a PTB compresses (Fig. 7c): seven copies of the
+    // 24 status bits plus eight truncated PPN prefixes.
+    const unsigned status_saved = 24 * (ptesPerPtb - 1);
+    const unsigned ppn_saved =
+        (40 - std::min(40u, ppnBits_)) * ptesPerPtb;
+    maxSlots_ = std::min<unsigned>(
+        ptesPerPtb, (status_saved + ppn_saved) / cteBits_);
+}
+
+PtbAnalysis
+PtbCodec::analyze(const std::uint64_t *ptes) const
+{
+    PtbAnalysis a;
+    a.statusBits = pteStatusBits(ptes[0]);
+    for (unsigned i = 1; i < ptesPerPtb; ++i) {
+        if (pteStatusBits(ptes[i]) != a.statusBits)
+            return a; // not compressible
+    }
+    a.compressible = true;
+    const unsigned status_saved = 24 * (ptesPerPtb - 1);
+    const unsigned ppn_saved =
+        (40 - std::min(40u, ppnBits_)) * ptesPerPtb;
+    a.freedBits = status_saved + ppn_saved;
+    a.cteSlots = maxSlots_;
+    return a;
+}
+
+} // namespace tmcc

@@ -1,0 +1,99 @@
+#include "vm/phys_mem.hh"
+
+#include "common/log.hh"
+
+namespace tmcc
+{
+
+PhysMem::PhysMem(std::uint64_t total_pages) : totalPages_(total_pages)
+{
+    fatalIf(total_pages < 8, "physical memory unreasonably small");
+}
+
+Ppn
+PhysMem::allocFrame()
+{
+    allocated_.inc();
+    if (!freeList_.empty()) {
+        const Ppn ppn = freeList_.back();
+        freeList_.pop_back();
+        return ppn;
+    }
+    fatalIf(nextFrame_ >= totalPages_, "out of physical memory");
+    return nextFrame_++;
+}
+
+Ppn
+PhysMem::allocHugeFrame()
+{
+    constexpr std::uint64_t frames = hugePageSize / pageSize;
+    // Bump-allocate an aligned run; holes before the alignment boundary
+    // go back to the free list.
+    std::uint64_t start = (nextFrame_ + frames - 1) & ~(frames - 1);
+    fatalIf(start + frames > totalPages_,
+            "out of physical memory for huge page");
+    for (std::uint64_t p = nextFrame_; p < start; ++p)
+        freeList_.push_back(p);
+    nextFrame_ = start + frames;
+    allocated_.inc(frames);
+    return start;
+}
+
+void
+PhysMem::freeFrame(Ppn ppn)
+{
+    freed_.inc();
+    ptPages_.erase(ppn);
+    freeList_.push_back(ppn);
+}
+
+Ppn
+PhysMem::allocPageTablePage()
+{
+    const Ppn ppn = allocFrame();
+    ptPages_[ppn] = PtPage{}; // zero-filled: all entries not-present
+    return ppn;
+}
+
+PtPage &
+PhysMem::ptPage(Ppn ppn)
+{
+    auto it = ptPages_.find(ppn);
+    panicIf(it == ptPages_.end(), "not a page-table page");
+    return it->second;
+}
+
+const PtPage &
+PhysMem::ptPage(Ppn ppn) const
+{
+    auto it = ptPages_.find(ppn);
+    panicIf(it == ptPages_.end(), "not a page-table page");
+    return it->second;
+}
+
+std::uint64_t
+PhysMem::readQword(Addr paddr) const
+{
+    const Ppn ppn = pageNumber(paddr);
+    const auto idx = (paddr & (pageSize - 1)) / pteSize;
+    return ptPage(ppn)[idx];
+}
+
+void
+PhysMem::writeQword(Addr paddr, std::uint64_t value)
+{
+    const Ppn ppn = pageNumber(paddr);
+    const auto idx = (paddr & (pageSize - 1)) / pteSize;
+    ptPage(ppn)[idx] = value;
+}
+
+void
+PhysMem::dumpStats(StatDump &dump, const std::string &prefix) const
+{
+    dump.set(prefix + ".total_pages", totalPages_);
+    dump.set(prefix + ".allocated", allocated_.value());
+    dump.set(prefix + ".freed", freed_.value());
+    dump.set(prefix + ".page_table_pages", ptPages_.size());
+}
+
+} // namespace tmcc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The OS-visible physical address space: a frame allocator plus backing
+ * storage for page-table pages (whose 64B blocks must hold real PTE bit
+ * patterns for Fig. 6 / PTB compression), while data pages are tracked
+ * as metadata only (their contents are modelled by per-page
+ * compressibility profiles; see src/workloads).
+ *
+ * Under hardware memory compression the OS boots with more physical
+ * pages than DRAM bytes (the paper assumes up to 4x, §V-A5/6); the MC's
+ * CTE layer maps this physical space onto DRAM.
+ */
+
+#ifndef TMCC_VM_PHYS_MEM_HH
+#define TMCC_VM_PHYS_MEM_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "vm/pte.hh"
+
+namespace tmcc
+{
+
+/** One backing page-table page (512 PTEs). */
+using PtPage = std::array<std::uint64_t, ptesPerTable>;
+
+/** Physical frame allocator + page-table page store. */
+class PhysMem : public Stated
+{
+  public:
+    explicit PhysMem(std::uint64_t total_pages);
+
+    /** Allocate one physical frame; fatal on exhaustion. */
+    Ppn allocFrame();
+
+    /** Allocate 512 contiguous, 2MB-aligned frames for a huge page. */
+    Ppn allocHugeFrame();
+
+    void freeFrame(Ppn ppn);
+
+    /** Allocate a frame and register it as a page-table page. */
+    Ppn allocPageTablePage();
+
+    bool isPageTablePage(Ppn ppn) const
+    {
+        return ptPages_.count(ppn) != 0;
+    }
+
+    /** Backing store of a page-table page (creates on first use). */
+    PtPage &ptPage(Ppn ppn);
+    const PtPage &ptPage(Ppn ppn) const;
+
+    /** Read / write an 8B PTE by physical address (PT pages only). */
+    std::uint64_t readQword(Addr paddr) const;
+    void writeQword(Addr paddr, std::uint64_t value);
+
+    std::uint64_t totalPages() const { return totalPages_; }
+    std::uint64_t allocatedPages() const { return allocated_.value(); }
+    std::uint64_t pageTablePages() const { return ptPages_.size(); }
+
+    /** Iterate all registered page-table pages. */
+    template <typename Fn>
+    void
+    forEachPtPage(Fn &&fn) const
+    {
+        for (const auto &[ppn, page] : ptPages_)
+            fn(ppn, page);
+    }
+
+    void dumpStats(StatDump &dump,
+                   const std::string &prefix) const override;
+
+  private:
+    std::uint64_t totalPages_;
+    std::uint64_t nextFrame_ = 1; //!< frame 0 reserved
+    std::vector<Ppn> freeList_;
+    std::unordered_map<Ppn, PtPage> ptPages_;
+
+    Counter allocated_, freed_;
+};
+
+} // namespace tmcc
+
+#endif // TMCC_VM_PHYS_MEM_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * x86-64 page table entry encoding (Intel SDM Vol. 3, 4-level paging),
+ * the bit-level substrate for the paper's PTB compressibility analysis
+ * (Fig. 6) and TMCC's hardware PTB compression (Fig. 7).
+ *
+ * Layout used here (matching the paper's "24 status bits + 40-bit PPN"):
+ *   bits  0..11 : low status (P, RW, US, PWT, PCD, A, D, PAT, G, ign)
+ *   bits 12..51 : 40-bit physical page number
+ *   bits 52..63 : high status (ignored/protection-key bits + NX)
+ */
+
+#ifndef TMCC_VM_PTE_HH
+#define TMCC_VM_PTE_HH
+
+#include <cstdint>
+
+#include "common/bitops.hh"
+#include "common/types.hh"
+
+namespace tmcc
+{
+
+/** Software-meaningful PTE flags. */
+struct PteFlags
+{
+    bool present = true;
+    bool writable = true;
+    bool user = true;
+    bool writeThrough = false;
+    bool cacheDisable = false;
+    bool accessed = false;
+    bool dirty = false;
+    bool pageSize = false; //!< 2MB leaf when set on an L2 entry
+    bool global = false;
+    bool noExecute = false;
+};
+
+/** Pack flags + PPN into an 8-byte PTE. */
+constexpr std::uint64_t
+makePte(Ppn ppn, const PteFlags &f)
+{
+    std::uint64_t v = 0;
+    v |= static_cast<std::uint64_t>(f.present) << 0;
+    v |= static_cast<std::uint64_t>(f.writable) << 1;
+    v |= static_cast<std::uint64_t>(f.user) << 2;
+    v |= static_cast<std::uint64_t>(f.writeThrough) << 3;
+    v |= static_cast<std::uint64_t>(f.cacheDisable) << 4;
+    v |= static_cast<std::uint64_t>(f.accessed) << 5;
+    v |= static_cast<std::uint64_t>(f.dirty) << 6;
+    v |= static_cast<std::uint64_t>(f.pageSize) << 7;
+    v |= static_cast<std::uint64_t>(f.global) << 8;
+    v |= (ppn & ((1ULL << 40) - 1)) << 12;
+    v |= static_cast<std::uint64_t>(f.noExecute) << 63;
+    return v;
+}
+
+constexpr bool ptePresent(std::uint64_t pte) { return (pte & 1) != 0; }
+constexpr bool pteWritable(std::uint64_t pte) { return (pte >> 1) & 1; }
+constexpr bool pteAccessed(std::uint64_t pte) { return (pte >> 5) & 1; }
+constexpr bool pteDirty(std::uint64_t pte) { return (pte >> 6) & 1; }
+constexpr bool pteHuge(std::uint64_t pte) { return (pte >> 7) & 1; }
+
+constexpr Ppn
+ptePpn(std::uint64_t pte)
+{
+    return bits(pte, 12, 40);
+}
+
+/** The 24 status bits: low 12 plus high 12. */
+constexpr std::uint32_t
+pteStatusBits(std::uint64_t pte)
+{
+    return static_cast<std::uint32_t>(bits(pte, 0, 12) |
+                                      (bits(pte, 52, 12) << 12));
+}
+
+constexpr std::uint64_t
+pteSetAccessed(std::uint64_t pte)
+{
+    return pte | (1ULL << 5);
+}
+
+constexpr std::uint64_t
+pteSetDirty(std::uint64_t pte)
+{
+    return pte | (1ULL << 6);
+}
+
+/** Entries per 4KB page-table page. */
+constexpr unsigned ptesPerTable = 512;
+
+/** Index of `vaddr` into the page-table level (1 = leaf .. 4 = root). */
+constexpr unsigned
+pteIndex(Addr vaddr, unsigned level)
+{
+    return static_cast<unsigned>(
+        bits(vaddr, pageShift + 9 * (level - 1), 9));
+}
+
+} // namespace tmcc
+
+#endif // TMCC_VM_PTE_HH

@@ -1,0 +1,292 @@
+#include "workloads/content.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace tmcc
+{
+
+namespace
+{
+
+void
+putQword(std::vector<std::uint8_t> &p, std::size_t at, std::uint64_t v)
+{
+    std::memcpy(p.data() + at, &v, 8);
+}
+
+void
+putDword(std::vector<std::uint8_t> &p, std::size_t at, std::uint32_t v)
+{
+    std::memcpy(p.data() + at, &v, 4);
+}
+
+std::vector<std::uint8_t>
+textPage(double structure, Rng &rng)
+{
+    // Words drawn from a vocabulary whose size shrinks with structure:
+    // more structure = more repetition = better LZ matches.
+    static const char *const vocab[] = {
+        "the ",     "query ",   "key=",     "value:",   "GET ",
+        "200 OK ",  "user_",    "session ", "index ",   "node ",
+        "edge ",    "time=",    "count=",   "error ",   "warn ",
+        "info ",    "request ", "response ", "cache ",  "miss ",
+        "hit ",     "page ",    "alloc ",   "free ",    "lock ",
+        "thread ",  "vertex ",  "weight ",  "rank ",    "batch ",
+        "shard ",   "token ",
+    };
+    const std::size_t vocab_n = sizeof(vocab) / sizeof(vocab[0]);
+    const auto effective = static_cast<std::size_t>(
+        2 + (1.0 - structure) * (vocab_n - 2));
+
+    std::vector<std::uint8_t> p;
+    p.reserve(pageSize);
+    while (p.size() < pageSize) {
+        const char *w = vocab[rng.below(effective)];
+        for (const char *c = w; *c != '\0' && p.size() < pageSize; ++c)
+            p.push_back(static_cast<std::uint8_t>(*c));
+        if (rng.chance(0.08) && p.size() + 12 < pageSize) {
+            // Sprinkle numbers (semi-random digits).
+            for (int d = 0; d < 6; ++d)
+                p.push_back(
+                    static_cast<std::uint8_t>('0' + rng.below(10)));
+        }
+    }
+    p.resize(pageSize);
+    return p;
+}
+
+std::vector<std::uint8_t>
+pointerHeapPage(double structure, Rng &rng)
+{
+    std::vector<std::uint8_t> p(pageSize, 0);
+    const std::uint64_t heap_base = 0x00005612'34000000ULL;
+    // Structure controls the spread of the pointed-to arena and the
+    // fraction of null/small-int slots.
+    const unsigned spread_bits =
+        static_cast<unsigned>(12 + (1.0 - structure) * 20);
+    for (std::size_t at = 0; at + 8 <= pageSize; at += 8) {
+        const double roll = rng.real();
+        std::uint64_t v;
+        if (roll < 0.15 * structure) {
+            v = 0; // null pointer / empty slot
+        } else if (roll < 0.3) {
+            v = rng.below(4096); // small integer field
+        } else {
+            v = heap_base + ((rng.next() & ((1ULL << spread_bits) - 1))
+                             << 4);
+        }
+        putQword(p, at, v);
+    }
+    return p;
+}
+
+std::vector<std::uint8_t>
+intArrayPage(double structure, Rng &rng)
+{
+    std::vector<std::uint8_t> p(pageSize, 0);
+    // Bounded-magnitude ints with occasional runs; structure controls
+    // the magnitude bound.
+    const unsigned mag_bits =
+        static_cast<unsigned>(6 + (1.0 - structure) * 24);
+    std::uint32_t run_val = 0;
+    unsigned run_left = 0;
+    for (std::size_t at = 0; at + 4 <= pageSize; at += 4) {
+        if (run_left > 0) {
+            --run_left;
+        } else if (rng.chance(0.1 * structure)) {
+            run_left = 4 + static_cast<unsigned>(rng.below(28));
+            run_val = static_cast<std::uint32_t>(
+                rng.next() & ((1u << mag_bits) - 1));
+        } else {
+            run_val = static_cast<std::uint32_t>(
+                rng.next() & ((1u << mag_bits) - 1));
+        }
+        putDword(p, at, run_val);
+    }
+    return p;
+}
+
+std::vector<std::uint8_t>
+floatArrayPage(double structure, Rng &rng)
+{
+    std::vector<std::uint8_t> p(pageSize, 0);
+    // Doubles near a common magnitude: exponents and top mantissa bits
+    // repeat; low mantissa bits are noise whose width tracks structure.
+    const unsigned noise_bits =
+        static_cast<unsigned>(12 + (1.0 - structure) * 40);
+    const std::uint64_t base = 0x3fe8000000000000ULL; // ~0.75
+    for (std::size_t at = 0; at + 8 <= pageSize; at += 8) {
+        const std::uint64_t v =
+            base | (rng.next() & ((1ULL << noise_bits) - 1));
+        putQword(p, at, v);
+    }
+    return p;
+}
+
+std::vector<std::uint8_t>
+graphCsrPage(double structure, Rng &rng)
+{
+    std::vector<std::uint8_t> p(pageSize, 0);
+    // Adjacency data: sorted runs of vertex ids.  Hubs (a small hot set
+    // of ids) recur constantly -- that repetition is what Deflate mines
+    // and block-level compressors cannot (ids look random per-block).
+    const std::uint32_t hub_count = 1u << 10;
+    const std::uint32_t vertex_space = 1u << 24;
+    std::size_t at = 0;
+    while (at + 4 <= pageSize) {
+        // One adjacency run: ascending ids with small gaps.
+        std::uint32_t cur = static_cast<std::uint32_t>(
+            rng.below(vertex_space / 2));
+        const unsigned run = 4 + static_cast<unsigned>(rng.below(24));
+        for (unsigned i = 0; i < run && at + 4 <= pageSize; ++i) {
+            if (rng.chance(0.35 * structure + 0.1)) {
+                // Hub reference: drawn from the small hot set.
+                putDword(p, at,
+                         static_cast<std::uint32_t>(
+                             rng.zipf(hub_count, 1.4)));
+            } else {
+                cur += 1 + static_cast<std::uint32_t>(
+                               rng.below(1u << static_cast<unsigned>(
+                                             4 + (1.0 - structure) * 10)));
+                putDword(p, at, cur);
+            }
+            at += 4;
+        }
+    }
+    return p;
+}
+
+std::vector<std::uint8_t>
+keyValuePage(double structure, Rng &rng)
+{
+    std::vector<std::uint8_t> p;
+    p.reserve(pageSize);
+    // Records: short shared-prefix key + mixed-entropy value.
+    while (p.size() + 32 <= pageSize) {
+        const char *prefix = "user:2026:";
+        for (const char *c = prefix; *c; ++c)
+            p.push_back(static_cast<std::uint8_t>(*c));
+        for (int d = 0; d < 8; ++d)
+            p.push_back(static_cast<std::uint8_t>('0' + rng.below(10)));
+        p.push_back('=');
+        const unsigned value_len = 8 + static_cast<unsigned>(
+                                           rng.below(16));
+        for (unsigned i = 0; i < value_len; ++i) {
+            if (rng.chance(structure))
+                p.push_back(static_cast<std::uint8_t>(
+                    'a' + rng.below(16)));
+            else
+                p.push_back(static_cast<std::uint8_t>(rng.below(256)));
+        }
+    }
+    p.resize(pageSize, 0);
+    return p;
+}
+
+std::vector<std::uint8_t>
+randomPage(Rng &rng)
+{
+    std::vector<std::uint8_t> p(pageSize);
+    for (auto &b : p)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    return p;
+}
+
+} // namespace
+
+namespace
+{
+
+std::vector<std::uint8_t>
+generateBase(const ContentSpec &spec, Rng &rng)
+{
+    switch (spec.family) {
+      case ContentFamily::Zero:
+        return std::vector<std::uint8_t>(pageSize, 0);
+      case ContentFamily::Text:
+        return textPage(spec.structure, rng);
+      case ContentFamily::PointerHeap:
+        return pointerHeapPage(spec.structure, rng);
+      case ContentFamily::IntArray:
+        return intArrayPage(spec.structure, rng);
+      case ContentFamily::FloatArray:
+        return floatArrayPage(spec.structure, rng);
+      case ContentFamily::GraphCsr:
+        return graphCsrPage(spec.structure, rng);
+      case ContentFamily::KeyValue:
+        return keyValuePage(spec.structure, rng);
+      case ContentFamily::Random:
+        return randomPage(rng);
+    }
+    panic("unknown content family");
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+generateContent(const ContentSpec &spec, Rng &rng)
+{
+    std::vector<std::uint8_t> base = generateBase(spec, rng);
+    if (spec.repetition <= 1.0)
+        return base;
+
+    // Interleave fresh bytes with copies of *recent* output: data
+    // structures repeat at short distances (record/object granularity),
+    // which a 1KB LZ CAM can mine but per-64B block compressors cannot
+    // (see ContentSpec::repetition).  Keeping copy distances below 1KB
+    // matches the paper's observation that a small CAM costs little.
+    const double fresh_p = 1.0 / spec.repetition;
+    std::vector<std::uint8_t> page;
+    page.reserve(base.size());
+    std::size_t cursor = 0;
+    // Seed with fresh content so copies have a source.
+    const std::size_t seed_bytes = 192;
+    page.insert(page.end(), base.begin(),
+                base.begin() + std::min(seed_bytes, base.size()));
+    cursor = page.size();
+    while (page.size() < base.size()) {
+        const std::size_t remaining = base.size() - page.size();
+        if (rng.chance(fresh_p)) {
+            std::size_t len = std::min<std::size_t>(
+                48 + rng.below(144), remaining);
+            len = std::min(len, base.size() - cursor);
+            if (len == 0) {
+                cursor = 0;
+                continue;
+            }
+            page.insert(page.end(), base.begin() + cursor,
+                        base.begin() + cursor + len);
+            cursor += len;
+        } else {
+            const std::size_t reach =
+                std::min<std::size_t>(page.size(), 900);
+            const std::size_t len = std::min<std::size_t>(
+                32 + rng.below(128), remaining);
+            const std::size_t start =
+                page.size() - reach + rng.below(reach);
+            for (std::size_t i = 0; i < len; ++i)
+                page.push_back(page[start + i]);
+        }
+    }
+    return page;
+}
+
+const char *
+contentFamilyName(ContentFamily family)
+{
+    switch (family) {
+      case ContentFamily::Zero: return "zero";
+      case ContentFamily::Text: return "text";
+      case ContentFamily::PointerHeap: return "pointer-heap";
+      case ContentFamily::IntArray: return "int-array";
+      case ContentFamily::FloatArray: return "float-array";
+      case ContentFamily::GraphCsr: return "graph-csr";
+      case ContentFamily::KeyValue: return "key-value";
+      case ContentFamily::Random: return "random";
+    }
+    return "?";
+}
+
+} // namespace tmcc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Synthetic page-content families.
+ *
+ * The paper measures compression over real memory dumps (Fig. 15); we
+ * have none, so each workload's pages draw from content families whose
+ * byte-level structure mimics the dominant data of that workload class
+ * (CSR adjacency data, pointer-dense heaps, text/key-value, floating
+ * point arrays, ...).  Families are parameterized by a `structure`
+ * knob in [0,1]: 1 = highly regular (compresses hard), 0 = max entropy.
+ *
+ * The ProfileLibrary runs the repository's real compressors over
+ * sampled pages of each family to produce PageProfile records.
+ */
+
+#ifndef TMCC_WORKLOADS_CONTENT_HH
+#define TMCC_WORKLOADS_CONTENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace tmcc
+{
+
+/** Content family of a page. */
+enum class ContentFamily
+{
+    Zero,        //!< untouched / zeroed
+    Text,        //!< log/text-like byte streams
+    PointerHeap, //!< 8B pointers sharing high bits
+    IntArray,    //!< 4B integers of bounded magnitude
+    FloatArray,  //!< doubles with shared exponents
+    GraphCsr,    //!< adjacency lists: skewed vertex ids, sorted runs
+    KeyValue,    //!< mixed keys + values (RocksDB-like blocks)
+    Random,      //!< incompressible
+};
+
+/** A content family with its structure knobs. */
+struct ContentSpec
+{
+    ContentFamily family = ContentFamily::IntArray;
+    double structure = 0.5; //!< 1 = very regular, 0 = max entropy
+
+    /**
+     * Page-scale repetition factor (>= 1): the page is assembled from
+     * slices of a pool 1/repetition the page size.  Repetition at
+     * 64B..1KB distances is visible to an LZ window but not to per-64B
+     * block compressors -- the structural reason Deflate reaches ~3.4x
+     * where block-level compression stalls at ~1.5x (Fig. 15).
+     */
+    double repetition = 1.0;
+
+    bool
+    operator==(const ContentSpec &o) const
+    {
+        return family == o.family && structure == o.structure &&
+               repetition == o.repetition;
+    }
+};
+
+/** Generate one 4KB page of the given family. */
+std::vector<std::uint8_t> generateContent(const ContentSpec &spec,
+                                          Rng &rng);
+
+/** Printable family name. */
+const char *contentFamilyName(ContentFamily family);
+
+} // namespace tmcc
+
+#endif // TMCC_WORKLOADS_CONTENT_HH

@@ -1,0 +1,151 @@
+#include "workloads/profile_library.hh"
+
+#include "common/log.hh"
+#include "compress/block_compressor.hh"
+#include "compress/mem_deflate.hh"
+#include "compress/rfc_deflate.hh"
+
+namespace tmcc
+{
+
+ProfileLibrary::ProfileLibrary(unsigned samples_per_part,
+                               std::uint64_t seed)
+    : samplesPerPart_(samples_per_part), seed_(seed)
+{
+    // Reasonable default for pages never assigned (e.g., page-table
+    // pages): moderately compressible pointer-like data.
+    defaultProfile_.blockBytes = pageSize * 6 / 10;
+    defaultProfile_.deflateBytes = pageSize * 3 / 10;
+    defaultProfile_.rfcBytes = pageSize * 28 / 100;
+    defaultProfile_.lzTokens = 2000;
+    defaultProfile_.huffmanUsed = true;
+}
+
+unsigned
+ProfileLibrary::registerMix(const ContentMix &mix)
+{
+    fatalIf(mix.parts.empty(), "content mix needs at least one part");
+
+    BlockCompressor block;
+    MemDeflate deflate;
+    MemDeflateConfig no_skip_cfg;
+    no_skip_cfg.dynamicHuffmanSkip = false;
+    MemDeflate deflate_no_skip(no_skip_cfg);
+    RfcDeflate rfc;
+
+    MeasuredMix measured;
+    Rng rng(seed_ + mixes_.size() * 7919);
+
+    for (const auto &part : mix.parts) {
+        std::uint64_t block_total = 0, deflate_total = 0;
+        std::uint64_t no_skip_total = 0, rfc_total = 0;
+        std::uint64_t tokens_total = 0;
+        unsigned huff_used = 0;
+        for (unsigned s = 0; s < samplesPerPart_; ++s) {
+            const auto page = generateContent(part.spec, rng);
+            block_total += block.compressPage(page.data());
+            const CompressedPage dp =
+                deflate.compress(page.data(), page.size());
+            deflate_total += dp.sizeBytes();
+            tokens_total += dp.lzTokens;
+            huff_used += dp.huffmanUsed;
+            no_skip_total +=
+                deflate_no_skip.compress(page.data(), page.size())
+                    .sizeBytes();
+            rfc_total += rfc.compress(page.data(), page.size())
+                             .sizeBytes();
+        }
+        PageProfile prof;
+        prof.blockBytes = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(pageSize,
+                                    block_total / samplesPerPart_));
+        prof.deflateBytes = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(pageSize,
+                                    deflate_total / samplesPerPart_));
+        prof.rfcBytes = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(pageSize,
+                                    rfc_total / samplesPerPart_));
+        prof.lzTokens =
+            static_cast<std::uint32_t>(tokens_total / samplesPerPart_);
+        prof.huffmanUsed = huff_used * 2 >= samplesPerPart_;
+        measured.profiles.push_back(prof);
+        measured.weights.push_back(part.weight);
+        measured.deflateNoSkipBytes.push_back(
+            static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                pageSize, no_skip_total / samplesPerPart_)));
+    }
+
+    mixes_.push_back(std::move(measured));
+    return static_cast<unsigned>(mixes_.size() - 1);
+}
+
+void
+ProfileLibrary::assignPage(Ppn ppn, unsigned mix_id)
+{
+    panicIf(mix_id >= mixes_.size(), "unknown mix");
+    const MeasuredMix &m = mixes_[mix_id];
+
+    // Deterministic weighted part pick from the PPN.
+    double total = 0;
+    for (double w : m.weights)
+        total += w;
+    std::uint64_t h = ppn * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    double roll = static_cast<double>(h % 1000003) / 1000003.0 * total;
+    unsigned part = 0;
+    for (; part + 1 < m.weights.size(); ++part) {
+        if (roll < m.weights[part])
+            break;
+        roll -= m.weights[part];
+    }
+    pageAssign_[ppn] = {mix_id, part};
+}
+
+void
+ProfileLibrary::assignRange(Ppn first, std::uint64_t count,
+                            unsigned mix_id)
+{
+    for (std::uint64_t i = 0; i < count; ++i)
+        assignPage(first + i, mix_id);
+}
+
+const PageProfile &
+ProfileLibrary::profile(Ppn ppn) const
+{
+    auto it = pageAssign_.find(ppn);
+    if (it == pageAssign_.end())
+        return defaultProfile_;
+    const auto [mix, part] = it->second;
+    return mixes_[mix].profiles[part];
+}
+
+ProfileLibrary::MixSummary
+ProfileLibrary::summarize(unsigned mix_id) const
+{
+    panicIf(mix_id >= mixes_.size(), "unknown mix");
+    const MeasuredMix &m = mixes_[mix_id];
+    double total_w = 0, block = 0, deflate = 0, no_skip = 0, rfc = 0;
+    for (std::size_t i = 0; i < m.profiles.size(); ++i) {
+        const double w = m.weights[i];
+        total_w += w;
+        block += w * m.profiles[i].blockBytes;
+        deflate += w * m.profiles[i].deflateBytes;
+        no_skip += w * m.deflateNoSkipBytes[i];
+        rfc += w * m.profiles[i].rfcBytes;
+    }
+    MixSummary s;
+    s.blockRatio = pageSize * total_w / block;
+    s.deflateRatio = pageSize * total_w / deflate;
+    s.deflateNoSkipRatio = pageSize * total_w / no_skip;
+    s.rfcRatio = pageSize * total_w / rfc;
+    return s;
+}
+
+const std::vector<PageProfile> &
+ProfileLibrary::partProfiles(unsigned mix_id) const
+{
+    panicIf(mix_id >= mixes_.size(), "unknown mix");
+    return mixes_[mix_id].profiles;
+}
+
+} // namespace tmcc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * ProfileLibrary: measures PageProfile records by running the real
+ * compressors over sampled pages of each content mix, then hands them
+ * out per physical page.
+ */
+
+#ifndef TMCC_WORKLOADS_PROFILE_LIBRARY_HH
+#define TMCC_WORKLOADS_PROFILE_LIBRARY_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "mc/page_profile.hh"
+#include "workloads/content.hh"
+
+namespace tmcc
+{
+
+/** A weighted mix of content families (one workload's memory image). */
+struct ContentMix
+{
+    struct Part
+    {
+        ContentSpec spec;
+        double weight = 1.0;
+    };
+    std::vector<Part> parts;
+};
+
+/**
+ * Measures and serves per-page compressibility profiles.
+ *
+ * registerMix() samples `samplesPerPart` pages per family with the real
+ * BlockCompressor / MemDeflate / RfcDeflate codecs and averages the
+ * results into one PageProfile per part; pages are then assigned to
+ * parts by weight (deterministic per PPN).
+ */
+class ProfileLibrary : public PageInfoProvider
+{
+  public:
+    explicit ProfileLibrary(unsigned samples_per_part = 6,
+                            std::uint64_t seed = 0xfeed);
+
+    /** Measure a mix; returns its id. */
+    unsigned registerMix(const ContentMix &mix);
+
+    /** Assign a physical page to a mix (profile picked by PPN hash). */
+    void assignPage(Ppn ppn, unsigned mix_id);
+
+    /** Assign a contiguous PPN range to a mix. */
+    void assignRange(Ppn first, std::uint64_t count, unsigned mix_id);
+
+    const PageProfile &profile(Ppn ppn) const override;
+
+    /** Aggregate ratios of a mix (weight-averaged; for Fig. 15). */
+    struct MixSummary
+    {
+        double blockRatio = 1.0;
+        double deflateRatio = 1.0;
+        double deflateNoSkipRatio = 1.0;
+        double rfcRatio = 1.0;
+    };
+    MixSummary summarize(unsigned mix_id) const;
+
+    /** The measured per-part profiles of a mix. */
+    const std::vector<PageProfile> &partProfiles(unsigned mix_id) const;
+
+  private:
+    struct MeasuredMix
+    {
+        std::vector<PageProfile> profiles; //!< one per part
+        std::vector<double> weights;
+        std::vector<std::uint32_t> deflateNoSkipBytes;
+    };
+
+    unsigned samplesPerPart_;
+    std::uint64_t seed_;
+    std::vector<MeasuredMix> mixes_;
+    std::unordered_map<Ppn, std::pair<unsigned, unsigned>> pageAssign_;
+    PageProfile defaultProfile_;
+};
+
+} // namespace tmcc
+
+#endif // TMCC_WORKLOADS_PROFILE_LIBRARY_HH

@@ -1,0 +1,106 @@
+/** Property tests: hierarchy invariants under random traffic. */
+
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "common/rng.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+HierarchyConfig
+tinyConfig()
+{
+    HierarchyConfig cfg;
+    cfg.l1Bytes = 512;
+    cfg.l1Assoc = 2;
+    cfg.l2Bytes = 2048;
+    cfg.l2Assoc = 4;
+    cfg.l3Bytes = 8192;
+    cfg.l3Assoc = 4;
+    cfg.prefetchers = false;
+    return cfg;
+}
+
+class HierarchyPropertyTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(HierarchyPropertyTest, InclusionAndExclusionInvariants)
+{
+    Hierarchy h(tinyConfig(), 2);
+    Rng rng(GetParam());
+
+    for (int i = 0; i < 3000; ++i) {
+        const unsigned core = static_cast<unsigned>(rng.below(2));
+        const Addr addr = rng.below(256) * blockSize;
+        const bool write = rng.chance(0.3);
+        const bool walker = rng.chance(0.1);
+
+        const auto out = h.access(core, addr, write, walker);
+        if (out.level == HitLevel::Memory)
+            h.fill(core, addr, write, rng.chance(0.2), walker);
+
+        // Invariant 1: L2 is inclusive of L1.
+        for (unsigned c = 0; c < 2; ++c) {
+            for (Addr a = 0; a < 256 * blockSize; a += blockSize) {
+                if (h.l1(c).probe(a))
+                    ASSERT_TRUE(h.l2(c).probe(a))
+                        << "L1 line not in inclusive L2";
+            }
+        }
+        // Invariant 2: L3 is exclusive of both L2s.
+        for (Addr a = 0; a < 256 * blockSize; a += blockSize) {
+            if (h.l3().probe(a))
+                ASSERT_FALSE(h.l2(0).probe(a) || h.l2(1).probe(a))
+                    << "line in both L2 and exclusive L3";
+        }
+    }
+}
+
+TEST_P(HierarchyPropertyTest, DirtyDataIsNeverSilentlyDropped)
+{
+    // Every address written must either still be dirty somewhere in
+    // the hierarchy or have appeared in a memory writeback.
+    Hierarchy h(tinyConfig(), 1);
+    Rng rng(GetParam() + 100);
+
+    std::unordered_map<Addr, bool> written; // addr -> wb seen
+    auto note_wbs = [&](const std::vector<CacheLine> &wbs) {
+        for (const auto &wb : wbs)
+            if (wb.dirty && written.count(wb.addr))
+                written[wb.addr] = true;
+    };
+
+    for (int i = 0; i < 2000; ++i) {
+        const Addr addr = rng.below(128) * blockSize;
+        const bool write = rng.chance(0.4);
+        auto out = h.access(0, addr, write);
+        note_wbs(out.memWritebacks);
+        if (out.level == HitLevel::Memory) {
+            auto fill = h.fill(0, addr, write, false);
+            note_wbs(fill.memWritebacks);
+        }
+        if (write)
+            written.emplace(blockAlign(addr), false);
+    }
+
+    for (const auto &[addr, wb_seen] : written) {
+        if (wb_seen)
+            continue;
+        // Must still be resident (dirty state merged somewhere).
+        const bool resident = h.l1(0).probe(addr) ||
+                              h.l2(0).probe(addr) || h.l3().probe(addr);
+        ASSERT_TRUE(resident)
+            << "dirty line vanished without a writeback: " << addr;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HierarchyPropertyTest,
+                         ::testing::Range(0, 12));
+
+} // namespace
+} // namespace tmcc

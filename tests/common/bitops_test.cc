@@ -1,0 +1,124 @@
+/** Unit tests for bit utilities and the Bit{Writer,Reader} pair. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+#include "common/rng.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+TEST(Bits, ExtractAndInsert)
+{
+    EXPECT_EQ(bits(0xdeadbeefULL, 0, 8), 0xefu);
+    EXPECT_EQ(bits(0xdeadbeefULL, 8, 8), 0xbeu);
+    EXPECT_EQ(bits(0xdeadbeefULL, 16, 16), 0xdeadu);
+    EXPECT_EQ(bits(~0ULL, 0, 64), ~0ULL);
+
+    EXPECT_EQ(insertBits(0, 8, 8, 0xab), 0xab00ULL);
+    EXPECT_EQ(insertBits(0xffffULL, 4, 8, 0), 0xf00fULL);
+}
+
+TEST(Bits, BitsFor)
+{
+    EXPECT_EQ(bitsFor(1), 0u);
+    EXPECT_EQ(bitsFor(2), 1u);
+    EXPECT_EQ(bitsFor(3), 2u);
+    EXPECT_EQ(bitsFor(256), 8u);
+    EXPECT_EQ(bitsFor(257), 9u);
+    EXPECT_EQ(bitsFor(1ULL << 40), 40u);
+}
+
+TEST(Bits, FloorLog2AndPow2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(4095));
+    EXPECT_FALSE(isPowerOf2(0));
+}
+
+TEST(BitStream, RoundTripFixedWidths)
+{
+    BitWriter bw;
+    bw.put(0b101, 3);
+    bw.put(0xff, 8);
+    bw.put(0, 1);
+    bw.put(0x12345, 20);
+    auto bytes = bw.finish();
+
+    BitReader br(bytes);
+    EXPECT_EQ(br.get(3), 0b101u);
+    EXPECT_EQ(br.get(8), 0xffu);
+    EXPECT_EQ(br.get(1), 0u);
+    EXPECT_EQ(br.get(20), 0x12345u);
+}
+
+TEST(BitStream, SizeAccounting)
+{
+    BitWriter bw;
+    bw.put(1, 1);
+    EXPECT_EQ(bw.sizeBits(), 1u);
+    EXPECT_EQ(bw.sizeBytes(), 1u);
+    bw.put(0x7f, 7);
+    EXPECT_EQ(bw.sizeBits(), 8u);
+    EXPECT_EQ(bw.sizeBytes(), 1u);
+    bw.put(1, 1);
+    EXPECT_EQ(bw.sizeBits(), 9u);
+    EXPECT_EQ(bw.sizeBytes(), 2u);
+}
+
+TEST(BitStream, PeekSkip)
+{
+    BitWriter bw;
+    bw.put(0b1101, 4);
+    bw.put(0xaa, 8);
+    auto bytes = bw.finish();
+
+    BitReader br(bytes);
+    EXPECT_EQ(br.peek(4), 0b1101u);
+    EXPECT_EQ(br.peek(4), 0b1101u); // peek does not consume
+    br.skip(4);
+    EXPECT_EQ(br.get(8), 0xaau);
+}
+
+TEST(BitStream, RandomizedRoundTrip)
+{
+    Rng rng(7);
+    for (int iter = 0; iter < 50; ++iter) {
+        std::vector<std::pair<std::uint64_t, unsigned>> fields;
+        BitWriter bw;
+        const unsigned n = 1 + static_cast<unsigned>(rng.below(200));
+        for (unsigned i = 0; i < n; ++i) {
+            const unsigned width =
+                1 + static_cast<unsigned>(rng.below(57));
+            const std::uint64_t v =
+                rng.next() & ((width >= 64) ? ~0ULL
+                                            : ((1ULL << width) - 1));
+            fields.emplace_back(v, width);
+            bw.put(v, width);
+        }
+        auto bytes = bw.finish();
+        BitReader br(bytes);
+        for (const auto &[v, width] : fields)
+            ASSERT_EQ(br.get(width), v);
+    }
+}
+
+TEST(BitStream, ReadPastEndReturnsZeros)
+{
+    BitWriter bw;
+    bw.put(0xff, 8);
+    auto bytes = bw.finish();
+    BitReader br(bytes);
+    EXPECT_EQ(br.get(8), 0xffu);
+    EXPECT_EQ(br.get(16), 0u);
+    EXPECT_TRUE(br.exhausted());
+}
+
+} // namespace
+} // namespace tmcc

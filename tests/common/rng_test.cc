@@ -1,0 +1,118 @@
+/** Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInBound)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(5);
+    constexpr int buckets = 8;
+    int counts[buckets] = {};
+    constexpr int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.below(buckets)];
+    for (int c : counts) {
+        EXPECT_GT(c, n / buckets * 0.9);
+        EXPECT_LT(c, n / buckets * 1.1);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.range(3, 6);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.real();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ZipfInBoundsAndSkewed)
+{
+    Rng rng(23);
+    constexpr std::uint64_t n = 1000;
+    std::uint64_t low_half = 0, total = 20000;
+    for (std::uint64_t i = 0; i < total; ++i) {
+        const auto v = rng.zipf(n, 1.2);
+        ASSERT_LT(v, n);
+        low_half += v < n / 10;
+    }
+    // A Zipf(1.2) draw should land in the first decile far more often
+    // than the uniform 10%.
+    EXPECT_GT(low_half, total / 2);
+}
+
+TEST(Rng, ZipfAlphaOneFallback)
+{
+    Rng rng(29);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.zipf(64, 1.0), 64u);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(31);
+    double sum = 0;
+    constexpr int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(10.0));
+    const double mean = sum / n;
+    EXPECT_GT(mean, 8.5);
+    EXPECT_LT(mean, 11.5);
+}
+
+} // namespace
+} // namespace tmcc

@@ -1,0 +1,78 @@
+/** Unit tests for the statistics primitives. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, MeanOfSamples)
+{
+    Average a;
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(10);
+    a.sample(20);
+    a.sample(30);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 60.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 100.0, 10);
+    h.sample(5);   // bucket 0
+    h.sample(95);  // bucket 9
+    h.sample(-1);  // underflow
+    h.sample(100); // overflow (hi is exclusive)
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[9], 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.bucketLow(1), 10.0);
+}
+
+TEST(StatDump, SetGetPrint)
+{
+    StatDump d;
+    d.set("a.hits", std::uint64_t{7});
+    d.set("a.rate", 0.5);
+    EXPECT_TRUE(d.has("a.hits"));
+    EXPECT_FALSE(d.has("a.misses"));
+    EXPECT_DOUBLE_EQ(d.get("a.hits"), 7.0);
+    EXPECT_DOUBLE_EQ(d.get("a.rate"), 0.5);
+    EXPECT_DOUBLE_EQ(d.get("missing"), 0.0);
+
+    std::ostringstream os;
+    d.print(os);
+    EXPECT_NE(os.str().find("a.hits"), std::string::npos);
+    EXPECT_NE(os.str().find("a.rate"), std::string::npos);
+}
+
+TEST(GeoMean, Values)
+{
+    EXPECT_DOUBLE_EQ(geoMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geoMean({4.0}), 4.0);
+    EXPECT_NEAR(geoMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geoMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+} // namespace
+} // namespace tmcc

@@ -1,0 +1,124 @@
+/** Unit and property tests for Base-Delta-Immediate compression. */
+
+#include <gtest/gtest.h>
+
+#include "compress/bdi.hh"
+#include "tests/compress/test_patterns.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+using test::Block;
+
+void
+expectRoundTrip(const Bdi &bdi, const Block &in)
+{
+    const BlockResult enc = bdi.compress(in.data());
+    Block out{};
+    bdi.decompress(enc, out.data());
+    ASSERT_EQ(std::memcmp(in.data(), out.data(), blockSize), 0);
+}
+
+TEST(Bdi, ZeroBlockIsTiny)
+{
+    Bdi bdi;
+    const Block b = test::zeroBlock();
+    const BlockResult enc = bdi.compress(b.data());
+    EXPECT_EQ(Bdi::scheme(enc), BdiScheme::Zeros);
+    EXPECT_LE(enc.sizeBits, 8u);
+    expectRoundTrip(bdi, b);
+}
+
+TEST(Bdi, RepeatedQword)
+{
+    Bdi bdi;
+    const Block b = test::repeatedQwordBlock(0x0123456789abcdefULL);
+    const BlockResult enc = bdi.compress(b.data());
+    EXPECT_EQ(Bdi::scheme(enc), BdiScheme::Repeat8);
+    EXPECT_LE(enc.sizeBits, 4u + 64u);
+    expectRoundTrip(bdi, b);
+}
+
+TEST(Bdi, SmallDeltasPickB8D1)
+{
+    Bdi bdi;
+    Rng rng(1);
+    const Block b = test::baseDeltaBlock(0x7fff00000000ULL, 100, rng);
+    const BlockResult enc = bdi.compress(b.data());
+    EXPECT_EQ(Bdi::scheme(enc), BdiScheme::B8D1);
+    // 4b tag + 64b base + 8 x 8b deltas = 132 bits.
+    EXPECT_LE(enc.sizeBits, 132u);
+    expectRoundTrip(bdi, b);
+}
+
+TEST(Bdi, MediumDeltasPickB8D2)
+{
+    Bdi bdi;
+    Rng rng(2);
+    const Block b = test::baseDeltaBlock(1ULL << 40, 40000, rng);
+    const BlockResult enc = bdi.compress(b.data());
+    EXPECT_EQ(Bdi::scheme(enc), BdiScheme::B8D2);
+    expectRoundTrip(bdi, b);
+}
+
+TEST(Bdi, StrideOfIntsCompresses)
+{
+    Bdi bdi;
+    const Block b = test::strideBlock(1000, 4);
+    const BlockResult enc = bdi.compress(b.data());
+    EXPECT_TRUE(enc.compressed());
+    expectRoundTrip(bdi, b);
+}
+
+TEST(Bdi, RandomBlockFallsBackUncompressed)
+{
+    Bdi bdi;
+    Rng rng(3);
+    const Block b = test::randomBlock(rng);
+    const BlockResult enc = bdi.compress(b.data());
+    EXPECT_EQ(Bdi::scheme(enc), BdiScheme::Uncompressed);
+    EXPECT_EQ(enc.sizeBits, 4u + blockSize * 8);
+    expectRoundTrip(bdi, b);
+}
+
+TEST(Bdi, NegativeDeltasRoundTrip)
+{
+    Bdi bdi;
+    Block b;
+    for (std::size_t i = 0; i < blockSize; i += 8) {
+        const std::uint64_t v =
+            0x100000ULL - (i / 8) * 3; // descending values
+        std::memcpy(b.data() + i, &v, 8);
+    }
+    const BlockResult enc = bdi.compress(b.data());
+    EXPECT_EQ(Bdi::scheme(enc), BdiScheme::B8D1);
+    expectRoundTrip(bdi, b);
+}
+
+/** Property sweep: every pattern family round-trips at every seed. */
+class BdiPropertyTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(BdiPropertyTest, RoundTripAllFamilies)
+{
+    Bdi bdi;
+    Rng rng(GetParam());
+    expectRoundTrip(bdi, test::zeroBlock());
+    expectRoundTrip(bdi, test::repeatedQwordBlock(rng.next()));
+    expectRoundTrip(bdi, test::baseDeltaBlock(rng.next() >> 8, 50, rng));
+    expectRoundTrip(bdi, test::baseDeltaBlock(rng.next() >> 8, 5000, rng));
+    expectRoundTrip(bdi,
+                    test::strideBlock(static_cast<std::uint32_t>(
+                                          rng.next()),
+                                      static_cast<std::uint32_t>(
+                                          rng.below(64))));
+    expectRoundTrip(bdi, test::randomBlock(rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BdiPropertyTest,
+                         ::testing::Range(0, 50));
+
+} // namespace
+} // namespace tmcc

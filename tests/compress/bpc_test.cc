@@ -1,0 +1,101 @@
+/** Unit and property tests for Bit-Plane Compression. */
+
+#include <gtest/gtest.h>
+
+#include "compress/bpc.hh"
+#include "tests/compress/test_patterns.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+using test::Block;
+
+void
+expectRoundTrip(const Bpc &bpc, const Block &in)
+{
+    const BlockResult enc = bpc.compress(in.data());
+    Block out{};
+    bpc.decompress(enc, out.data());
+    ASSERT_EQ(std::memcmp(in.data(), out.data(), blockSize), 0);
+}
+
+TEST(Bpc, ZeroBlockCompressesHard)
+{
+    Bpc bpc;
+    const Block b = test::zeroBlock();
+    const BlockResult enc = bpc.compress(b.data());
+    // Base word (32) + a handful of zero-run codes.
+    EXPECT_LT(enc.sizeBits, 64u);
+    expectRoundTrip(bpc, b);
+}
+
+TEST(Bpc, ConstantStrideIsNearlyFree)
+{
+    // Words with constant stride have constant deltas: all DBX planes
+    // except a couple collapse to zero.
+    Bpc bpc;
+    const Block b = test::strideBlock(1 << 20, 8);
+    const BlockResult enc = bpc.compress(b.data());
+    EXPECT_LT(enc.sizeBits, 128u);
+    expectRoundTrip(bpc, b);
+}
+
+TEST(Bpc, DescendingStrideRoundTrips)
+{
+    Bpc bpc;
+    Block b;
+    for (std::size_t i = 0; i < blockSize / 4; ++i) {
+        const std::uint32_t v =
+            1000000u - static_cast<std::uint32_t>(i) * 12;
+        std::memcpy(b.data() + i * 4, &v, 4);
+    }
+    expectRoundTrip(bpc, b);
+}
+
+TEST(Bpc, WrapAroundDeltasRoundTrip)
+{
+    Bpc bpc;
+    Block b;
+    // Alternate near-min and near-max 32-bit values: deltas need the
+    // full 33-bit range.
+    for (std::size_t i = 0; i < blockSize / 4; ++i) {
+        const std::uint32_t v = (i % 2) ? 0xfffffff0u : 0x10u;
+        std::memcpy(b.data() + i * 4, &v, 4);
+    }
+    expectRoundTrip(bpc, b);
+}
+
+TEST(Bpc, RandomBlockMayExpandButRoundTrips)
+{
+    Bpc bpc;
+    Rng rng(4);
+    for (int i = 0; i < 20; ++i)
+        expectRoundTrip(bpc, test::randomBlock(rng));
+}
+
+/** Property sweep over many random seeds and pattern families. */
+class BpcPropertyTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(BpcPropertyTest, RoundTripAllFamilies)
+{
+    Bpc bpc;
+    Rng rng(GetParam() + 1000);
+    expectRoundTrip(bpc, test::zeroBlock());
+    expectRoundTrip(bpc,
+                    test::strideBlock(static_cast<std::uint32_t>(
+                                          rng.next()),
+                                      static_cast<std::uint32_t>(
+                                          rng.below(1 << 16))));
+    expectRoundTrip(bpc, test::repeatedQwordBlock(rng.next()));
+    expectRoundTrip(bpc, test::baseDeltaBlock(rng.next(), 1000, rng));
+    expectRoundTrip(bpc, test::randomBlock(rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BpcPropertyTest,
+                         ::testing::Range(0, 50));
+
+} // namespace
+} // namespace tmcc

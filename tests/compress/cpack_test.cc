@@ -1,0 +1,120 @@
+/** Unit and property tests for CPack. */
+
+#include <gtest/gtest.h>
+
+#include "compress/cpack.hh"
+#include "tests/compress/test_patterns.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+using test::Block;
+
+void
+expectRoundTrip(const Cpack &cpack, const Block &in)
+{
+    const BlockResult enc = cpack.compress(in.data());
+    Block out{};
+    cpack.decompress(enc, out.data());
+    ASSERT_EQ(std::memcmp(in.data(), out.data(), blockSize), 0);
+}
+
+TEST(Cpack, ZeroBlockUsesZzzz)
+{
+    Cpack cpack;
+    const Block b = test::zeroBlock();
+    const BlockResult enc = cpack.compress(b.data());
+    // 16 words x 2 bits.
+    EXPECT_EQ(enc.sizeBits, 32u);
+    expectRoundTrip(cpack, b);
+}
+
+TEST(Cpack, RepeatedWordHitsDictionary)
+{
+    Cpack cpack;
+    Block b;
+    const std::uint32_t v = 0xcafebabe;
+    for (std::size_t i = 0; i < blockSize / 4; ++i)
+        std::memcpy(b.data() + i * 4, &v, 4);
+    const BlockResult enc = cpack.compress(b.data());
+    // First word raw (34b) + 15 x mmmm (6b) = 124 bits.
+    EXPECT_EQ(enc.sizeBits, 34u + 15u * 6u);
+    expectRoundTrip(cpack, b);
+}
+
+TEST(Cpack, LowByteOnlyWordsUseZzzx)
+{
+    Cpack cpack;
+    Block b{};
+    for (std::size_t i = 0; i < blockSize / 4; ++i)
+        b[i * 4] = static_cast<std::uint8_t>(i + 1);
+    const BlockResult enc = cpack.compress(b.data());
+    // 16 x zzzx (12 bits).
+    EXPECT_EQ(enc.sizeBits, 16u * 12u);
+    expectRoundTrip(cpack, b);
+}
+
+TEST(Cpack, SharedUpperBytesUseMmmx)
+{
+    Cpack cpack;
+    Block b;
+    for (std::size_t i = 0; i < blockSize / 4; ++i) {
+        const std::uint32_t v =
+            0xabcd1200u | static_cast<std::uint32_t>(i);
+        std::memcpy(b.data() + i * 4, &v, 4);
+    }
+    const BlockResult enc = cpack.compress(b.data());
+    // Word 0 raw, rest mmmx (16 bits).
+    EXPECT_EQ(enc.sizeBits, 34u + 15u * 16u);
+    expectRoundTrip(cpack, b);
+}
+
+TEST(Cpack, RandomBlockRoundTrips)
+{
+    Cpack cpack;
+    Rng rng(6);
+    for (int i = 0; i < 20; ++i)
+        expectRoundTrip(cpack, test::randomBlock(rng));
+}
+
+TEST(Cpack, PointerLikeDataCompresses)
+{
+    Cpack cpack;
+    Rng rng(8);
+    Block b;
+    // 8B pointers into a small heap share their upper bytes.
+    for (std::size_t i = 0; i < blockSize; i += 8) {
+        const std::uint64_t ptr =
+            0x00007f0012340000ULL + (rng.below(1 << 12) << 3);
+        std::memcpy(b.data() + i, &ptr, 8);
+    }
+    const BlockResult enc = cpack.compress(b.data());
+    EXPECT_TRUE(enc.compressed());
+    expectRoundTrip(cpack, b);
+}
+
+/** Property sweep. */
+class CpackPropertyTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CpackPropertyTest, RoundTripAllFamilies)
+{
+    Cpack cpack;
+    Rng rng(GetParam() + 2000);
+    expectRoundTrip(cpack, test::zeroBlock());
+    expectRoundTrip(cpack, test::repeatedQwordBlock(rng.next()));
+    expectRoundTrip(cpack, test::baseDeltaBlock(rng.next(), 256, rng));
+    expectRoundTrip(cpack,
+                    test::strideBlock(static_cast<std::uint32_t>(
+                                          rng.next()),
+                                      1));
+    expectRoundTrip(cpack, test::randomBlock(rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpackPropertyTest,
+                         ::testing::Range(0, 50));
+
+} // namespace
+} // namespace tmcc

@@ -1,0 +1,117 @@
+/** Tests for the ASIC timing models against Table II's envelope. */
+
+#include <gtest/gtest.h>
+
+#include "compress/deflate_timing.hh"
+#include "tests/compress/test_patterns.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+CompressedPage
+typicalPage()
+{
+    Rng rng(70);
+    MemDeflate codec;
+    const auto page = test::textPage(rng);
+    return codec.compress(page.data(), page.size());
+}
+
+TEST(MemDeflateTiming, DecompressLatencyNearTable2)
+{
+    MemDeflateTiming model;
+    const DeflateTiming t = model.timing(typicalPage());
+    // Paper: 277ns full page, 140ns half page, 14.8 GB/s.
+    EXPECT_NEAR(ticksToNs(t.decompressLatency), 277.0, 277.0 * 0.15);
+    EXPECT_NEAR(ticksToNs(t.halfPageLatency), 140.0, 140.0 * 0.15);
+    EXPECT_NEAR(t.decompressGBs, 14.8, 14.8 * 0.2);
+}
+
+TEST(MemDeflateTiming, CompressLatencyNearTable2)
+{
+    MemDeflateTiming model;
+    const DeflateTiming t = model.timing(typicalPage());
+    // Paper: 662ns latency, 17.2 GB/s.
+    EXPECT_NEAR(ticksToNs(t.compressLatency), 662.0, 662.0 * 0.2);
+    EXPECT_NEAR(t.compressGBs, 17.2, 17.2 * 0.25);
+}
+
+TEST(MemDeflateTiming, OffsetLatencyMonotonic)
+{
+    MemDeflateTiming model;
+    const CompressedPage page = typicalPage();
+    Tick prev = 0;
+    for (std::size_t off = 0; off < pageSize; off += 512) {
+        const Tick t = model.decompressLatencyToOffset(page, off);
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+    EXPECT_EQ(model.decompressLatencyToOffset(page, pageSize - blockSize),
+              model.timing(page).decompressLatency);
+}
+
+TEST(MemDeflateTiming, FirstBlockMuchFasterThanFullPage)
+{
+    MemDeflateTiming model;
+    const CompressedPage page = typicalPage();
+    const Tick first = model.decompressLatencyToOffset(page, 0);
+    const Tick full = model.timing(page).decompressLatency;
+    EXPECT_LT(first, full / 8);
+}
+
+TEST(IbmDeflateTiming, MatchesPublishedNumbers)
+{
+    IbmDeflateTiming ibm;
+    // Paper Table II: 1100ns decompress, 1050ns compress, 3.7/3.9 GB/s.
+    EXPECT_NEAR(ticksToNs(ibm.decompressLatency(pageSize)), 1100, 25);
+    EXPECT_NEAR(ticksToNs(ibm.compressLatency(pageSize)), 1050, 25);
+    EXPECT_NEAR(ibm.decompressGBs(pageSize), 3.7, 0.2);
+    EXPECT_NEAR(ibm.compressGBs(pageSize), 3.9, 0.2);
+}
+
+TEST(IbmDeflateTiming, OursIs4xFasterOnPages)
+{
+    // The headline claim: ~4x faster decompression for 4KB pages.
+    MemDeflateTiming ours;
+    IbmDeflateTiming ibm;
+    const DeflateTiming t = ours.timing(typicalPage());
+    const double speedup =
+        ticksToNs(ibm.decompressLatency(pageSize)) /
+        ticksToNs(t.decompressLatency);
+    EXPECT_GT(speedup, 3.3);
+    EXPECT_LT(speedup, 5.0);
+}
+
+TEST(IbmDeflateTiming, HalfPageSpeedupAround6x)
+{
+    MemDeflateTiming ours;
+    IbmDeflateTiming ibm;
+    const DeflateTiming t = ours.timing(typicalPage());
+    const double speedup =
+        ticksToNs(ibm.decompressLatencyToOffset(pageSize, pageSize / 2)) /
+        ticksToNs(t.halfPageLatency);
+    EXPECT_GT(speedup, 4.5);
+    EXPECT_LT(speedup, 8.0);
+}
+
+TEST(AsicArea, Table1ConstantsAddUp)
+{
+    AsicArea a;
+    EXPECT_NEAR(a.lzDecompressorMm2 + a.lzCompressorMm2 +
+                    a.huffDecompressorMm2 + a.huffCompressorMm2,
+                a.totalMm2, 0.01);
+}
+
+TEST(MemDeflateTiming, ThroughputExceedsDdr4Channel)
+{
+    // §V-B5: combined throughput (32 GB/s) exceeds a DDR4-3200 channel
+    // (25.6 GB/s).
+    MemDeflateTiming model;
+    const DeflateTiming t = model.timing(typicalPage());
+    EXPECT_GT(t.compressGBs + t.decompressGBs, 25.6);
+}
+
+} // namespace
+} // namespace tmcc

@@ -1,0 +1,147 @@
+/** Adversarial edge cases across the compression stack. */
+
+#include <gtest/gtest.h>
+
+#include "compress/block_compressor.hh"
+#include "compress/mem_deflate.hh"
+#include "compress/rfc_deflate.hh"
+#include "tests/compress/test_patterns.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+TEST(EdgeCases, SingleByteAlternationMaxesLzMatches)
+{
+    // "ababab..." produces one literal pair then maximal overlapping
+    // matches; every codec must round-trip it.
+    std::vector<std::uint8_t> p(pageSize);
+    for (std::size_t i = 0; i < p.size(); ++i)
+        p[i] = (i % 2) ? 0xAB : 0xCD;
+
+    MemDeflate ours;
+    const auto enc = ours.compress(p.data(), p.size());
+    EXPECT_LT(enc.sizeBytes(), 200u); // nearly free
+    EXPECT_EQ(ours.decompress(enc), p);
+
+    RfcDeflate rfc;
+    EXPECT_EQ(rfc.decompress(rfc.compress(p.data(), p.size())), p);
+}
+
+TEST(EdgeCases, MaxMatchLengthBoundary)
+{
+    // A run longer than maxMatch forces back-to-back maximal matches.
+    Lz lz;
+    std::vector<std::uint8_t> p(lz.config().maxMatch * 3 + 7, 0x77);
+    const auto tokens = lz.compress(p.data(), p.size());
+    unsigned maximal = 0;
+    for (const auto &t : tokens)
+        maximal += t.isMatch && t.length == lz.config().maxMatch;
+    EXPECT_GE(maximal, 2u);
+    EXPECT_EQ(lz.decompress(tokens), p);
+}
+
+TEST(EdgeCases, EveryByteValueOnce)
+{
+    // All 256 byte values: the reduced tree must escape ~241 of them.
+    std::vector<std::uint8_t> p;
+    for (int rep = 0; rep < 16; ++rep)
+        for (int b = 0; b < 256; ++b)
+            p.push_back(static_cast<std::uint8_t>(b));
+
+    MemDeflate ours;
+    const auto enc = ours.compress(p.data(), p.size());
+    EXPECT_EQ(ours.decompress(enc), p);
+}
+
+TEST(EdgeCases, TinyInputs)
+{
+    MemDeflate ours;
+    RfcDeflate rfc;
+    for (std::size_t n : {1u, 2u, 3u, 7u, 63u, 64u, 65u}) {
+        std::vector<std::uint8_t> p(n);
+        for (std::size_t i = 0; i < n; ++i)
+            p[i] = static_cast<std::uint8_t>(i * 37);
+        EXPECT_EQ(ours.decompress(ours.compress(p.data(), n)), p)
+            << "mem deflate n=" << n;
+        EXPECT_EQ(rfc.decompress(rfc.compress(p.data(), n)), p)
+            << "rfc n=" << n;
+    }
+}
+
+TEST(EdgeCases, MinimumWindowStillRoundTrips)
+{
+    LzConfig cfg;
+    cfg.windowSize = 16;
+    MemDeflateConfig mcfg;
+    mcfg.lz = cfg;
+    MemDeflate codec(mcfg);
+    Rng rng(5);
+    const auto p = test::textPage(rng);
+    EXPECT_EQ(codec.decompress(codec.compress(p.data(), p.size())), p);
+}
+
+TEST(EdgeCases, TwoLeafTree)
+{
+    MemDeflateConfig cfg;
+    cfg.tree.leaves = 2; // one hot char + escape
+    MemDeflate codec(cfg);
+    Rng rng(6);
+    const auto p = test::randomPage(rng, pageSize, 3);
+    EXPECT_EQ(codec.decompress(codec.compress(p.data(), p.size())), p);
+}
+
+TEST(EdgeCases, ShallowDepthLimit)
+{
+    MemDeflateConfig cfg;
+    cfg.tree.maxDepth = 4; // 16 leaves need exactly depth 4
+    MemDeflate codec(cfg);
+    Rng rng(7);
+    const auto p = test::textPage(rng);
+    EXPECT_EQ(codec.decompress(codec.compress(p.data(), p.size())), p);
+}
+
+TEST(EdgeCases, BlockCompressorOnPageTableLikeData)
+{
+    // 8B entries with identical high bytes: the pattern PTBs show.
+    BlockCompressor bc;
+    std::uint8_t block[blockSize];
+    for (unsigned i = 0; i < 8; ++i) {
+        const std::uint64_t pte =
+            0x8000000000000067ULL | (static_cast<std::uint64_t>(
+                                         0x1234 + i)
+                                     << 12);
+        std::memcpy(block + i * 8, &pte, 8);
+    }
+    const auto enc = bc.compress(block);
+    EXPECT_TRUE(enc.result.sizeBits < blockSize * 8);
+    std::uint8_t out[blockSize];
+    bc.decompress(enc, out);
+    EXPECT_EQ(std::memcmp(block, out, blockSize), 0);
+}
+
+TEST(EdgeCases, IncompressibleNeverExpandsBeyondTag)
+{
+    // Best-of selection caps expansion at the 3-bit selector.
+    BlockCompressor bc;
+    Rng rng(8);
+    for (int i = 0; i < 50; ++i) {
+        const auto b = test::randomBlock(rng);
+        const auto enc = bc.compress(b.data());
+        EXPECT_LE(enc.sizeBits(), blockSize * 8 + 3);
+    }
+}
+
+TEST(EdgeCases, CompressedPageAccountingOnAllZero)
+{
+    MemDeflate codec;
+    std::vector<std::uint8_t> p(pageSize, 0);
+    const auto enc = codec.compress(p.data(), p.size());
+    EXPECT_FALSE(enc.incompressible());
+    EXPECT_GT(enc.lzTokens, 0u);
+    EXPECT_LE(enc.lzLiterals, 8u); // a literal seed then matches
+}
+
+} // namespace
+} // namespace tmcc

@@ -1,0 +1,167 @@
+/** Tests for the memory-specialized Deflate codec. */
+
+#include <gtest/gtest.h>
+
+#include "compress/mem_deflate.hh"
+#include "tests/compress/test_patterns.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+void
+expectRoundTrip(const MemDeflate &codec,
+                const std::vector<std::uint8_t> &in)
+{
+    const CompressedPage enc = codec.compress(in.data(), in.size());
+    const auto out = codec.decompress(enc);
+    ASSERT_EQ(out, in);
+}
+
+TEST(MemDeflate, TextPageCompressesWell)
+{
+    Rng rng(50);
+    MemDeflate codec;
+    const auto page = test::textPage(rng);
+    const CompressedPage enc = codec.compress(page.data(), page.size());
+    EXPECT_LT(enc.sizeBytes(), pageSize / 3); // > 3x on text
+    expectRoundTrip(codec, page);
+}
+
+TEST(MemDeflate, PointerPageCompresses)
+{
+    Rng rng(51);
+    MemDeflate codec;
+    const auto page = test::pointerPage(rng);
+    const CompressedPage enc = codec.compress(page.data(), page.size());
+    // Pointer pages carry ~2.5 random bytes per 8B pointer; ~1.7x.
+    EXPECT_LT(enc.sizeBytes(), pageSize * 7 / 10);
+    expectRoundTrip(codec, page);
+}
+
+TEST(MemDeflate, RandomPageIsIncompressible)
+{
+    Rng rng(52);
+    MemDeflate codec;
+    const auto page = test::randomPage(rng);
+    const CompressedPage enc = codec.compress(page.data(), page.size());
+    EXPECT_TRUE(enc.incompressible());
+    expectRoundTrip(codec, page);
+}
+
+TEST(MemDeflate, DynamicSkipNeverLosesToHuffman)
+{
+    Rng rng(53);
+    MemDeflateConfig with_skip;
+    with_skip.dynamicHuffmanSkip = true;
+    MemDeflateConfig no_skip;
+    no_skip.dynamicHuffmanSkip = false;
+    MemDeflate a(with_skip), b(no_skip);
+
+    for (int i = 0; i < 10; ++i) {
+        const auto page = test::randomPage(rng, pageSize, 256);
+        const auto ea = a.compress(page.data(), page.size());
+        const auto eb = b.compress(page.data(), page.size());
+        // Dynamic skip picks the smaller encoding.
+        EXPECT_LE(ea.sizeBits, eb.sizeBits);
+        expectRoundTrip(a, page);
+        expectRoundTrip(b, page);
+    }
+}
+
+TEST(MemDeflate, SkipKicksInOnHighEntropyPages)
+{
+    Rng rng(54);
+    MemDeflate codec;
+    const auto page = test::randomPage(rng); // uniform bytes
+    const auto enc = codec.compress(page.data(), page.size());
+    // With 256 uniform symbols, escape-prefixing inflates: skip.
+    EXPECT_FALSE(enc.huffmanUsed);
+}
+
+TEST(MemDeflate, HuffmanUsedOnSkewedPages)
+{
+    // Literal-rich, byte-skewed content (text) is where the reduced
+    // tree pays for its header.
+    Rng rng(55);
+    MemDeflate codec;
+    const auto page = test::textPage(rng);
+    const auto enc = codec.compress(page.data(), page.size());
+    EXPECT_TRUE(enc.huffmanUsed);
+    EXPECT_LT(enc.sizeBytes(), pageSize / 2);
+    expectRoundTrip(codec, page);
+}
+
+TEST(MemDeflate, ZeroPageNearlyVanishes)
+{
+    MemDeflate codec;
+    const std::vector<std::uint8_t> page(pageSize, 0);
+    const auto enc = codec.compress(page.data(), page.size());
+    EXPECT_LT(enc.sizeBytes(), 64u);
+    expectRoundTrip(codec, page);
+}
+
+TEST(MemDeflate, TokenAccountingConsistent)
+{
+    Rng rng(56);
+    MemDeflate codec;
+    const auto page = test::textPage(rng);
+    const auto enc = codec.compress(page.data(), page.size());
+    EXPECT_GT(enc.lzTokens, 0u);
+    EXPECT_LE(enc.lzLiterals, enc.lzTokens);
+    EXPECT_EQ(enc.originalSize, pageSize);
+}
+
+TEST(MemDeflate, SmallerCamDegradesRatioOnlyMildly)
+{
+    // §V-B2: 1KB CAM costs ~1.6% ratio vs 4KB; 256B costs much more.
+    Rng rng(57);
+    auto ratio_with_window = [&](std::size_t window) {
+        MemDeflateConfig cfg;
+        cfg.lz.windowSize = window;
+        MemDeflate codec(cfg);
+        Rng local(58);
+        std::size_t raw = 0, comp = 0;
+        for (int i = 0; i < 12; ++i) {
+            const auto page = (i % 2) ? test::textPage(local)
+                                      : test::pointerPage(local);
+            raw += page.size();
+            comp += codec.compress(page.data(), page.size()).sizeBytes();
+        }
+        return static_cast<double>(raw) / static_cast<double>(comp);
+    };
+
+    const double r4k = ratio_with_window(4096);
+    const double r1k = ratio_with_window(1024);
+    const double r256 = ratio_with_window(256);
+    // With fixed-width distance fields, 1KB is the knee the paper
+    // selects: bigger windows pay wider distances for little gain,
+    // smaller windows lose matches (§V-B2).
+    EXPECT_GT(r1k / r4k, 0.95);
+    EXPECT_LT(r256, r1k);
+    EXPECT_GT(r1k / r4k, r256 / r1k); // degradation accelerates below 1KB
+}
+
+/** Property sweep over entropy levels and seeds. */
+class MemDeflatePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(MemDeflatePropertyTest, RoundTrip)
+{
+    const auto [seed, alphabet] = GetParam();
+    Rng rng(seed + 300);
+    MemDeflate codec;
+    expectRoundTrip(codec,
+                    test::randomPage(rng, pageSize,
+                                     static_cast<unsigned>(alphabet)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MemDeflatePropertyTest,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(2, 3, 16, 100, 256)));
+
+} // namespace
+} // namespace tmcc

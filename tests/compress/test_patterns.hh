@@ -1,0 +1,111 @@
+/** Shared generators of 64B blocks and 4KB pages for compressor tests. */
+
+#ifndef TMCC_TESTS_COMPRESS_TEST_PATTERNS_HH
+#define TMCC_TESTS_COMPRESS_TEST_PATTERNS_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace tmcc::test
+{
+
+using Block = std::array<std::uint8_t, blockSize>;
+using Page = std::vector<std::uint8_t>;
+
+inline Block
+zeroBlock()
+{
+    Block b{};
+    return b;
+}
+
+inline Block
+repeatedQwordBlock(std::uint64_t v)
+{
+    Block b;
+    for (std::size_t i = 0; i < blockSize; i += 8)
+        std::memcpy(b.data() + i, &v, 8);
+    return b;
+}
+
+/** 8B words: base plus small deltas (BDI's sweet spot). */
+inline Block
+baseDeltaBlock(std::uint64_t base, int spread, Rng &rng)
+{
+    Block b;
+    for (std::size_t i = 0; i < blockSize; i += 8) {
+        const std::uint64_t v = base + rng.below(spread);
+        std::memcpy(b.data() + i, &v, 8);
+    }
+    return b;
+}
+
+/** 4B ints counting up (BPC's sweet spot). */
+inline Block
+strideBlock(std::uint32_t start, std::uint32_t stride)
+{
+    Block b;
+    for (std::size_t i = 0; i < blockSize / 4; ++i) {
+        const std::uint32_t v = start + stride * static_cast<uint32_t>(i);
+        std::memcpy(b.data() + i * 4, &v, 4);
+    }
+    return b;
+}
+
+inline Block
+randomBlock(Rng &rng)
+{
+    Block b;
+    for (auto &byte : b)
+        byte = static_cast<std::uint8_t>(rng.below(256));
+    return b;
+}
+
+/** Random page of given byte-alphabet size (entropy knob). */
+inline Page
+randomPage(Rng &rng, std::size_t size = pageSize, unsigned alphabet = 256)
+{
+    Page p(size);
+    for (auto &byte : p)
+        byte = static_cast<std::uint8_t>(rng.below(alphabet));
+    return p;
+}
+
+/** Page of text-like content with repeats (LZ-friendly). */
+inline Page
+textPage(Rng &rng, std::size_t size = pageSize)
+{
+    static const char words[] =
+        "the quick brown fox jumps over lazy dogs while memory "
+        "compression hides translation latency in the controller ";
+    Page p;
+    while (p.size() < size) {
+        const std::size_t start = rng.below(sizeof(words) - 16);
+        const std::size_t len = 4 + rng.below(12);
+        for (std::size_t i = 0; i < len && p.size() < size; ++i)
+            p.push_back(static_cast<std::uint8_t>(words[start + i]));
+    }
+    return p;
+}
+
+/** Pointer-heavy page: 8B values sharing high bits (heap-like). */
+inline Page
+pointerPage(Rng &rng, std::size_t size = pageSize)
+{
+    Page p(size);
+    const std::uint64_t heap_base = 0x00007f3a'00000000ULL;
+    for (std::size_t i = 0; i + 8 <= size; i += 8) {
+        const std::uint64_t v = heap_base + (rng.below(1 << 20) << 4);
+        std::memcpy(p.data() + i, &v, 8);
+    }
+    return p;
+}
+
+} // namespace tmcc::test
+
+#endif // TMCC_TESTS_COMPRESS_TEST_PATTERNS_HH

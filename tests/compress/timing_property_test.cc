@@ -1,0 +1,87 @@
+/** Property tests for the ASIC timing models. */
+
+#include <gtest/gtest.h>
+
+#include "compress/deflate_timing.hh"
+#include "tests/compress/test_patterns.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+class TimingPropertyTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(TimingPropertyTest, LatenciesPositiveAndOrdered)
+{
+    Rng rng(GetParam() + 500);
+    MemDeflate codec;
+    MemDeflateTiming model;
+
+    std::vector<std::uint8_t> page;
+    switch (GetParam() % 3) {
+      case 0: page = test::textPage(rng); break;
+      case 1: page = test::pointerPage(rng); break;
+      default: page = test::randomPage(rng, pageSize, 32); break;
+    }
+    const CompressedPage cp = codec.compress(page.data(), page.size());
+    const DeflateTiming t = model.timing(cp);
+
+    EXPECT_GT(t.decompressLatency, 0u);
+    EXPECT_GT(t.compressLatency, t.decompressLatency);
+    EXPECT_LT(t.halfPageLatency, t.decompressLatency);
+    EXPECT_GT(t.compressGBs, 1.0);
+    EXPECT_GT(t.decompressGBs, 1.0);
+}
+
+TEST_P(TimingPropertyTest, OffsetLatencyMonotoneAndBounded)
+{
+    Rng rng(GetParam() + 900);
+    MemDeflate codec;
+    MemDeflateTiming model;
+    const auto page = test::textPage(rng);
+    const CompressedPage cp = codec.compress(page.data(), page.size());
+
+    Tick prev = 0;
+    for (std::size_t off = 0; off < pageSize; off += 256) {
+        const Tick t = model.decompressLatencyToOffset(cp, off);
+        ASSERT_GE(t, prev);
+        ASSERT_LE(t, model.timing(cp).decompressLatency);
+        prev = t;
+    }
+}
+
+TEST_P(TimingPropertyTest, OurAsicAlwaysBeatsIbmOnPages)
+{
+    Rng rng(GetParam() + 1300);
+    MemDeflate codec;
+    MemDeflateTiming ours;
+    IbmDeflateTiming ibm;
+
+    const auto page = (GetParam() % 2) ? test::textPage(rng)
+                                       : test::pointerPage(rng);
+    const CompressedPage cp = codec.compress(page.data(), page.size());
+    EXPECT_LT(ours.timing(cp).decompressLatency,
+              ibm.decompressLatency(pageSize));
+    EXPECT_LT(ours.timing(cp).compressLatency,
+              ibm.compressLatency(pageSize));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimingPropertyTest,
+                         ::testing::Range(0, 9));
+
+TEST(IbmTiming, OffsetLatencyMatchesStreamRate)
+{
+    IbmDeflateTiming ibm;
+    const Tick quarter =
+        ibm.decompressLatencyToOffset(pageSize, pageSize / 4);
+    const Tick half =
+        ibm.decompressLatencyToOffset(pageSize, pageSize / 2);
+    // The second quarter streams at the published 15 GB/s.
+    const double delta_ns = ticksToNs(half - quarter);
+    EXPECT_NEAR(delta_ns, (pageSize / 4) / 15.0, 2.0);
+}
+
+} // namespace
+} // namespace tmcc

@@ -1,0 +1,126 @@
+/** Tests for the DRAM address map and interleaving policies. */
+
+#include <gtest/gtest.h>
+
+#include "dram/address_map.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+TEST(AddressMap, SingleChannelDecodesFields)
+{
+    DramConfig dram;
+    InterleaveConfig il;
+    AddressMap map(dram, il);
+
+    const DramCoordinates c0 = map.decode(0);
+    EXPECT_EQ(c0.mc, 0u);
+    EXPECT_EQ(c0.channel, 0u);
+    EXPECT_EQ(c0.column, 0u);
+
+    // Next block advances the column.
+    const DramCoordinates c1 = map.decode(blockSize);
+    EXPECT_EQ(c1.column, 1u);
+    EXPECT_EQ(c1.rank, c0.rank);
+    EXPECT_EQ(c1.row, c0.row);
+}
+
+TEST(AddressMap, RowBytesSpanOneRow)
+{
+    DramConfig dram;
+    InterleaveConfig il;
+    AddressMap map(dram, il);
+
+    // All blocks within one row-buffer's worth share (rank,bank,row).
+    const DramCoordinates first = map.decode(0);
+    for (Addr a = 0; a < dram.rowBytes; a += blockSize) {
+        const DramCoordinates c = map.decode(a);
+        EXPECT_EQ(c.row, first.row);
+        EXPECT_EQ(c.rank, first.rank);
+        EXPECT_EQ(c.bank, first.bank);
+    }
+    // The next row-sized chunk moves somewhere else.
+    const DramCoordinates next = map.decode(dram.rowBytes);
+    EXPECT_TRUE(next.bank != first.bank || next.rank != first.rank ||
+                next.row != first.row);
+}
+
+TEST(AddressMap, McInterleaveGranularity)
+{
+    DramConfig dram;
+    InterleaveConfig il;
+    il.numMcs = 2;
+    il.mcGranularity = 512;
+    AddressMap map(dram, il);
+
+    EXPECT_EQ(map.decode(0).mc, 0u);
+    EXPECT_EQ(map.decode(511).mc, 0u);
+    EXPECT_EQ(map.decode(512).mc, 1u);
+    EXPECT_EQ(map.decode(1024).mc, 0u);
+}
+
+TEST(AddressMap, PageGranularMcInterleaveForTmcc)
+{
+    // §VIII: TMCC needs >= 4KB interleaving across MCs so a page stays
+    // within one MC.
+    DramConfig dram;
+    InterleaveConfig il;
+    il.numMcs = 2;
+    il.mcGranularity = 4096;
+    AddressMap map(dram, il);
+
+    for (Addr a = 0; a < pageSize; a += blockSize)
+        EXPECT_EQ(map.decode(a).mc, 0u);
+    for (Addr a = pageSize; a < 2 * pageSize; a += blockSize)
+        EXPECT_EQ(map.decode(a).mc, 1u);
+}
+
+TEST(AddressMap, ChannelInterleave256B)
+{
+    DramConfig dram;
+    InterleaveConfig il;
+    il.channelsPerMc = 2;
+    il.channelGranularity = 256;
+    AddressMap map(dram, il);
+
+    EXPECT_EQ(map.decode(0).channel, 0u);
+    EXPECT_EQ(map.decode(256).channel, 1u);
+    EXPECT_EQ(map.decode(512).channel, 0u);
+}
+
+TEST(AddressMap, SequentialStreamsSpreadOverBanks)
+{
+    DramConfig dram;
+    InterleaveConfig il;
+    AddressMap map(dram, il);
+
+    // Row-sized strides with the XOR hash should not all land in the
+    // same bank.
+    std::set<unsigned> banks;
+    for (int i = 0; i < 64; ++i)
+        banks.insert(map.decode(static_cast<Addr>(i) *
+                                dram.rowBytes).bank);
+    EXPECT_GT(banks.size(), 4u);
+}
+
+TEST(AddressMap, CoordinatesWithinBounds)
+{
+    DramConfig dram;
+    InterleaveConfig il;
+    il.numMcs = 2;
+    il.channelsPerMc = 2;
+    AddressMap map(dram, il);
+
+    for (Addr a = 0; a < (64ULL << 20); a += 4093 * blockSize) {
+        const DramCoordinates c = map.decode(a);
+        EXPECT_LT(c.mc, il.numMcs);
+        EXPECT_LT(c.channel, il.channelsPerMc);
+        EXPECT_LT(c.rank, dram.ranks);
+        EXPECT_LT(c.bank, dram.bankGroups * dram.banksPerGroup);
+    }
+}
+
+} // namespace
+} // namespace tmcc

@@ -1,0 +1,167 @@
+/** Tests for the DDR4 channel timing model. */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_channel.hh"
+#include "dram/dram_system.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+DramCoordinates
+at(unsigned rank, unsigned bank, std::uint64_t row,
+   std::uint64_t col = 0)
+{
+    DramCoordinates c;
+    c.rank = rank;
+    c.bank = bank;
+    c.row = row;
+    c.column = col;
+    return c;
+}
+
+TEST(DramChannel, ColdReadPaysActivate)
+{
+    DramConfig cfg;
+    DramChannel ch(cfg);
+    const Tick done = ch.read(at(0, 0, 5), 0);
+    // tRCD + tCL + burst = 13.75 + 13.75 + 2.5 = 30ns.
+    EXPECT_NEAR(ticksToNs(done), 30.0, 0.1);
+}
+
+TEST(DramChannel, RowHitIsFaster)
+{
+    DramConfig cfg;
+    DramChannel ch(cfg);
+    const Tick first = ch.read(at(0, 0, 5), 0);
+    const Tick second = ch.read(at(0, 0, 5, 1), first);
+    // Row hit: tCL + burst = 16.25ns.
+    EXPECT_NEAR(ticksToNs(second - first), 16.25, 0.1);
+    EXPECT_EQ(ch.rowHits().value(), 1u);
+}
+
+TEST(DramChannel, RowConflictPaysPrecharge)
+{
+    DramConfig cfg;
+    DramChannel ch(cfg);
+    const Tick first = ch.read(at(0, 0, 5), 0);
+    const Tick second = ch.read(at(0, 0, 9), first);
+    // Conflict: tRP + tRCD + tCL + burst = 43.75ns.
+    EXPECT_NEAR(ticksToNs(second - first), 43.75, 0.1);
+}
+
+TEST(DramChannel, RowAccessCapForcesClosure)
+{
+    // FR-FCFS-Capped (Table III): after 4 back-to-back hits the row
+    // closes; the 5th access to the same row pays an activate again.
+    DramConfig cfg;
+    ASSERT_EQ(cfg.rowAccessCap, 4u);
+    DramChannel ch(cfg);
+
+    Tick t = ch.read(at(0, 0, 5), 0); // opens (miss)
+    for (int i = 0; i < 3; ++i)
+        t = ch.read(at(0, 0, 5), t); // hits 2..4
+    const Tick before = t;
+    t = ch.read(at(0, 0, 5), t); // capped: activate again
+    EXPECT_GT(ticksToNs(t - before), 25.0);
+    StatDump d;
+    ch.dumpStats(d, "ch");
+    EXPECT_GE(d.get("ch.cap_closures"), 1.0);
+}
+
+TEST(DramChannel, IndependentBanksOverlap)
+{
+    DramConfig cfg;
+    DramChannel ch(cfg);
+    // Two cold reads to different banks at the same arrival: the
+    // second is delayed only by the shared data bus, not the full
+    // bank access.
+    const Tick a = ch.read(at(0, 0, 1), 0);
+    const Tick b = ch.read(at(0, 1, 1), 0);
+    EXPECT_NEAR(ticksToNs(a), 30.0, 0.1);
+    EXPECT_NEAR(ticksToNs(b), 32.5, 0.1); // + one burst slot
+}
+
+TEST(DramChannel, QueueingDelaysBackToBackSameBank)
+{
+    DramConfig cfg;
+    DramChannel ch(cfg);
+    const Tick a = ch.read(at(0, 0, 1), 0);
+    const Tick b = ch.read(at(0, 0, 2), 0); // same bank, conflict
+    EXPECT_GT(b, a);
+    EXPECT_GT(ticksToNs(b - a), 40.0);
+}
+
+TEST(DramChannel, WritesArePostedAndDrainLater)
+{
+    DramConfig cfg;
+    DramChannel ch(cfg);
+    for (unsigned i = 0; i < cfg.writeDrainHigh - 1; ++i)
+        ch.write(at(0, i % 16, i), 0);
+    EXPECT_EQ(ch.writes().value(), cfg.writeDrainHigh - 1);
+    EXPECT_EQ(ch.busBusyWrites(), 0u); // nothing drained yet
+
+    // Crossing the high watermark forces a drain on the next read.
+    ch.write(at(0, 0, 99), 0);
+    const Tick r = ch.read(at(1, 0, 1), 0);
+    EXPECT_GT(ch.busBusyWrites(), 0u);
+    EXPECT_GT(ticksToNs(r), 30.0); // read delayed behind the drain
+}
+
+TEST(DramChannel, DrainAllEmptiesQueue)
+{
+    DramConfig cfg;
+    DramChannel ch(cfg);
+    for (int i = 0; i < 10; ++i)
+        ch.write(at(0, 0, i), 0);
+    ch.drainAll(0);
+    EXPECT_GT(ch.busBusyWrites(), 0u);
+    StatDump d;
+    ch.dumpStats(d, "ch");
+    EXPECT_GE(d.get("ch.write_drains"), 1.0);
+}
+
+TEST(DramChannel, UtilizationAccounting)
+{
+    DramConfig cfg;
+    DramChannel ch(cfg);
+    Tick t = 0;
+    for (int i = 0; i < 100; ++i)
+        t = ch.read(at(0, i % 16, i), t);
+    const double util = ch.busUtilization(0, t);
+    EXPECT_GT(util, 0.02);
+    EXPECT_LE(util, 1.0);
+}
+
+TEST(DramSystem, RoutesAcrossChannels)
+{
+    DramConfig dram;
+    InterleaveConfig il;
+    il.numMcs = 2;
+    il.channelsPerMc = 2;
+    il.mcGranularity = 4096;
+    il.channelGranularity = 256;
+    DramSystem sys(dram, il);
+
+    sys.read(0, 0);
+    sys.read(256, 0);     // other channel, same MC
+    sys.read(4096, 0);    // other MC
+    EXPECT_EQ(sys.channel(0, 0).reads().value(), 1u);
+    EXPECT_EQ(sys.channel(0, 1).reads().value(), 1u);
+    EXPECT_EQ(sys.channel(1, 0).reads().value(), 1u);
+}
+
+TEST(DramSystem, CapacityAggregates)
+{
+    DramConfig dram;
+    InterleaveConfig il;
+    il.numMcs = 2;
+    il.channelsPerMc = 2;
+    DramSystem sys(dram, il);
+    EXPECT_EQ(sys.capacityBytes(), dram.channelBytes * 4);
+}
+
+} // namespace
+} // namespace tmcc

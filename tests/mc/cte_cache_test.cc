@@ -1,0 +1,102 @@
+/** Tests for the CTE cache: the reach math of §III/IV. */
+
+#include <gtest/gtest.h>
+
+#include "mc/cte.hh"
+#include "mc/cte_cache.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+TEST(CteCache, MissInsertHit)
+{
+    CteCache cache(64 * 1024, 8);
+    EXPECT_FALSE(cache.lookup(100));
+    cache.insert(100);
+    EXPECT_TRUE(cache.lookup(100));
+}
+
+TEST(CteCache, PageLevelBlockCoversEightPages)
+{
+    // TMCC: one 64B CTE block holds 8 page CTEs (Table III).
+    CteCache cache(64 * 1024, 8);
+    cache.insert(800); // covers pages 800..807
+    for (Ppn p = 800; p < 808; ++p)
+        EXPECT_TRUE(cache.probe(p));
+    EXPECT_FALSE(cache.probe(808));
+    EXPECT_FALSE(cache.probe(799));
+}
+
+TEST(CteCache, BlockLevelCoversOnePage)
+{
+    // Compresso: one metadata block per page.
+    CteCache cache(128 * 1024, 1);
+    cache.insert(800);
+    EXPECT_TRUE(cache.probe(800));
+    EXPECT_FALSE(cache.probe(801));
+}
+
+TEST(CteCache, ReachRatioIsEightToOne)
+{
+    // 64KB page-level cache reaches 8x as many pages as a 64KB
+    // block-level cache -- the §IV argument.
+    CteCache page_level(64 * 1024, 8);
+    CteCache block_level(64 * 1024, 1);
+
+    // Touch pages until the block-level cache starts evicting.
+    const unsigned blocks = 64 * 1024 / 64;
+    unsigned page_hits = 0, block_hits = 0;
+    for (Ppn p = 0; p < blocks * 4; ++p) {
+        page_level.insert(p);
+        block_level.insert(p);
+    }
+    for (Ppn p = 0; p < blocks * 4; ++p) {
+        page_hits += page_level.probe(p);
+        block_hits += block_level.probe(p);
+    }
+    EXPECT_GT(page_hits, block_hits * 3u);
+}
+
+TEST(CteCache, InvalidateDropsWholeBlock)
+{
+    CteCache cache(64 * 1024, 8);
+    cache.insert(64);
+    cache.invalidate(65); // same CTE block
+    EXPECT_FALSE(cache.probe(64));
+}
+
+TEST(CteCache, LruWithinSet)
+{
+    // Tiny cache: 2 sets x 2 ways at 1 page per block.
+    CteCache cache(4 * 64, 1, 2);
+    cache.insert(0);
+    cache.insert(2); // same set (stride = sets = 2)
+    EXPECT_TRUE(cache.lookup(0)); // refresh
+    cache.insert(4); // evicts 2
+    EXPECT_TRUE(cache.probe(0));
+    EXPECT_FALSE(cache.probe(2));
+}
+
+TEST(CteCache, StatsTrackHitRate)
+{
+    CteCache cache(64 * 1024, 8);
+    cache.lookup(1); // miss
+    cache.insert(1);
+    cache.lookup(1); // hit
+    StatDump d;
+    cache.dumpStats(d, "c");
+    EXPECT_DOUBLE_EQ(d.get("c.hit_rate"), 0.5);
+}
+
+TEST(PageCte, TruncationMask)
+{
+    PageCte cte;
+    cte.dramFrame = 0x1ffffffffULL;
+    EXPECT_EQ(cte.truncated(28), 0xfffffffULL);
+    EXPECT_EQ(cte.truncated(64), 0x1ffffffffULL);
+}
+
+} // namespace
+} // namespace tmcc

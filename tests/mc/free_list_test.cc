@@ -1,0 +1,136 @@
+/** Tests for the ML1/ML2 free lists (Fig. 3) and Compresso chunks. */
+
+#include <gtest/gtest.h>
+
+#include "mc/free_list.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+TEST(Ml1FreeList, SeedPopPush)
+{
+    Ml1FreeList list;
+    list.seed(100, 10);
+    EXPECT_EQ(list.size(), 10u);
+    EXPECT_EQ(list.pop(), 100u); // ascending pops
+    EXPECT_EQ(list.pop(), 101u);
+    list.push(100);
+    EXPECT_EQ(list.pop(), 100u); // LIFO
+}
+
+TEST(SubChunkClasses, FragmentFree)
+{
+    // (4KB * M) mod N == 0 for every class (§IV-B).
+    for (const auto &c : subChunkClasses) {
+        EXPECT_EQ((pageSize * c.chunksM) % c.subChunksN, 0u);
+        EXPECT_EQ(pageSize * c.chunksM / c.subChunksN, c.bytes);
+    }
+}
+
+TEST(Ml2FreeLists, ClassForSelectsSmallestFit)
+{
+    EXPECT_EQ(Ml2FreeLists::classFor(1), 0u);       // 256B
+    EXPECT_EQ(Ml2FreeLists::classFor(256), 0u);
+    EXPECT_EQ(Ml2FreeLists::classFor(257), 1u);     // 512B
+    EXPECT_EQ(Ml2FreeLists::classFor(1500), 4u);    // 1536B
+    EXPECT_EQ(Ml2FreeLists::classFor(3072), 6u);
+    EXPECT_EQ(Ml2FreeLists::classFor(3073),
+              subChunkClasses.size()); // no class fits
+}
+
+TEST(Ml2FreeLists, AllocGrowsFromMl1)
+{
+    Ml1FreeList ml1;
+    ml1.seed(0, 16);
+    Ml2FreeLists ml2(ml1);
+
+    SubChunk sc;
+    ASSERT_TRUE(ml2.alloc(4, sc)); // 1536B class: M=3, N=8
+    EXPECT_EQ(ml1.size(), 13u);    // 3 chunks consumed
+    EXPECT_EQ(ml2.heldChunks(), 3u);
+    EXPECT_EQ(ml2.liveBytes(), 1536u);
+}
+
+TEST(Ml2FreeLists, SubChunksDontOverlap)
+{
+    Ml1FreeList ml1;
+    ml1.seed(0, 16);
+    Ml2FreeLists ml2(ml1);
+
+    std::vector<SubChunk> subs;
+    for (int i = 0; i < 8; ++i) {
+        SubChunk sc;
+        ASSERT_TRUE(ml2.alloc(4, sc)); // all 8 slots of one super-chunk
+        subs.push_back(sc);
+    }
+    // Addresses must be distinct and 1536B apart within the frames.
+    for (std::size_t i = 0; i < subs.size(); ++i)
+        for (std::size_t j = i + 1; j < subs.size(); ++j)
+            EXPECT_GE(
+                std::max(subs[i].dramAddr, subs[j].dramAddr) -
+                    std::min(subs[i].dramAddr, subs[j].dramAddr),
+                1536u);
+    // Still only one super-chunk worth of frames consumed.
+    EXPECT_EQ(ml2.heldChunks(), 3u);
+}
+
+TEST(Ml2FreeLists, EmptySuperChunkReturnsToMl1)
+{
+    Ml1FreeList ml1;
+    ml1.seed(0, 16);
+    Ml2FreeLists ml2(ml1);
+
+    SubChunk a, b;
+    ASSERT_TRUE(ml2.alloc(5, a)); // 2048B: M=1, N=2
+    ASSERT_TRUE(ml2.alloc(5, b));
+    EXPECT_EQ(ml1.size(), 15u);
+    ml2.free(a);
+    EXPECT_EQ(ml1.size(), 15u); // super-chunk still half used
+    ml2.free(b);
+    EXPECT_EQ(ml1.size(), 16u); // returned to ML1 (§IV-B)
+    EXPECT_EQ(ml2.heldChunks(), 0u);
+}
+
+TEST(Ml2FreeLists, AllocFailsWhenMl1Dry)
+{
+    Ml1FreeList ml1;
+    ml1.seed(0, 2);
+    Ml2FreeLists ml2(ml1);
+    SubChunk sc;
+    // 768B class needs M=3 chunks; only 2 available.
+    EXPECT_FALSE(ml2.alloc(2, sc));
+    // 512B class needs 1 chunk: fine.
+    EXPECT_TRUE(ml2.alloc(1, sc));
+}
+
+TEST(Ml2FreeLists, FreedSlotTracksAtTop)
+{
+    Ml1FreeList ml1;
+    ml1.seed(0, 16);
+    Ml2FreeLists ml2(ml1);
+
+    SubChunk a, b;
+    ASSERT_TRUE(ml2.alloc(1, a)); // 512B: N=8
+    ASSERT_TRUE(ml2.alloc(1, b));
+    ml2.free(a);
+    // Next alloc reuses the freed slot (top of list, §IV-B).
+    SubChunk c;
+    ASSERT_TRUE(ml2.alloc(1, c));
+    EXPECT_EQ(c.dramAddr, a.dramAddr);
+}
+
+TEST(ChunkFreeList, SeedPopPush)
+{
+    ChunkFreeList list(512);
+    list.seed(0x10000, 4);
+    EXPECT_EQ(list.size(), 4u);
+    const Addr a = list.pop();
+    EXPECT_EQ(a, 0x10000u);
+    list.push(a);
+    EXPECT_EQ(list.pop(), a);
+}
+
+} // namespace
+} // namespace tmcc

@@ -1,0 +1,114 @@
+/** Tests for the sampled Recency List (§IV-B). */
+
+#include <gtest/gtest.h>
+
+#include "mc/recency_list.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+TEST(RecencyList, InsertAndEvictOrder)
+{
+    RecencyList list(1.0); // deterministic: every touch promotes
+    list.insertHot(1);
+    list.insertHot(2);
+    list.insertHot(3);
+    // 1 is the coldest.
+    EXPECT_EQ(list.coldest(), 1u);
+    EXPECT_EQ(list.popColdest(), 1u);
+    EXPECT_EQ(list.popColdest(), 2u);
+    EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(RecencyList, TouchPromotes)
+{
+    RecencyList list(1.0);
+    list.insertHot(1);
+    list.insertHot(2);
+    list.insertHot(3);
+    list.touch(1); // promote the coldest
+    EXPECT_EQ(list.coldest(), 2u);
+}
+
+TEST(RecencyList, SampledTouchPromotesSometimes)
+{
+    RecencyList list(0.5, 42);
+    for (Ppn p = 0; p < 100; ++p)
+        list.insertHot(p);
+    // Touch page 0 (the coldest) many times; with 50% sampling it must
+    // move up quickly.
+    for (int i = 0; i < 20; ++i)
+        list.touch(0);
+    EXPECT_NE(list.coldest(), 0u);
+}
+
+TEST(RecencyList, ZeroSamplingNeverPromotes)
+{
+    RecencyList list(0.0);
+    list.insertHot(1);
+    list.insertHot(2);
+    for (int i = 0; i < 100; ++i)
+        list.touch(1);
+    EXPECT_EQ(list.coldest(), 1u);
+}
+
+TEST(RecencyList, RemoveUntracksPage)
+{
+    RecencyList list(1.0);
+    list.insertHot(1);
+    list.insertHot(2);
+    list.remove(1);
+    EXPECT_FALSE(list.contains(1));
+    EXPECT_EQ(list.size(), 1u);
+    list.remove(99); // absent: no-op
+}
+
+TEST(RecencyList, InsertColdGoesToTail)
+{
+    RecencyList list(1.0);
+    list.insertHot(1);
+    list.insertHot(2);
+    list.insertCold(3);
+    EXPECT_EQ(list.coldest(), 3u);
+}
+
+TEST(RecencyList, ReinsertMovesExisting)
+{
+    RecencyList list(1.0);
+    list.insertHot(1);
+    list.insertHot(2);
+    list.insertHot(1); // move, not duplicate
+    EXPECT_EQ(list.size(), 2u);
+    EXPECT_EQ(list.coldest(), 2u);
+}
+
+TEST(RecencyList, MaybeReadmitIsProbabilistic)
+{
+    RecencyList list(0.01, 7);
+    // ~1% readmission probability (§IV-B): over many writebacks the
+    // page re-enters roughly 1% of the time.
+    unsigned admitted = 0;
+    for (int i = 0; i < 10000; ++i) {
+        if (list.maybeReadmit(5)) {
+            ++admitted;
+            list.remove(5); // simulate re-eviction
+        }
+    }
+    EXPECT_GT(admitted, 50u);
+    EXPECT_LT(admitted, 200u);
+}
+
+TEST(RecencyList, OverheadBytesTracksSize)
+{
+    RecencyList list(1.0);
+    EXPECT_EQ(list.overheadBytes(), 0u);
+    for (Ppn p = 0; p < 10; ++p)
+        list.insertHot(p);
+    // PPN + two pointers per element.
+    EXPECT_EQ(list.overheadBytes(), 10u * 24u);
+}
+
+} // namespace
+} // namespace tmcc

@@ -1,0 +1,172 @@
+/** Integration tests: the assembled system end to end. */
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+SimConfig
+tinyConfig(Arch arch, const std::string &workload = "pageRank")
+{
+    SimConfig cfg = SimConfig::scaledDefault();
+    cfg.workload = workload;
+    cfg.scale = 0.02;
+    cfg.arch = arch;
+    cfg.placementAccesses = 20'000;
+    cfg.warmAccesses = 10'000;
+    cfg.measureAccesses = 20'000;
+    return cfg;
+}
+
+TEST(System, NoCompressionRuns)
+{
+    System sys(tinyConfig(Arch::NoCompression));
+    const SimResult r = sys.run();
+    EXPECT_GT(r.accesses, 0u);
+    EXPECT_GT(r.elapsed, 0u);
+    EXPECT_GT(r.accessesPerNs(), 0.0);
+    EXPECT_DOUBLE_EQ(r.compressionRatio(), 1.0);
+    EXPECT_EQ(r.cteMisses + r.cteHits, 0u); // no CTE machinery
+}
+
+TEST(System, CompressoSavesMemoryAndPaysLatency)
+{
+    System base(tinyConfig(Arch::NoCompression));
+    const SimResult rb = base.run();
+    System comp(tinyConfig(Arch::Compresso));
+    const SimResult rc = comp.run();
+
+    EXPECT_GT(rc.compressionRatio(), 1.02);
+    EXPECT_GT(rc.avgL3MissLatencyNs, rb.avgL3MissLatencyNs);
+    EXPECT_LT(rc.accessesPerNs(), rb.accessesPerNs() * 1.02);
+}
+
+TEST(System, TmccBeatsCompressoAtIsoSavings)
+{
+    System comp(tinyConfig(Arch::Compresso));
+    const SimResult rc = comp.run();
+    System tmcc(tinyConfig(Arch::Tmcc));
+    const SimResult rt = tmcc.run();
+
+    // Iso-savings (Fig. 17): similar DRAM usage, higher performance.
+    EXPECT_NEAR(rt.compressionRatio(), rc.compressionRatio(),
+                rc.compressionRatio() * 0.25);
+    EXPECT_GT(rt.accessesPerNs(), rc.accessesPerNs());
+    EXPECT_LT(rt.avgL3MissLatencyNs, rc.avgL3MissLatencyNs);
+}
+
+TEST(System, TmccNoSlowerThanBarebone)
+{
+    System bb(tinyConfig(Arch::Barebone));
+    const SimResult r1 = bb.run();
+    System tm(tinyConfig(Arch::Tmcc));
+    const SimResult r2 = tm.run();
+    EXPECT_GE(r2.accessesPerNs(), r1.accessesPerNs() * 0.98);
+}
+
+TEST(System, TlbAndWalksHappen)
+{
+    System sys(tinyConfig(Arch::Tmcc));
+    const SimResult r = sys.run();
+    EXPECT_GT(r.tlbMisses, 0u);
+    EXPECT_GT(r.stats.get("core0.walker.walks"), 0.0);
+    EXPECT_GT(r.stats.get("core0.walker.pwc.hits"), 0.0);
+}
+
+TEST(System, CteMissesFollowTlbMisses)
+{
+    // §V-A1 / Fig. 5: most CTE misses follow TLB misses.
+    System sys(tinyConfig(Arch::Tmcc, "mcf"));
+    const SimResult r = sys.run();
+    ASSERT_GT(r.cteMisses, 0u);
+    EXPECT_GT(static_cast<double>(r.cteMissesAfterTlbMiss) /
+                  static_cast<double>(r.cteMisses),
+              0.5);
+}
+
+TEST(System, EmbeddedCtesProduceParallelAccesses)
+{
+    System sys(tinyConfig(Arch::Tmcc, "mcf"));
+    const SimResult r = sys.run();
+    EXPECT_GT(r.ml1Parallel, 0u);
+    // Barebone never uses the parallel path.
+    System bb(tinyConfig(Arch::Barebone, "mcf"));
+    const SimResult rb = bb.run();
+    EXPECT_EQ(rb.ml1Parallel, 0u);
+}
+
+TEST(System, DeterministicAcrossRuns)
+{
+    System a(tinyConfig(Arch::Tmcc));
+    System b(tinyConfig(Arch::Tmcc));
+    const SimResult ra = a.run();
+    const SimResult rb = b.run();
+    EXPECT_EQ(ra.accesses, rb.accesses);
+    EXPECT_EQ(ra.elapsed, rb.elapsed);
+    EXPECT_EQ(ra.llcMisses, rb.llcMisses);
+    EXPECT_EQ(ra.cteMisses, rb.cteMisses);
+}
+
+TEST(System, HugePagesReduceTlbMisses)
+{
+    SimConfig small = tinyConfig(Arch::NoCompression, "mcf");
+    System sys4k(small);
+    const SimResult r4k = sys4k.run();
+
+    SimConfig huge = small;
+    huge.hugePages = true;
+    System sys2m(huge);
+    const SimResult r2m = sys2m.run();
+
+    EXPECT_LT(r2m.tlbMisses, r4k.tlbMisses / 2 + 1);
+}
+
+TEST(System, HugePagesDisableMl1Embedding)
+{
+    // §VIII: PTBs for huge pages cover 16MB; CTEs don't fit, so the
+    // parallel-access path disappears while ML2 still works.
+    SimConfig cfg = tinyConfig(Arch::Tmcc, "mcf");
+    cfg.hugePages = true;
+    System sys(cfg);
+    const SimResult r = sys.run();
+    EXPECT_EQ(r.ml1Parallel, 0u);
+}
+
+TEST(System, BudgetFractionControlsCapacity)
+{
+    SimConfig loose = tinyConfig(Arch::Tmcc);
+    loose.dramBudgetFraction = 0.9;
+    System a(loose);
+    const SimResult ra = a.run();
+
+    SimConfig tight = tinyConfig(Arch::Tmcc);
+    tight.dramBudgetFraction = 0.55;
+    System b(tight);
+    const SimResult rb = b.run();
+
+    EXPECT_GT(rb.compressionRatio(), ra.compressionRatio());
+    EXPECT_GT(rb.ml2Accesses, ra.ml2Accesses);
+}
+
+TEST(System, StorePerformanceMetricPopulated)
+{
+    System sys(tinyConfig(Arch::NoCompression, "canneal"));
+    const SimResult r = sys.run();
+    EXPECT_GT(r.storeAccesses, 0u);
+    EXPECT_GT(r.storesPerCycle(), 0.0);
+}
+
+TEST(System, BandwidthUtilizationBounded)
+{
+    System sys(tinyConfig(Arch::NoCompression, "stream"));
+    const SimResult r = sys.run();
+    EXPECT_GT(r.readBusUtil + r.writeBusUtil, 0.005);
+    EXPECT_LT(r.readBusUtil + r.writeBusUtil, 1.2);
+}
+
+} // namespace
+} // namespace tmcc

@@ -1,0 +1,102 @@
+/** Tests for the 64-entry CTE Buffer (§V-A3, Fig. 10). */
+
+#include <gtest/gtest.h>
+
+#include "tmcc/cte_buffer.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+TEST(CteBuffer, InsertLookup)
+{
+    CteBuffer buf(4);
+    buf.insert(100, true, 0xaa, 0x5000);
+    const auto *e = buf.lookup(100);
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(e->hasCte);
+    EXPECT_EQ(e->cte, 0xaau);
+    EXPECT_EQ(e->ptbAddr, 0x5000u);
+    EXPECT_EQ(buf.lookup(101), nullptr);
+}
+
+TEST(CteBuffer, SlotWithoutCte)
+{
+    // Bigger machines can't embed a CTE for every PTE (§V-A5); the
+    // buffer still records the PPN -> PTB association.
+    CteBuffer buf(4);
+    buf.insert(200, false, 0, 0x6000);
+    const auto *e = buf.lookup(200);
+    ASSERT_NE(e, nullptr);
+    EXPECT_FALSE(e->hasCte);
+}
+
+TEST(CteBuffer, LruReplacement)
+{
+    CteBuffer buf(2);
+    buf.insert(1, true, 1, 0x100);
+    buf.insert(2, true, 2, 0x200);
+    buf.lookup(1); // refresh
+    buf.insert(3, true, 3, 0x300); // evicts 2
+    EXPECT_NE(buf.lookup(1), nullptr);
+    EXPECT_EQ(buf.lookup(2), nullptr);
+    EXPECT_NE(buf.lookup(3), nullptr);
+}
+
+TEST(CteBuffer, ReinsertUpdatesInPlace)
+{
+    CteBuffer buf(2);
+    buf.insert(1, true, 10, 0x100);
+    buf.insert(1, true, 20, 0x180);
+    const auto *e = buf.lookup(1);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->cte, 20u);
+    EXPECT_EQ(e->ptbAddr, 0x180u);
+}
+
+TEST(CteBuffer, MatchingResponseNeedsNoUpdate)
+{
+    CteBuffer buf(4);
+    buf.insert(1, true, 42, 0x100);
+    EXPECT_EQ(buf.updateOnResponse(1, 42), invalidAddr);
+}
+
+TEST(CteBuffer, StaleResponseReturnsPtbForLazyUpdate)
+{
+    CteBuffer buf(4);
+    buf.insert(1, true, 42, 0x100);
+    // The page migrated: the correct CTE differs.
+    EXPECT_EQ(buf.updateOnResponse(1, 43), 0x100u);
+    // The entry now carries the corrected CTE.
+    const auto *e = buf.lookup(1);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->cte, 43u);
+    // A second identical response no longer reports staleness.
+    EXPECT_EQ(buf.updateOnResponse(1, 43), invalidAddr);
+}
+
+TEST(CteBuffer, MissingCteTreatedAsStale)
+{
+    CteBuffer buf(4);
+    buf.insert(1, false, 0, 0x100);
+    EXPECT_EQ(buf.updateOnResponse(1, 7), 0x100u);
+    EXPECT_TRUE(buf.lookup(1)->hasCte);
+}
+
+TEST(CteBuffer, ResponseForUntrackedPpnIgnored)
+{
+    CteBuffer buf(4);
+    EXPECT_EQ(buf.updateOnResponse(9, 7), invalidAddr);
+}
+
+TEST(CteBuffer, FlushEmpties)
+{
+    CteBuffer buf(4);
+    buf.insert(1, true, 1, 0x100);
+    buf.flush();
+    EXPECT_EQ(buf.lookup(1), nullptr);
+}
+
+} // namespace
+} // namespace tmcc

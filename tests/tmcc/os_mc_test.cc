@@ -1,0 +1,297 @@
+/** Tests for the OS-inspired / TMCC memory controller. */
+
+#include <gtest/gtest.h>
+
+#include "tmcc/os_mc.hh"
+#include "vm/page_table.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+/** Fixed-profile provider. */
+class FakeInfo : public PageInfoProvider
+{
+  public:
+    const PageProfile &
+    profile(Ppn ppn) const override
+    {
+        auto it = special_.find(ppn);
+        return it == special_.end() ? default_ : it->second;
+    }
+
+    PageProfile default_ = [] {
+        PageProfile p;
+        p.blockBytes = 3000;
+        p.deflateBytes = 1400; // 1536B class
+        p.lzTokens = 1500;
+        return p;
+    }();
+    std::unordered_map<Ppn, PageProfile> special_;
+};
+
+class OsMcTest : public ::testing::Test
+{
+  protected:
+    OsMcTest()
+        : dram_(DramConfig{}, InterleaveConfig{}), phys_(100000),
+          table_(phys_)
+    {
+        cfg_.dramBudgetBytes = 40ULL << 20; // 10K frames
+        cfg_.freeListLow = 64;
+        cfg_.freeListCritical = 32;
+        cfg_.ml1TargetPages = 4096;
+        mc_ = std::make_unique<OsInspiredMc>(dram_, info_, phys_, cfg_);
+    }
+
+    McReadRequest
+    readReq(Ppn ppn, Tick when = 1000)
+    {
+        McReadRequest req;
+        req.paddr = ppn << pageShift;
+        req.when = when;
+        return req;
+    }
+
+    DramSystem dram_;
+    PhysMem phys_;
+    PageTable table_;
+    FakeInfo info_;
+    OsMcConfig cfg_;
+    std::unique_ptr<OsInspiredMc> mc_;
+};
+
+TEST_F(OsMcTest, HottestFirstPlacement)
+{
+    // First pages go to ML1; after the target, pages compress to ML2.
+    for (Ppn p = 1; p <= 4096; ++p)
+        mc_->placePage(p);
+    EXPECT_FALSE(mc_->inMl2(1));
+    for (Ppn p = 5000; p < 5010; ++p)
+        mc_->placePage(p);
+    EXPECT_TRUE(mc_->inMl2(5005));
+}
+
+TEST_F(OsMcTest, Ml1ReadCteHitSingleDramAccess)
+{
+    mc_->placePage(1);
+    mc_->cteCache().insert(1);
+    const McReadResponse r = mc_->read(readReq(1));
+    EXPECT_TRUE(r.cteCacheHit);
+    EXPECT_FALSE(r.hitMl2);
+    // One DRAM access: ~30-35ns after the request.
+    EXPECT_LT(ticksToNs(r.complete - 1000), 40.0);
+}
+
+TEST_F(OsMcTest, Ml1CteMissWithoutEmbeddedIsSerial)
+{
+    mc_->placePage(1);
+    const McReadResponse r = mc_->read(readReq(1));
+    EXPECT_FALSE(r.cteCacheHit);
+    EXPECT_TRUE(r.serializedNoCte);
+    // Two serial DRAM accesses: > 50ns.
+    EXPECT_GT(ticksToNs(r.complete - 1000), 50.0);
+}
+
+TEST_F(OsMcTest, EmbeddedCteEnablesParallelAccess)
+{
+    // Same page, fresh MCs on fresh channels: serial vs parallel.
+    DramSystem serial_dram(DramConfig{}, InterleaveConfig{});
+    OsInspiredMc serial_mc(serial_dram, info_, phys_, cfg_);
+    serial_mc.placePage(1);
+    const McReadResponse rs = serial_mc.read(readReq(1));
+    ASSERT_TRUE(rs.serializedNoCte);
+
+    mc_->placePage(1);
+    McReadRequest req = readReq(1);
+    req.hasEmbeddedCte = true;
+    req.embeddedCte = mc_->truncatedCte(1);
+    const McReadResponse r = mc_->read(req);
+    EXPECT_TRUE(r.parallelAccess);
+    EXPECT_FALSE(r.embeddedMismatch);
+    // Parallel access completes no later than the serial path and
+    // typically much earlier (Fig. 8b vs 8a).
+    EXPECT_LE(r.complete, rs.complete);
+}
+
+TEST_F(OsMcTest, StaleEmbeddedCteReaccessesSerially)
+{
+    mc_->placePage(1);
+    McReadRequest req = readReq(1);
+    req.hasEmbeddedCte = true;
+    req.embeddedCte = mc_->truncatedCte(1) + 7; // wrong frame
+    const McReadResponse r = mc_->read(req);
+    EXPECT_TRUE(r.embeddedMismatch);
+    EXPECT_GT(ticksToNs(r.complete - 1000), 55.0);
+    // The piggybacked CTE is the correct one.
+    EXPECT_TRUE(r.hasCorrectCte);
+    EXPECT_EQ(r.correctCte, mc_->truncatedCte(1));
+}
+
+TEST_F(OsMcTest, Ml2ReadDecompressesAndMigrates)
+{
+    for (Ppn p = 1; p <= 4096; ++p)
+        mc_->placePage(p);
+    mc_->placePage(9000);
+    ASSERT_TRUE(mc_->inMl2(9000));
+
+    const McReadResponse r = mc_->read(readReq(9000));
+    EXPECT_TRUE(r.hitMl2);
+    // Deflate decompression to the requested block dominates: the
+    // fast ASIC takes ~30-300ns depending on the offset.
+    EXPECT_GT(ticksToNs(r.complete - 1000), 20.0);
+    // The page migrated to ML1.
+    EXPECT_FALSE(mc_->inMl2(9000));
+}
+
+TEST_F(OsMcTest, IbmDeflateIsSlowerForMl2Reads)
+{
+    OsMcConfig slow = cfg_;
+    slow.fastDeflate = false;
+    OsInspiredMc ibm_mc(dram_, info_, phys_, slow);
+    OsInspiredMc fast_mc(dram_, info_, phys_, cfg_);
+    for (Ppn p = 1; p <= 4097; ++p) {
+        ibm_mc.placePage(p);
+        fast_mc.placePage(p);
+    }
+    mc_->placePage(9000);
+    ibm_mc.placePage(9000);
+    fast_mc.placePage(9000);
+    McReadRequest req = readReq(9000, 100000);
+    req.paddr |= 64; // an early block in the page
+    const Tick ibm = ibm_mc.read(req).complete;
+    const Tick fast = fast_mc.read(req).complete;
+    // IBM pays its >800ns setup; ours is several times faster (§V-B).
+    EXPECT_GT(ticksToNs(ibm - 100000), 800.0);
+    EXPECT_LT(ticksToNs(fast - 100000),
+              ticksToNs(ibm - 100000) / 2.0);
+}
+
+TEST_F(OsMcTest, IncompressiblePageRetainedInMl1)
+{
+    PageProfile incompressible;
+    incompressible.deflateBytes = pageSize;
+    incompressible.blockBytes = pageSize;
+    info_.special_[42] = incompressible;
+    mc_->placePage(42);
+    EXPECT_FALSE(mc_->inMl2(42));
+    // It must not sit on the recency list (never recompressed).
+    EXPECT_FALSE(mc_->recency().contains(42));
+}
+
+TEST_F(OsMcTest, EvictionMovesColdPagesToMl2)
+{
+    // Unbounded placement target: ML1 fills to the free-list floor,
+    // then ML2 growth drains the floor and eviction kicks in.
+    OsMcConfig cfg = cfg_;
+    cfg.ml1TargetPages = ~0ULL;
+    OsInspiredMc mc(dram_, info_, phys_, cfg);
+    const std::uint64_t frames = cfg.dramBudgetBytes / pageSize;
+    for (Ppn p = 1; p <= frames + 512; ++p)
+        mc.placePage(p);
+    // The earliest-placed (coldest) pages must have left for ML2.
+    unsigned in_ml2 = 0;
+    for (Ppn p = 1; p <= 256; ++p)
+        in_ml2 += mc.inMl2(p);
+    EXPECT_GT(in_ml2, 0u);
+}
+
+TEST_F(OsMcTest, PtbViewEmbedsCurrentCtes)
+{
+    PteFlags f;
+    f.accessed = true;
+    f.dirty = true;
+    for (Vpn v = 0; v < ptesPerPtb; ++v)
+        table_.map(v, 100 + v, f);
+    for (Ppn p = 100; p < 100 + ptesPerPtb; ++p)
+        mc_->placePage(p);
+
+    const WalkResult w = table_.walk(0);
+    const Addr ptb = w.steps.back().ptbAddr;
+    const auto view = mc_->ptbView(ptb);
+    ASSERT_TRUE(view.compressed);
+    for (unsigned i = 0; i < ptesPerPtb; ++i) {
+        ASSERT_TRUE(view.present[i]);
+        EXPECT_TRUE(view.hasCte[i]);
+        EXPECT_EQ(view.cte[i], mc_->truncatedCte(100 + i));
+    }
+}
+
+TEST_F(OsMcTest, PtbViewGoesStaleAfterMigrationUntilLazyUpdate)
+{
+    OsMcConfig cfg = cfg_;
+    cfg.ml1TargetPages = ~0ULL; // allow the free-list floor to drain
+    mc_ = std::make_unique<OsInspiredMc>(dram_, info_, phys_, cfg);
+
+    PteFlags f;
+    f.accessed = true;
+    f.dirty = true;
+    for (Vpn v = 0; v < ptesPerPtb; ++v)
+        table_.map(v, 100 + v, f);
+    // Fill ML1 so an eviction can happen later.
+    for (Ppn p = 100; p < 100 + ptesPerPtb; ++p)
+        mc_->placePage(p);
+
+    const WalkResult w = table_.walk(0);
+    const Addr ptb = w.steps.back().ptbAddr;
+    const auto before = mc_->ptbView(ptb);
+    ASSERT_TRUE(before.compressed);
+    const std::uint64_t old_cte = before.cte[0];
+
+    // Force page 100 into ML2 and back: its frame changes.
+    mc_->recency().remove(100);
+    mc_->recency().insertCold(100);
+    // Exhaust free frames (ML1 target lifted) to evict page 100.
+    const std::uint64_t frames = cfg_.dramBudgetBytes / pageSize;
+    for (Ppn p = 10000; p < 10000 + frames + 512; ++p)
+        mc_->placePage(p);
+    ASSERT_TRUE(mc_->inMl2(100));
+    mc_->read(readReq(100, 50000)); // migrates back at a new frame
+
+    const auto after = mc_->ptbView(ptb);
+    ASSERT_TRUE(after.compressed);
+    // The embedded value was NOT updated at migration time (lazy).
+    EXPECT_EQ(after.cte[0], old_cte);
+    EXPECT_NE(mc_->truncatedCte(100), old_cte);
+
+    // The lazy update path fixes it.
+    mc_->lazyUpdatePtb(ptb, 100, mc_->truncatedCte(100));
+    const auto fixed = mc_->ptbView(ptb);
+    EXPECT_EQ(fixed.cte[0], mc_->truncatedCte(100));
+}
+
+TEST_F(OsMcTest, WritebackMaintainsPtbPairVector)
+{
+    mc_->placePage(1);
+    const Addr block0 = (1ULL << pageShift);
+    mc_->writeback(block0, 2000, /*line_compressed=*/true);
+    // Bit-vector effects are internal; at minimum the write must not
+    // disturb the page's location.
+    EXPECT_FALSE(mc_->inMl2(1));
+    mc_->writeback(block0, 3000, false);
+}
+
+TEST_F(OsMcTest, DramUsageTracksBudgetShape)
+{
+    for (Ppn p = 1; p <= 2000; ++p)
+        mc_->placePage(p);
+    const std::uint64_t used = mc_->dramUsedBytes();
+    EXPECT_GT(used, 2000ULL * 1024);
+    EXPECT_LE(used, cfg_.dramBudgetBytes + (4ULL << 20));
+}
+
+TEST_F(OsMcTest, BackgroundReadTouchesOnlyCteCache)
+{
+    mc_->placePage(1);
+    McReadRequest req = readReq(1);
+    req.background = true;
+    const McReadResponse r = mc_->read(req);
+    EXPECT_EQ(r.complete, req.when);
+    // The CTE is now cached for subsequent demand reads.
+    const McReadResponse r2 = mc_->read(readReq(1, 5000));
+    EXPECT_TRUE(r2.cteCacheHit);
+}
+
+} // namespace
+} // namespace tmcc

@@ -1,0 +1,118 @@
+/** Tests for the PTB compression math of §V-A5 / Fig. 7. */
+
+#include <gtest/gtest.h>
+
+#include "tmcc/ptb_codec.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+std::array<std::uint64_t, ptesPerPtb>
+uniformPtb(Ppn base, const PteFlags &f)
+{
+    std::array<std::uint64_t, ptesPerPtb> ptes;
+    for (unsigned i = 0; i < ptesPerPtb; ++i)
+        ptes[i] = makePte(base + i, f);
+    return ptes;
+}
+
+TEST(PtbCodec, PaperSlotCounts)
+{
+    // §V-A5: 1TB/4TB/16TB managed DRAM with 4x physical pages give
+    // 8/7/6 embeddable CTEs.
+    for (const auto &[dram_bytes, expected] :
+         std::vector<std::pair<std::uint64_t, unsigned>>{
+             {1ULL << 40, 8},
+             {4ULL << 40, 7},
+             {16ULL << 40, 6},
+         }) {
+        PtbCodecConfig cfg;
+        cfg.managedDramBytes = dram_bytes;
+        cfg.physPages = 4 * (dram_bytes / pageSize);
+        PtbCodec codec(cfg);
+        EXPECT_EQ(codec.maxSlots(), expected)
+            << "DRAM bytes = " << dram_bytes;
+    }
+}
+
+TEST(PtbCodec, TruncatedCteWidth)
+{
+    PtbCodecConfig cfg;
+    cfg.managedDramBytes = 1ULL << 40;
+    PtbCodec codec(cfg);
+    // log2(1TB / 4KB) = 28 bits (§V-A5).
+    EXPECT_EQ(codec.truncatedCteBits(), 28u);
+}
+
+TEST(PtbCodec, UniformStatusBitsCompressible)
+{
+    PtbCodec codec;
+    PteFlags f;
+    f.accessed = true;
+    f.dirty = true;
+    const auto ptes = uniformPtb(1000, f);
+    const PtbAnalysis a = codec.analyze(ptes.data());
+    EXPECT_TRUE(a.compressible);
+    EXPECT_EQ(a.cteSlots, codec.maxSlots());
+    EXPECT_GT(a.freedBits, 0u);
+}
+
+TEST(PtbCodec, MixedDirtyBitBlocksCompression)
+{
+    PtbCodec codec;
+    PteFlags f;
+    f.dirty = true;
+    auto ptes = uniformPtb(1000, f);
+    PteFlags g = f;
+    g.dirty = false;
+    ptes[3] = makePte(1003, g);
+    EXPECT_FALSE(codec.analyze(ptes.data()).compressible);
+}
+
+TEST(PtbCodec, MixedNxBitBlocksCompression)
+{
+    PtbCodec codec;
+    PteFlags f;
+    auto ptes = uniformPtb(2000, f);
+    PteFlags g = f;
+    g.noExecute = true;
+    ptes[7] = makePte(2007, g);
+    EXPECT_FALSE(codec.analyze(ptes.data()).compressible);
+}
+
+TEST(PtbCodec, PpnDifferencesDontMatter)
+{
+    // Only status bits gate compressibility; PPNs may be arbitrary.
+    PtbCodec codec;
+    PteFlags f;
+    std::array<std::uint64_t, ptesPerPtb> ptes;
+    for (unsigned i = 0; i < ptesPerPtb; ++i)
+        ptes[i] = makePte((i * 7919 + 13) & ((1ULL << 30) - 1), f);
+    EXPECT_TRUE(codec.analyze(ptes.data()).compressible);
+}
+
+TEST(PtbCodec, AllZeroPtbIsCompressible)
+{
+    // Not-present entries have identical (zero) status bits.
+    PtbCodec codec;
+    std::array<std::uint64_t, ptesPerPtb> ptes{};
+    EXPECT_TRUE(codec.analyze(ptes.data()).compressible);
+}
+
+TEST(PtbCodec, FreedBitsFormula)
+{
+    PtbCodecConfig cfg;
+    cfg.managedDramBytes = 1ULL << 40;
+    cfg.physPages = 4 * ((1ULL << 40) / pageSize); // 2^30 pages
+    PtbCodec codec(cfg);
+    PteFlags f;
+    const auto ptes = uniformPtb(1, f);
+    const PtbAnalysis a = codec.analyze(ptes.data());
+    // status: 24 * 7 = 168; PPN: (40 - 30) * 8 = 80.
+    EXPECT_EQ(a.freedBits, 168u + 80u);
+}
+
+} // namespace
+} // namespace tmcc

@@ -1,0 +1,204 @@
+/** Tests for PTE encoding, the 4-level page table, and PhysMem. */
+
+#include <gtest/gtest.h>
+
+#include "vm/page_table.hh"
+#include "vm/phys_mem.hh"
+#include "vm/pte.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+TEST(Pte, EncodeDecodeFields)
+{
+    PteFlags f;
+    f.present = true;
+    f.writable = true;
+    f.accessed = true;
+    f.dirty = true;
+    const std::uint64_t pte = makePte(0x123456, f);
+    EXPECT_TRUE(ptePresent(pte));
+    EXPECT_TRUE(pteWritable(pte));
+    EXPECT_TRUE(pteAccessed(pte));
+    EXPECT_TRUE(pteDirty(pte));
+    EXPECT_FALSE(pteHuge(pte));
+    EXPECT_EQ(ptePpn(pte), 0x123456u);
+}
+
+TEST(Pte, StatusBitsIgnorePpn)
+{
+    PteFlags f;
+    f.accessed = true;
+    f.dirty = true;
+    // Same flags, different PPNs: identical status bits (Fig. 6).
+    EXPECT_EQ(pteStatusBits(makePte(1, f)), pteStatusBits(makePte(999, f)));
+    PteFlags g = f;
+    g.dirty = false;
+    EXPECT_NE(pteStatusBits(makePte(1, f)), pteStatusBits(makePte(1, g)));
+}
+
+TEST(Pte, IndexExtraction)
+{
+    // vaddr = L4:3, L3:5, L2:7, L1:9, offset 0.
+    const Addr vaddr = (3ULL << 39) | (5ULL << 30) | (7ULL << 21) |
+                       (9ULL << 12);
+    EXPECT_EQ(pteIndex(vaddr, 4), 3u);
+    EXPECT_EQ(pteIndex(vaddr, 3), 5u);
+    EXPECT_EQ(pteIndex(vaddr, 2), 7u);
+    EXPECT_EQ(pteIndex(vaddr, 1), 9u);
+}
+
+TEST(PhysMem, FrameAllocation)
+{
+    PhysMem mem(100);
+    const Ppn a = mem.allocFrame();
+    const Ppn b = mem.allocFrame();
+    EXPECT_NE(a, b);
+    mem.freeFrame(a);
+    EXPECT_EQ(mem.allocFrame(), a); // LIFO reuse
+}
+
+TEST(PhysMem, HugeFrameAlignment)
+{
+    PhysMem mem(4096);
+    mem.allocFrame(); // misalign the bump pointer
+    const Ppn huge = mem.allocHugeFrame();
+    EXPECT_EQ(huge % (hugePageSize / pageSize), 0u);
+}
+
+TEST(PhysMem, PtPageReadWrite)
+{
+    PhysMem mem(100);
+    const Ppn pt = mem.allocPageTablePage();
+    EXPECT_TRUE(mem.isPageTablePage(pt));
+    const Addr paddr = (pt << pageShift) + 8 * 17;
+    mem.writeQword(paddr, 0xdeadbeefULL);
+    EXPECT_EQ(mem.readQword(paddr), 0xdeadbeefULL);
+    EXPECT_EQ(mem.ptPage(pt)[17], 0xdeadbeefULL);
+}
+
+TEST(PageTable, MapAndWalk)
+{
+    PhysMem mem(10000);
+    PageTable pt(mem);
+    PteFlags f;
+    pt.map(0x12345, 0x777, f);
+
+    const WalkResult r = pt.walk(0x12345ULL << pageShift);
+    ASSERT_TRUE(r.valid);
+    EXPECT_EQ(r.ppn, 0x777u);
+    EXPECT_FALSE(r.huge);
+    EXPECT_EQ(r.steps.size(), 4u); // 4-level walk
+    EXPECT_EQ(r.steps[0].level, 4u);
+    EXPECT_EQ(r.steps[3].level, 1u);
+}
+
+TEST(PageTable, WalkStepsPointToRealPtbs)
+{
+    PhysMem mem(10000);
+    PageTable pt(mem);
+    PteFlags f;
+    pt.map(0x1000, 0x42, f);
+
+    const WalkResult r = pt.walk(0x1000ULL << pageShift);
+    for (const WalkStep &s : r.steps) {
+        // Every fetched PTB belongs to a registered page-table page.
+        EXPECT_TRUE(mem.isPageTablePage(pageNumber(s.ptbAddr)));
+        EXPECT_EQ(s.ptbAddr % blockSize, 0u);
+        // The used PTE lives inside that PTB.
+        EXPECT_EQ(blockAlign(s.pteAddr), s.ptbAddr);
+    }
+}
+
+TEST(PageTable, UnmappedWalkIsInvalid)
+{
+    PhysMem mem(10000);
+    PageTable pt(mem);
+    const WalkResult r = pt.walk(0xdead000ULL << pageShift);
+    EXPECT_FALSE(r.valid);
+}
+
+TEST(PageTable, AdjacentPagesShareLeafPtb)
+{
+    PhysMem mem(10000);
+    PageTable pt(mem);
+    PteFlags f;
+    for (Vpn v = 0x2000; v < 0x2008; ++v)
+        pt.map(v, 0x100 + v, f);
+
+    const WalkResult a = pt.walk(0x2000ULL << pageShift);
+    const WalkResult b = pt.walk(0x2007ULL << pageShift);
+    EXPECT_EQ(a.steps[3].ptbAddr, b.steps[3].ptbAddr);
+}
+
+TEST(PageTable, HugePageWalkStopsAtL2)
+{
+    PhysMem mem(10000);
+    PageTable pt(mem);
+    PteFlags f;
+    const Vpn vbase = 0x40000; // 2MB aligned in pages (0x200 multiple)
+    pt.mapHuge(vbase, 0x200, f);
+
+    const Addr vaddr = (vbase + 5) << pageShift;
+    const WalkResult r = pt.walk(vaddr);
+    ASSERT_TRUE(r.valid);
+    EXPECT_TRUE(r.huge);
+    EXPECT_EQ(r.ppn, 0x205u);       // base + in-huge-page offset
+    EXPECT_EQ(r.steps.size(), 3u);  // stops at level 2
+}
+
+TEST(PageTable, SetAccessedDirty)
+{
+    PhysMem mem(10000);
+    PageTable pt(mem);
+    PteFlags f;
+    f.accessed = false;
+    f.dirty = false;
+    pt.map(0x3000, 0x99, f);
+
+    pt.setAccessedDirty(0x3000ULL << pageShift, true);
+    const WalkResult r = pt.walk(0x3000ULL << pageShift);
+    const PtPage &leaf =
+        mem.ptPage(pageNumber(r.steps[3].ptbAddr));
+    const std::uint64_t pte =
+        leaf[(r.steps[3].pteAddr & (pageSize - 1)) / pteSize];
+    EXPECT_TRUE(pteAccessed(pte));
+    EXPECT_TRUE(pteDirty(pte));
+}
+
+TEST(PageTable, UnmapRemovesTranslation)
+{
+    PhysMem mem(10000);
+    PageTable pt(mem);
+    PteFlags f;
+    pt.map(0x4000, 0x55, f);
+    ASSERT_TRUE(pt.walk(0x4000ULL << pageShift).valid);
+    pt.unmap(0x4000);
+    EXPECT_FALSE(pt.walk(0x4000ULL << pageShift).valid);
+}
+
+TEST(PageTable, ForEachPtbVisitsLeafBlocks)
+{
+    PhysMem mem(10000);
+    PageTable pt(mem);
+    PteFlags f;
+    for (Vpn v = 0; v < 64; ++v)
+        pt.map(v, 0x1000 + v, f);
+
+    unsigned l1_ptbs = 0;
+    pt.forEachPtb(1, [&](const std::uint64_t *ptes) {
+        ++l1_ptbs;
+        for (unsigned i = 0; i < ptesPerPtb; ++i)
+            EXPECT_TRUE(ptePresent(ptes[i]));
+    });
+    EXPECT_EQ(l1_ptbs, 64u / ptesPerPtb);
+
+    unsigned l2_ptbs = 0;
+    pt.forEachPtb(2, [&](const std::uint64_t *) { ++l2_ptbs; });
+    EXPECT_EQ(l2_ptbs, 1u);
+}
+
+} // namespace
+} // namespace tmcc

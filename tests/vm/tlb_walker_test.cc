@@ -1,0 +1,155 @@
+/** Tests for the TLB, page-walk cache and walker. */
+
+#include <gtest/gtest.h>
+
+#include "vm/tlb.hh"
+#include "vm/walker.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+TEST(Tlb, MissInsertHit)
+{
+    Tlb tlb(64, 4);
+    Ppn ppn = 0;
+    EXPECT_FALSE(tlb.lookup(0x1234000, ppn));
+    tlb.insert(0x1234, 0x42);
+    ASSERT_TRUE(tlb.lookup(0x1234000, ppn));
+    EXPECT_EQ(ppn, 0x42u);
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, OffsetsWithinPageHit)
+{
+    Tlb tlb(64, 4);
+    tlb.insert(0x1, 0x9);
+    Ppn ppn = 0;
+    EXPECT_TRUE(tlb.lookup(0x1fff, ppn));
+    EXPECT_FALSE(tlb.lookup(0x2000, ppn));
+}
+
+TEST(Tlb, LruEvictionWithinSet)
+{
+    Tlb tlb(8, 2); // 4 sets x 2 ways
+    // Three VPNs in the same set (stride = sets = 4).
+    tlb.insert(0x0, 1);
+    tlb.insert(0x4, 2);
+    Ppn ppn;
+    EXPECT_TRUE(tlb.lookup(0x0ULL << pageShift, ppn)); // refresh 0x0
+    tlb.insert(0x8, 3); // evicts 0x4
+    EXPECT_TRUE(tlb.lookup(0x0ULL << pageShift, ppn));
+    EXPECT_FALSE(tlb.lookup(0x4ULL << pageShift, ppn));
+    EXPECT_TRUE(tlb.lookup(0x8ULL << pageShift, ppn));
+}
+
+TEST(Tlb, HugeEntryCoversWholeRegion)
+{
+    Tlb tlb(64, 4);
+    constexpr Vpn huge_pages = hugePageSize / pageSize;
+    tlb.insertHuge(huge_pages * 3, 0x1000);
+    Ppn ppn = 0;
+    ASSERT_TRUE(tlb.lookup((huge_pages * 3 + 17) << pageShift, ppn));
+    EXPECT_EQ(ppn, 0x1000u + 17);
+}
+
+TEST(Tlb, FlushClearsEverything)
+{
+    Tlb tlb(64, 4);
+    tlb.insert(0x7, 0x8);
+    tlb.flush();
+    Ppn ppn;
+    EXPECT_FALSE(tlb.lookup(0x7ULL << pageShift, ppn));
+}
+
+TEST(Pwc, LookupAfterInsert)
+{
+    PageWalkCache pwc(32, 4);
+    const Addr vaddr = 0x7fULL << 30;
+    Ppn table = 0;
+    EXPECT_FALSE(pwc.lookup(3, vaddr, table));
+    pwc.insert(3, vaddr, 0x1234);
+    ASSERT_TRUE(pwc.lookup(3, vaddr, table));
+    EXPECT_EQ(table, 0x1234u);
+}
+
+TEST(Pwc, LevelsAreIndependent)
+{
+    PageWalkCache pwc(32, 4);
+    const Addr vaddr = 0x40000000;
+    pwc.insert(2, vaddr, 0xaaa);
+    Ppn table = 0;
+    EXPECT_FALSE(pwc.lookup(3, vaddr, table));
+    EXPECT_TRUE(pwc.lookup(2, vaddr, table));
+}
+
+TEST(Walker, FullWalkWithoutPwc)
+{
+    PhysMem mem(10000);
+    PageTable pt(mem);
+    PteFlags f;
+    pt.map(0x5000, 0x77, f);
+
+    Walker w(pt);
+    const WalkPlan plan = w.plan(0x5000ULL << pageShift);
+    ASSERT_TRUE(plan.valid);
+    EXPECT_EQ(plan.ppn, 0x77u);
+    EXPECT_EQ(plan.fetches.size(), 4u);
+    EXPECT_EQ(plan.pwcHitLevel, 0u);
+}
+
+TEST(Walker, PwcSkipsUpperLevels)
+{
+    PhysMem mem(10000);
+    PageTable pt(mem);
+    PteFlags f;
+    pt.map(0x5000, 0x77, f);
+    pt.map(0x5001, 0x78, f);
+
+    Walker w(pt);
+    w.plan(0x5000ULL << pageShift); // warms the PWC
+    const WalkPlan plan = w.plan(0x5001ULL << pageShift);
+    ASSERT_TRUE(plan.valid);
+    // Level-2 PWC entry gives the L1 table: only the leaf PTB fetch.
+    EXPECT_EQ(plan.pwcHitLevel, 2u);
+    EXPECT_EQ(plan.fetches.size(), 1u);
+    EXPECT_EQ(plan.fetches[0].level, 1u);
+}
+
+TEST(Walker, DistantAddressPartialPwcHit)
+{
+    PhysMem mem(20000);
+    PageTable pt(mem);
+    PteFlags f;
+    pt.map(0x5000, 0x77, f);
+    // Same L3 region (within 1GB), different L2 region (2MB apart).
+    pt.map(0x5000 + 512, 0x79, f);
+
+    Walker w(pt);
+    w.plan(0x5000ULL << pageShift);
+    const WalkPlan plan = w.plan((0x5000ULL + 512) << pageShift);
+    ASSERT_TRUE(plan.valid);
+    // L2 entry differs, L3 entry matches: fetch L2-PTB and L1-PTB.
+    EXPECT_EQ(plan.pwcHitLevel, 3u);
+    EXPECT_EQ(plan.fetches.size(), 2u);
+}
+
+TEST(Walker, HugeWalkPlansThreeFetches)
+{
+    PhysMem mem(20000);
+    PageTable pt(mem);
+    PteFlags f;
+    pt.mapHuge(0x40000, 0x1000, f);
+
+    Walker w(pt);
+    const WalkPlan plan = w.plan(0x40005ULL << pageShift);
+    ASSERT_TRUE(plan.valid);
+    EXPECT_TRUE(plan.huge);
+    EXPECT_EQ(plan.fetches.size(), 3u);
+    EXPECT_EQ(plan.ppn, 0x1005u);
+}
+
+} // namespace
+} // namespace tmcc

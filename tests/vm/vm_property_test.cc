@@ -1,0 +1,120 @@
+/** Property tests: page table + TLB + walker under random map/unmap. */
+
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "vm/tlb.hh"
+#include "vm/walker.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+class VmFuzz : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(VmFuzz, WalkAlwaysAgreesWithShadowMap)
+{
+    PhysMem mem(1 << 18);
+    PageTable pt(mem);
+    Rng rng(GetParam());
+    std::unordered_map<Vpn, Ppn> shadow;
+
+    for (int i = 0; i < 4000; ++i) {
+        // Clustered VPNs so PTBs get shared and overwritten.
+        const Vpn vpn = rng.below(64) * 512 + rng.below(64);
+        if (rng.chance(0.7)) {
+            const Ppn ppn = mem.allocFrame();
+            PteFlags f;
+            f.dirty = rng.chance(0.9);
+            pt.map(vpn, ppn, f);
+            shadow[vpn] = ppn;
+        } else if (!shadow.empty() && rng.chance(0.5)) {
+            const Vpn victim = shadow.begin()->first;
+            pt.unmap(victim);
+            shadow.erase(victim);
+        }
+
+        // Validate a few random lookups.
+        for (int k = 0; k < 3; ++k) {
+            const Vpn probe = rng.below(64) * 512 + rng.below(64);
+            const WalkResult r = pt.walk(probe << pageShift);
+            auto it = shadow.find(probe);
+            if (it == shadow.end()) {
+                ASSERT_FALSE(r.valid);
+            } else {
+                ASSERT_TRUE(r.valid);
+                ASSERT_EQ(r.ppn, it->second);
+            }
+        }
+    }
+}
+
+TEST_P(VmFuzz, WalkerPlanMatchesFullWalk)
+{
+    PhysMem mem(1 << 18);
+    PageTable pt(mem);
+    Rng rng(GetParam() + 7);
+    std::vector<Vpn> mapped;
+
+    for (int i = 0; i < 800; ++i) {
+        const Vpn vpn = rng.below(1 << 22);
+        pt.map(vpn, mem.allocFrame(), PteFlags{});
+        mapped.push_back(vpn);
+    }
+
+    Walker walker(pt);
+    for (int i = 0; i < 4000; ++i) {
+        const Vpn vpn = mapped[rng.below(mapped.size())];
+        const WalkPlan plan = walker.plan(vpn << pageShift);
+        const WalkResult full = pt.walk(vpn << pageShift);
+        ASSERT_TRUE(plan.valid);
+        ASSERT_EQ(plan.ppn, full.ppn);
+        // The PWC can only skip fetches, never add or corrupt them:
+        // planned fetches must be a suffix of the full walk.
+        ASSERT_LE(plan.fetches.size(), full.steps.size());
+        const std::size_t skip =
+            full.steps.size() - plan.fetches.size();
+        for (std::size_t s = 0; s < plan.fetches.size(); ++s) {
+            ASSERT_EQ(plan.fetches[s].ptbAddr,
+                      full.steps[skip + s].ptbAddr);
+            ASSERT_EQ(plan.fetches[s].level,
+                      full.steps[skip + s].level);
+        }
+    }
+}
+
+TEST_P(VmFuzz, TlbNeverReturnsWrongTranslation)
+{
+    PhysMem mem(1 << 18);
+    PageTable pt(mem);
+    Tlb tlb(128, 4);
+    Rng rng(GetParam() + 13);
+    std::unordered_map<Vpn, Ppn> shadow;
+
+    for (int i = 0; i < 8000; ++i) {
+        const Vpn vpn = rng.below(4096);
+        Ppn ppn = 0;
+        if (tlb.lookup(vpn << pageShift, ppn)) {
+            ASSERT_TRUE(shadow.count(vpn));
+            ASSERT_EQ(ppn, shadow[vpn]);
+        } else {
+            auto it = shadow.find(vpn);
+            if (it == shadow.end()) {
+                const Ppn fresh = mem.allocFrame();
+                pt.map(vpn, fresh, PteFlags{});
+                shadow[vpn] = fresh;
+                it = shadow.find(vpn);
+            }
+            tlb.insert(vpn, it->second);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmFuzz, ::testing::Range(0, 8));
+
+} // namespace
+} // namespace tmcc

@@ -1,0 +1,218 @@
+/** Tests for workload engines and the profile library. */
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "workloads/graph.hh"
+#include "workloads/profile_library.hh"
+#include "workloads/synthetic.hh"
+#include "workloads/workload.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+TEST(Factory, AllNamedWorkloadsConstruct)
+{
+    for (const auto &name : largeWorkloadNames()) {
+        auto wl = makeWorkload(name, 0, 4, 0.02, 1);
+        ASSERT_NE(wl, nullptr) << name;
+        EXPECT_EQ(wl->name(), name);
+        EXPECT_GT(wl->footprintBytes(), 0u);
+    }
+    for (const auto &name : smallWorkloadNames())
+        EXPECT_NE(makeWorkload(name, 0, 4, 0.02, 1), nullptr) << name;
+    for (const auto &name : bandwidthWorkloadNames())
+        EXPECT_NE(makeWorkload(name, 0, 4, 0.02, 1), nullptr) << name;
+}
+
+TEST(Factory, AccessesStayInsideRegions)
+{
+    for (const auto &name : largeWorkloadNames()) {
+        auto wl = makeWorkload(name, 1, 4, 0.02, 3);
+        const auto &regions = wl->regions();
+        for (int i = 0; i < 5000; ++i) {
+            const MemAccess a = wl->next();
+            bool inside = false;
+            for (const auto &r : regions)
+                inside |= a.vaddr >= r.base && a.vaddr < r.base + r.bytes;
+            ASSERT_TRUE(inside)
+                << name << " vaddr outside regions: " << a.vaddr;
+        }
+    }
+}
+
+TEST(Factory, DeterministicGivenSeed)
+{
+    auto a = makeWorkload("pageRank", 0, 4, 0.02, 7);
+    auto b = makeWorkload("pageRank", 0, 4, 0.02, 7);
+    for (int i = 0; i < 1000; ++i) {
+        const MemAccess x = a->next();
+        const MemAccess y = b->next();
+        ASSERT_EQ(x.vaddr, y.vaddr);
+        ASSERT_EQ(x.isWrite, y.isWrite);
+    }
+}
+
+TEST(Graph, DegreesAreHeavyTailed)
+{
+    GraphParams p;
+    p.vertices = 100000;
+    GraphWorkload g(GraphKernel::PageRank, p, 0, 1, 1);
+    unsigned hubs = 0;
+    double total = 0;
+    for (std::uint64_t v = 0; v < p.vertices; ++v) {
+        const unsigned d = g.degree(v);
+        total += d;
+        hubs += d >= 48;
+    }
+    const double avg = total / static_cast<double>(p.vertices);
+    EXPECT_GT(avg, 4.0);
+    EXPECT_LT(avg, 14.0);
+    // ~2% hubs.
+    EXPECT_NEAR(static_cast<double>(hubs) /
+                    static_cast<double>(p.vertices),
+                0.02, 0.01);
+}
+
+TEST(Graph, NeighborsAreSkewedTowardLowIds)
+{
+    GraphParams p;
+    p.vertices = 1 << 20;
+    GraphWorkload g(GraphKernel::PageRank, p, 0, 1, 1);
+    std::uint64_t low = 0, total = 0;
+    for (std::uint64_t u = 0; u < 2000; ++u) {
+        for (unsigned i = 0; i < g.degree(u); ++i) {
+            ++total;
+            low += g.neighbor(u, i) < p.vertices / 10;
+        }
+    }
+    // Far more than 10% of endpoints land in the low-id (hub) tenth.
+    EXPECT_GT(static_cast<double>(low) / static_cast<double>(total),
+              0.4);
+}
+
+TEST(Graph, WritesPresentForWritingKernels)
+{
+    GraphParams p;
+    p.vertices = 1 << 16;
+    GraphWorkload g(GraphKernel::ShortestPath, p, 0, 1, 1);
+    unsigned writes = 0;
+    for (int i = 0; i < 20000; ++i)
+        writes += g.next().isWrite;
+    EXPECT_GT(writes, 500u);
+}
+
+TEST(Graph, DegCentrHasCompactPageFootprint)
+{
+    // degCentr does pure CSR scans: a window of accesses touches very
+    // few distinct pages (regular), unlike pointer-chasing kernels.
+    GraphParams p;
+    p.vertices = 1 << 20;
+    GraphWorkload reg(GraphKernel::DegreeCentrality, p, 0, 1, 1);
+    GraphWorkload irr(GraphKernel::PageRank, p, 0, 1, 1);
+    std::unordered_set<Addr> reg_pages, irr_pages;
+    for (int i = 0; i < 20000; ++i) {
+        reg_pages.insert(pageNumber(reg.next().vaddr));
+        irr_pages.insert(pageNumber(irr.next().vaddr));
+    }
+    EXPECT_LT(reg_pages.size(), 500u);
+    EXPECT_GT(irr_pages.size(), reg_pages.size() * 2);
+}
+
+TEST(Synthetic, HotColdModelConcentrates)
+{
+    SyntheticParams p;
+    p.name = "t";
+    WlRegion r;
+    r.name = "r";
+    r.base = 1 << 30;
+    r.bytes = 64ULL << 20;
+    r.content = {ContentFamily::IntArray, 0.5};
+    p.regions = {r};
+    p.sequentialFraction = 0.0;
+    p.hotFraction = 0.2;
+    p.coldP = 0.02;
+    SyntheticWorkload wl(p, 0, 1, 1);
+
+    std::uint64_t hot = 0, total = 20000;
+    const Addr hot_end =
+        r.base + static_cast<Addr>(r.bytes * p.hotFraction);
+    for (std::uint64_t i = 0; i < total; ++i)
+        hot += wl.next().vaddr < hot_end;
+    EXPECT_NEAR(static_cast<double>(hot) / total, 0.98, 0.01);
+}
+
+TEST(Synthetic, ChaseProducesDependentJumps)
+{
+    SyntheticParams p;
+    p.name = "t";
+    WlRegion r;
+    r.base = 1 << 30;
+    r.bytes = 16ULL << 20;
+    p.regions = {r};
+    p.sequentialFraction = 0.0;
+    p.chaseDepth = 4;
+    SyntheticWorkload wl(p, 0, 1, 1);
+    // Determinism of the chase: two engines with the same seed agree.
+    SyntheticWorkload wl2(p, 0, 1, 1);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(wl.next().vaddr, wl2.next().vaddr);
+}
+
+TEST(ProfileLibrary, MeasuresAndServesProfiles)
+{
+    ProfileLibrary lib(3);
+    ContentMix mix;
+    mix.parts.push_back({{ContentFamily::Text, 0.5}, 1.0});
+    const unsigned id = lib.registerMix(mix);
+    lib.assignPage(77, id);
+
+    const PageProfile &p = lib.profile(77);
+    EXPECT_LT(p.deflateBytes, pageSize / 2); // text compresses
+    EXPECT_GT(p.lzTokens, 0u);
+
+    // Unassigned pages get the default.
+    const PageProfile &d = lib.profile(99999);
+    EXPECT_GT(d.deflateBytes, 0u);
+}
+
+TEST(ProfileLibrary, SummaryOrdersRatiosSanely)
+{
+    ProfileLibrary lib(3);
+    ContentMix mix;
+    mix.parts.push_back({{ContentFamily::GraphCsr, 0.5, 3.0}, 1.0});
+    const unsigned id = lib.registerMix(mix);
+    const auto s = lib.summarize(id);
+    // Fig. 15 ordering: block < our Deflate <= gzip.
+    EXPECT_LT(s.blockRatio, s.deflateRatio);
+    EXPECT_LE(s.deflateRatio, s.rfcRatio * 1.05);
+    // Skip never hurts.
+    EXPECT_GE(s.deflateRatio, s.deflateNoSkipRatio - 1e-9);
+}
+
+TEST(ProfileLibrary, WeightedPartsAssignDeterministically)
+{
+    ProfileLibrary lib(2);
+    ContentMix mix;
+    mix.parts.push_back({{ContentFamily::Zero, 0}, 1.0});
+    mix.parts.push_back({{ContentFamily::Random, 0}, 1.0});
+    const unsigned id = lib.registerMix(mix);
+    for (Ppn p = 0; p < 200; ++p)
+        lib.assignPage(p, id);
+    unsigned zero_pages = 0;
+    for (Ppn p = 0; p < 200; ++p)
+        zero_pages += lib.profile(p).deflateBytes < 100;
+    // Roughly half the pages draw the zero part.
+    EXPECT_GT(zero_pages, 60u);
+    EXPECT_LT(zero_pages, 140u);
+    // Same PPN always maps to the same part.
+    const auto before = lib.profile(5).deflateBytes;
+    EXPECT_EQ(lib.profile(5).deflateBytes, before);
+}
+
+} // namespace
+} // namespace tmcc
