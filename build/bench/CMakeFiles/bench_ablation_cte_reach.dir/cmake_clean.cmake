@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cte_reach.dir/bench_ablation_cte_reach.cc.o"
+  "CMakeFiles/bench_ablation_cte_reach.dir/bench_ablation_cte_reach.cc.o.d"
+  "bench_ablation_cte_reach"
+  "bench_ablation_cte_reach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cte_reach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

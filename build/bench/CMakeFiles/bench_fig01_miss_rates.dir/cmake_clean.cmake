@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_miss_rates.dir/bench_fig01_miss_rates.cc.o"
+  "CMakeFiles/bench_fig01_miss_rates.dir/bench_fig01_miss_rates.cc.o.d"
+  "bench_fig01_miss_rates"
+  "bench_fig01_miss_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_miss_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

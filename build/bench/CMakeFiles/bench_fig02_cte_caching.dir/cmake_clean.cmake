@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_cte_caching.dir/bench_fig02_cte_caching.cc.o"
+  "CMakeFiles/bench_fig02_cte_caching.dir/bench_fig02_cte_caching.cc.o.d"
+  "bench_fig02_cte_caching"
+  "bench_fig02_cte_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_cte_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

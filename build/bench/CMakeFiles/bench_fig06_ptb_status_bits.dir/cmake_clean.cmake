@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_ptb_status_bits.dir/bench_fig06_ptb_status_bits.cc.o"
+  "CMakeFiles/bench_fig06_ptb_status_bits.dir/bench_fig06_ptb_status_bits.cc.o.d"
+  "bench_fig06_ptb_status_bits"
+  "bench_fig06_ptb_status_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_ptb_status_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig06_ptb_status_bits.
+# This may be replaced when dependencies are built.

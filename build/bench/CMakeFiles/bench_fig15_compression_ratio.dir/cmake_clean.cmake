@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_compression_ratio.dir/bench_fig15_compression_ratio.cc.o"
+  "CMakeFiles/bench_fig15_compression_ratio.dir/bench_fig15_compression_ratio.cc.o.d"
+  "bench_fig15_compression_ratio"
+  "bench_fig15_compression_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_compression_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

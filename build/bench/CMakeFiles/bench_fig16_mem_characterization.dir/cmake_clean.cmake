@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_mem_characterization.dir/bench_fig16_mem_characterization.cc.o"
+  "CMakeFiles/bench_fig16_mem_characterization.dir/bench_fig16_mem_characterization.cc.o.d"
+  "bench_fig16_mem_characterization"
+  "bench_fig16_mem_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_mem_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_perf_vs_compresso.dir/bench_fig17_perf_vs_compresso.cc.o"
+  "CMakeFiles/bench_fig17_perf_vs_compresso.dir/bench_fig17_perf_vs_compresso.cc.o.d"
+  "bench_fig17_perf_vs_compresso"
+  "bench_fig17_perf_vs_compresso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_perf_vs_compresso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

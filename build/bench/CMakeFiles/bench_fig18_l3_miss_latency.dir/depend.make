@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig18_l3_miss_latency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig19_ml1_access_split.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_vs_barebone.dir/bench_fig20_vs_barebone.cc.o"
+  "CMakeFiles/bench_fig20_vs_barebone.dir/bench_fig20_vs_barebone.cc.o.d"
+  "bench_fig20_vs_barebone"
+  "bench_fig20_vs_barebone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_vs_barebone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_ml2_access_rate.dir/bench_fig21_ml2_access_rate.cc.o"
+  "CMakeFiles/bench_fig21_ml2_access_rate.dir/bench_fig21_ml2_access_rate.cc.o.d"
+  "bench_fig21_ml2_access_rate"
+  "bench_fig21_ml2_access_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_ml2_access_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig21_ml2_access_rate.
+# This may be replaced when dependencies are built.

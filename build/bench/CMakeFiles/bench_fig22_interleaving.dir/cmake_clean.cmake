@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_interleaving.dir/bench_fig22_interleaving.cc.o"
+  "CMakeFiles/bench_fig22_interleaving.dir/bench_fig22_interleaving.cc.o.d"
+  "bench_fig22_interleaving"
+  "bench_fig22_interleaving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_interleaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5a_nested_walks.dir/bench_sec5a_nested_walks.cc.o"
+  "CMakeFiles/bench_sec5a_nested_walks.dir/bench_sec5a_nested_walks.cc.o.d"
+  "bench_sec5a_nested_walks"
+  "bench_sec5a_nested_walks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5a_nested_walks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec5a_nested_walks.
+# This may be replaced when dependencies are built.

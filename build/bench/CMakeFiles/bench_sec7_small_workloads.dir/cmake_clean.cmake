@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_small_workloads.dir/bench_sec7_small_workloads.cc.o"
+  "CMakeFiles/bench_sec7_small_workloads.dir/bench_sec7_small_workloads.cc.o.d"
+  "bench_sec7_small_workloads"
+  "bench_sec7_small_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_small_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

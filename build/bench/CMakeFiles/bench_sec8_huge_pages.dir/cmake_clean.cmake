@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec8_huge_pages.dir/bench_sec8_huge_pages.cc.o"
+  "CMakeFiles/bench_sec8_huge_pages.dir/bench_sec8_huge_pages.cc.o.d"
+  "bench_sec8_huge_pages"
+  "bench_sec8_huge_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec8_huge_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

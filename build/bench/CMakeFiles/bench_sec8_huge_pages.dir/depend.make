@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec8_huge_pages.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_asic_summary.dir/bench_tab1_asic_summary.cc.o"
+  "CMakeFiles/bench_tab1_asic_summary.dir/bench_tab1_asic_summary.cc.o.d"
+  "bench_tab1_asic_summary"
+  "bench_tab1_asic_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_asic_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_deflate_perf.dir/bench_tab2_deflate_perf.cc.o"
+  "CMakeFiles/bench_tab2_deflate_perf.dir/bench_tab2_deflate_perf.cc.o.d"
+  "bench_tab2_deflate_perf"
+  "bench_tab2_deflate_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_deflate_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

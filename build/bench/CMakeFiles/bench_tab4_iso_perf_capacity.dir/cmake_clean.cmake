@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_iso_perf_capacity.dir/bench_tab4_iso_perf_capacity.cc.o"
+  "CMakeFiles/bench_tab4_iso_perf_capacity.dir/bench_tab4_iso_perf_capacity.cc.o.d"
+  "bench_tab4_iso_perf_capacity"
+  "bench_tab4_iso_perf_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_iso_perf_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_explorer.dir/compress_explorer.cpp.o"
+  "CMakeFiles/compress_explorer.dir/compress_explorer.cpp.o.d"
+  "compress_explorer"
+  "compress_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

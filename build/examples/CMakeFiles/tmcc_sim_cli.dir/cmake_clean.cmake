@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmcc_sim_cli.dir/tmcc_sim.cpp.o"
+  "CMakeFiles/tmcc_sim_cli.dir/tmcc_sim.cpp.o.d"
+  "tmccsim"
+  "tmccsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmcc_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

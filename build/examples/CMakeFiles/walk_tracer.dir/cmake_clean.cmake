@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walk_tracer.dir/walk_tracer.cpp.o"
+  "CMakeFiles/walk_tracer.dir/walk_tracer.cpp.o.d"
+  "walk_tracer"
+  "walk_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walk_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmcc_cache.dir/cache.cc.o"
+  "CMakeFiles/tmcc_cache.dir/cache.cc.o.d"
+  "CMakeFiles/tmcc_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/tmcc_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/tmcc_cache.dir/prefetcher.cc.o"
+  "CMakeFiles/tmcc_cache.dir/prefetcher.cc.o.d"
+  "libtmcc_cache.a"
+  "libtmcc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmcc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

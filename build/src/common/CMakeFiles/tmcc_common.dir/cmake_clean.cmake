@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmcc_common.dir/stats.cc.o"
+  "CMakeFiles/tmcc_common.dir/stats.cc.o.d"
+  "libtmcc_common.a"
+  "libtmcc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmcc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bdi.cc" "src/compress/CMakeFiles/tmcc_compress.dir/bdi.cc.o" "gcc" "src/compress/CMakeFiles/tmcc_compress.dir/bdi.cc.o.d"
+  "/root/repo/src/compress/block_compressor.cc" "src/compress/CMakeFiles/tmcc_compress.dir/block_compressor.cc.o" "gcc" "src/compress/CMakeFiles/tmcc_compress.dir/block_compressor.cc.o.d"
+  "/root/repo/src/compress/bpc.cc" "src/compress/CMakeFiles/tmcc_compress.dir/bpc.cc.o" "gcc" "src/compress/CMakeFiles/tmcc_compress.dir/bpc.cc.o.d"
+  "/root/repo/src/compress/cpack.cc" "src/compress/CMakeFiles/tmcc_compress.dir/cpack.cc.o" "gcc" "src/compress/CMakeFiles/tmcc_compress.dir/cpack.cc.o.d"
+  "/root/repo/src/compress/deflate_timing.cc" "src/compress/CMakeFiles/tmcc_compress.dir/deflate_timing.cc.o" "gcc" "src/compress/CMakeFiles/tmcc_compress.dir/deflate_timing.cc.o.d"
+  "/root/repo/src/compress/huffman.cc" "src/compress/CMakeFiles/tmcc_compress.dir/huffman.cc.o" "gcc" "src/compress/CMakeFiles/tmcc_compress.dir/huffman.cc.o.d"
+  "/root/repo/src/compress/lz.cc" "src/compress/CMakeFiles/tmcc_compress.dir/lz.cc.o" "gcc" "src/compress/CMakeFiles/tmcc_compress.dir/lz.cc.o.d"
+  "/root/repo/src/compress/mem_deflate.cc" "src/compress/CMakeFiles/tmcc_compress.dir/mem_deflate.cc.o" "gcc" "src/compress/CMakeFiles/tmcc_compress.dir/mem_deflate.cc.o.d"
+  "/root/repo/src/compress/rfc_deflate.cc" "src/compress/CMakeFiles/tmcc_compress.dir/rfc_deflate.cc.o" "gcc" "src/compress/CMakeFiles/tmcc_compress.dir/rfc_deflate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tmcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmcc_compress.dir/bdi.cc.o"
+  "CMakeFiles/tmcc_compress.dir/bdi.cc.o.d"
+  "CMakeFiles/tmcc_compress.dir/block_compressor.cc.o"
+  "CMakeFiles/tmcc_compress.dir/block_compressor.cc.o.d"
+  "CMakeFiles/tmcc_compress.dir/bpc.cc.o"
+  "CMakeFiles/tmcc_compress.dir/bpc.cc.o.d"
+  "CMakeFiles/tmcc_compress.dir/cpack.cc.o"
+  "CMakeFiles/tmcc_compress.dir/cpack.cc.o.d"
+  "CMakeFiles/tmcc_compress.dir/deflate_timing.cc.o"
+  "CMakeFiles/tmcc_compress.dir/deflate_timing.cc.o.d"
+  "CMakeFiles/tmcc_compress.dir/huffman.cc.o"
+  "CMakeFiles/tmcc_compress.dir/huffman.cc.o.d"
+  "CMakeFiles/tmcc_compress.dir/lz.cc.o"
+  "CMakeFiles/tmcc_compress.dir/lz.cc.o.d"
+  "CMakeFiles/tmcc_compress.dir/mem_deflate.cc.o"
+  "CMakeFiles/tmcc_compress.dir/mem_deflate.cc.o.d"
+  "CMakeFiles/tmcc_compress.dir/rfc_deflate.cc.o"
+  "CMakeFiles/tmcc_compress.dir/rfc_deflate.cc.o.d"
+  "libtmcc_compress.a"
+  "libtmcc_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmcc_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

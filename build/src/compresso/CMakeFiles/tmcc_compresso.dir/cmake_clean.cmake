@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmcc_compresso.dir/compresso_mc.cc.o"
+  "CMakeFiles/tmcc_compresso.dir/compresso_mc.cc.o.d"
+  "libtmcc_compresso.a"
+  "libtmcc_compresso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmcc_compresso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

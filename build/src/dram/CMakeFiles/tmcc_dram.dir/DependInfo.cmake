@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/address_map.cc" "src/dram/CMakeFiles/tmcc_dram.dir/address_map.cc.o" "gcc" "src/dram/CMakeFiles/tmcc_dram.dir/address_map.cc.o.d"
+  "/root/repo/src/dram/dram_channel.cc" "src/dram/CMakeFiles/tmcc_dram.dir/dram_channel.cc.o" "gcc" "src/dram/CMakeFiles/tmcc_dram.dir/dram_channel.cc.o.d"
+  "/root/repo/src/dram/dram_system.cc" "src/dram/CMakeFiles/tmcc_dram.dir/dram_system.cc.o" "gcc" "src/dram/CMakeFiles/tmcc_dram.dir/dram_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tmcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

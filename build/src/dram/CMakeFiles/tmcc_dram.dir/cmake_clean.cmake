@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmcc_dram.dir/address_map.cc.o"
+  "CMakeFiles/tmcc_dram.dir/address_map.cc.o.d"
+  "CMakeFiles/tmcc_dram.dir/dram_channel.cc.o"
+  "CMakeFiles/tmcc_dram.dir/dram_channel.cc.o.d"
+  "CMakeFiles/tmcc_dram.dir/dram_system.cc.o"
+  "CMakeFiles/tmcc_dram.dir/dram_system.cc.o.d"
+  "libtmcc_dram.a"
+  "libtmcc_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmcc_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

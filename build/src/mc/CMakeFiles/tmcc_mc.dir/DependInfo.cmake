@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/cte_cache.cc" "src/mc/CMakeFiles/tmcc_mc.dir/cte_cache.cc.o" "gcc" "src/mc/CMakeFiles/tmcc_mc.dir/cte_cache.cc.o.d"
+  "/root/repo/src/mc/free_list.cc" "src/mc/CMakeFiles/tmcc_mc.dir/free_list.cc.o" "gcc" "src/mc/CMakeFiles/tmcc_mc.dir/free_list.cc.o.d"
+  "/root/repo/src/mc/recency_list.cc" "src/mc/CMakeFiles/tmcc_mc.dir/recency_list.cc.o" "gcc" "src/mc/CMakeFiles/tmcc_mc.dir/recency_list.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tmcc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/tmcc_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

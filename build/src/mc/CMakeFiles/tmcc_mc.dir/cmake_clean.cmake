@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmcc_mc.dir/cte_cache.cc.o"
+  "CMakeFiles/tmcc_mc.dir/cte_cache.cc.o.d"
+  "CMakeFiles/tmcc_mc.dir/free_list.cc.o"
+  "CMakeFiles/tmcc_mc.dir/free_list.cc.o.d"
+  "CMakeFiles/tmcc_mc.dir/recency_list.cc.o"
+  "CMakeFiles/tmcc_mc.dir/recency_list.cc.o.d"
+  "libtmcc_mc.a"
+  "libtmcc_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmcc_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

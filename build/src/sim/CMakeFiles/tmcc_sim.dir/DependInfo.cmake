@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/system.cc" "src/sim/CMakeFiles/tmcc_sim.dir/system.cc.o" "gcc" "src/sim/CMakeFiles/tmcc_sim.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tmcc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/tmcc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/tmcc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/tmcc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/tmcc_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/compresso/CMakeFiles/tmcc_compresso.dir/DependInfo.cmake"
+  "/root/repo/build/src/tmcc/CMakeFiles/tmcc_tmcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tmcc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/tmcc_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

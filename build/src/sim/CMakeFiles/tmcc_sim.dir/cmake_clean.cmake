@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmcc_sim.dir/system.cc.o"
+  "CMakeFiles/tmcc_sim.dir/system.cc.o.d"
+  "libtmcc_sim.a"
+  "libtmcc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmcc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmcc/cte_buffer.cc" "src/tmcc/CMakeFiles/tmcc_tmcc.dir/cte_buffer.cc.o" "gcc" "src/tmcc/CMakeFiles/tmcc_tmcc.dir/cte_buffer.cc.o.d"
+  "/root/repo/src/tmcc/os_mc.cc" "src/tmcc/CMakeFiles/tmcc_tmcc.dir/os_mc.cc.o" "gcc" "src/tmcc/CMakeFiles/tmcc_tmcc.dir/os_mc.cc.o.d"
+  "/root/repo/src/tmcc/ptb_codec.cc" "src/tmcc/CMakeFiles/tmcc_tmcc.dir/ptb_codec.cc.o" "gcc" "src/tmcc/CMakeFiles/tmcc_tmcc.dir/ptb_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tmcc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/tmcc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/tmcc_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/tmcc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/tmcc_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmcc_tmcc.dir/cte_buffer.cc.o"
+  "CMakeFiles/tmcc_tmcc.dir/cte_buffer.cc.o.d"
+  "CMakeFiles/tmcc_tmcc.dir/os_mc.cc.o"
+  "CMakeFiles/tmcc_tmcc.dir/os_mc.cc.o.d"
+  "CMakeFiles/tmcc_tmcc.dir/ptb_codec.cc.o"
+  "CMakeFiles/tmcc_tmcc.dir/ptb_codec.cc.o.d"
+  "libtmcc_tmcc.a"
+  "libtmcc_tmcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmcc_tmcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

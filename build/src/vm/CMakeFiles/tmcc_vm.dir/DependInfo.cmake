@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/page_table.cc" "src/vm/CMakeFiles/tmcc_vm.dir/page_table.cc.o" "gcc" "src/vm/CMakeFiles/tmcc_vm.dir/page_table.cc.o.d"
+  "/root/repo/src/vm/phys_mem.cc" "src/vm/CMakeFiles/tmcc_vm.dir/phys_mem.cc.o" "gcc" "src/vm/CMakeFiles/tmcc_vm.dir/phys_mem.cc.o.d"
+  "/root/repo/src/vm/tlb.cc" "src/vm/CMakeFiles/tmcc_vm.dir/tlb.cc.o" "gcc" "src/vm/CMakeFiles/tmcc_vm.dir/tlb.cc.o.d"
+  "/root/repo/src/vm/walker.cc" "src/vm/CMakeFiles/tmcc_vm.dir/walker.cc.o" "gcc" "src/vm/CMakeFiles/tmcc_vm.dir/walker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tmcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmcc_vm.dir/page_table.cc.o"
+  "CMakeFiles/tmcc_vm.dir/page_table.cc.o.d"
+  "CMakeFiles/tmcc_vm.dir/phys_mem.cc.o"
+  "CMakeFiles/tmcc_vm.dir/phys_mem.cc.o.d"
+  "CMakeFiles/tmcc_vm.dir/tlb.cc.o"
+  "CMakeFiles/tmcc_vm.dir/tlb.cc.o.d"
+  "CMakeFiles/tmcc_vm.dir/walker.cc.o"
+  "CMakeFiles/tmcc_vm.dir/walker.cc.o.d"
+  "libtmcc_vm.a"
+  "libtmcc_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmcc_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

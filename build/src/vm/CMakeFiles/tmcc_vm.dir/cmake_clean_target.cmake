@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtmcc_vm.a"
+)

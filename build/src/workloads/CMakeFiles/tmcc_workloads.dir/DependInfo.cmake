@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/content.cc" "src/workloads/CMakeFiles/tmcc_workloads.dir/content.cc.o" "gcc" "src/workloads/CMakeFiles/tmcc_workloads.dir/content.cc.o.d"
+  "/root/repo/src/workloads/factory.cc" "src/workloads/CMakeFiles/tmcc_workloads.dir/factory.cc.o" "gcc" "src/workloads/CMakeFiles/tmcc_workloads.dir/factory.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/workloads/CMakeFiles/tmcc_workloads.dir/graph.cc.o" "gcc" "src/workloads/CMakeFiles/tmcc_workloads.dir/graph.cc.o.d"
+  "/root/repo/src/workloads/profile_library.cc" "src/workloads/CMakeFiles/tmcc_workloads.dir/profile_library.cc.o" "gcc" "src/workloads/CMakeFiles/tmcc_workloads.dir/profile_library.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/workloads/CMakeFiles/tmcc_workloads.dir/synthetic.cc.o" "gcc" "src/workloads/CMakeFiles/tmcc_workloads.dir/synthetic.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "src/workloads/CMakeFiles/tmcc_workloads.dir/trace.cc.o" "gcc" "src/workloads/CMakeFiles/tmcc_workloads.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tmcc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/tmcc_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/tmcc_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/tmcc_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

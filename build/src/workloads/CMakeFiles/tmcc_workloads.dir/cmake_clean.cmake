@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmcc_workloads.dir/content.cc.o"
+  "CMakeFiles/tmcc_workloads.dir/content.cc.o.d"
+  "CMakeFiles/tmcc_workloads.dir/factory.cc.o"
+  "CMakeFiles/tmcc_workloads.dir/factory.cc.o.d"
+  "CMakeFiles/tmcc_workloads.dir/graph.cc.o"
+  "CMakeFiles/tmcc_workloads.dir/graph.cc.o.d"
+  "CMakeFiles/tmcc_workloads.dir/profile_library.cc.o"
+  "CMakeFiles/tmcc_workloads.dir/profile_library.cc.o.d"
+  "CMakeFiles/tmcc_workloads.dir/synthetic.cc.o"
+  "CMakeFiles/tmcc_workloads.dir/synthetic.cc.o.d"
+  "CMakeFiles/tmcc_workloads.dir/trace.cc.o"
+  "CMakeFiles/tmcc_workloads.dir/trace.cc.o.d"
+  "libtmcc_workloads.a"
+  "libtmcc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmcc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache.dir/cache/cache_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/cache_test.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/hierarchy_property_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/hierarchy_property_test.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/hierarchy_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/hierarchy_test.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/prefetcher_test.cc.o"
+  "CMakeFiles/test_cache.dir/cache/prefetcher_test.cc.o.d"
+  "test_cache"
+  "test_cache.pdb"
+  "test_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

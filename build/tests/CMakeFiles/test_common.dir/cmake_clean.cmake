@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/bitops_test.cc.o"
+  "CMakeFiles/test_common.dir/common/bitops_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/rng_test.cc.o"
+  "CMakeFiles/test_common.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/stats_test.cc.o"
+  "CMakeFiles/test_common.dir/common/stats_test.cc.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compress.dir/compress/bdi_test.cc.o"
+  "CMakeFiles/test_compress.dir/compress/bdi_test.cc.o.d"
+  "CMakeFiles/test_compress.dir/compress/block_compressor_test.cc.o"
+  "CMakeFiles/test_compress.dir/compress/block_compressor_test.cc.o.d"
+  "CMakeFiles/test_compress.dir/compress/bpc_test.cc.o"
+  "CMakeFiles/test_compress.dir/compress/bpc_test.cc.o.d"
+  "CMakeFiles/test_compress.dir/compress/cpack_test.cc.o"
+  "CMakeFiles/test_compress.dir/compress/cpack_test.cc.o.d"
+  "CMakeFiles/test_compress.dir/compress/deflate_timing_test.cc.o"
+  "CMakeFiles/test_compress.dir/compress/deflate_timing_test.cc.o.d"
+  "CMakeFiles/test_compress.dir/compress/edge_cases_test.cc.o"
+  "CMakeFiles/test_compress.dir/compress/edge_cases_test.cc.o.d"
+  "CMakeFiles/test_compress.dir/compress/huffman_test.cc.o"
+  "CMakeFiles/test_compress.dir/compress/huffman_test.cc.o.d"
+  "CMakeFiles/test_compress.dir/compress/lz_test.cc.o"
+  "CMakeFiles/test_compress.dir/compress/lz_test.cc.o.d"
+  "CMakeFiles/test_compress.dir/compress/mem_deflate_test.cc.o"
+  "CMakeFiles/test_compress.dir/compress/mem_deflate_test.cc.o.d"
+  "CMakeFiles/test_compress.dir/compress/rfc_deflate_test.cc.o"
+  "CMakeFiles/test_compress.dir/compress/rfc_deflate_test.cc.o.d"
+  "CMakeFiles/test_compress.dir/compress/timing_property_test.cc.o"
+  "CMakeFiles/test_compress.dir/compress/timing_property_test.cc.o.d"
+  "test_compress"
+  "test_compress.pdb"
+  "test_compress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

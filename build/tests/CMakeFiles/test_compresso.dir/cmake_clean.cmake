@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compresso.dir/compresso/compresso_test.cc.o"
+  "CMakeFiles/test_compresso.dir/compresso/compresso_test.cc.o.d"
+  "test_compresso"
+  "test_compresso.pdb"
+  "test_compresso[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compresso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

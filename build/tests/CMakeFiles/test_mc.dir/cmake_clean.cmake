@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc.dir/mc/cte_cache_test.cc.o"
+  "CMakeFiles/test_mc.dir/mc/cte_cache_test.cc.o.d"
+  "CMakeFiles/test_mc.dir/mc/free_list_test.cc.o"
+  "CMakeFiles/test_mc.dir/mc/free_list_test.cc.o.d"
+  "CMakeFiles/test_mc.dir/mc/recency_list_test.cc.o"
+  "CMakeFiles/test_mc.dir/mc/recency_list_test.cc.o.d"
+  "test_mc"
+  "test_mc.pdb"
+  "test_mc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tmcc.dir/tmcc/cte_buffer_test.cc.o"
+  "CMakeFiles/test_tmcc.dir/tmcc/cte_buffer_test.cc.o.d"
+  "CMakeFiles/test_tmcc.dir/tmcc/os_mc_property_test.cc.o"
+  "CMakeFiles/test_tmcc.dir/tmcc/os_mc_property_test.cc.o.d"
+  "CMakeFiles/test_tmcc.dir/tmcc/os_mc_test.cc.o"
+  "CMakeFiles/test_tmcc.dir/tmcc/os_mc_test.cc.o.d"
+  "CMakeFiles/test_tmcc.dir/tmcc/ptb_codec_test.cc.o"
+  "CMakeFiles/test_tmcc.dir/tmcc/ptb_codec_test.cc.o.d"
+  "test_tmcc"
+  "test_tmcc.pdb"
+  "test_tmcc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tmcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

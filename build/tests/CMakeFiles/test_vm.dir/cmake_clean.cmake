@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm.dir/vm/page_table_test.cc.o"
+  "CMakeFiles/test_vm.dir/vm/page_table_test.cc.o.d"
+  "CMakeFiles/test_vm.dir/vm/tlb_walker_test.cc.o"
+  "CMakeFiles/test_vm.dir/vm/tlb_walker_test.cc.o.d"
+  "CMakeFiles/test_vm.dir/vm/vm_property_test.cc.o"
+  "CMakeFiles/test_vm.dir/vm/vm_property_test.cc.o.d"
+  "test_vm"
+  "test_vm.pdb"
+  "test_vm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
