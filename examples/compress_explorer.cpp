@@ -93,7 +93,8 @@ main(int argc, char **argv)
         comp_ns += ticksToNs(t.compressLatency);
 
         // Verify bit-exact round trips while exploring.
-        if (ours.decompress(cp) != page) {
+        const auto round_trip = ours.decompress(cp);
+        if (!round_trip.ok() || round_trip.value() != page) {
             std::fprintf(stderr, "round-trip mismatch!\n");
             return 1;
         }

@@ -17,6 +17,10 @@
  *   --cte-cache BYTES     TMCC/OS CTE cache size
  *   --measure N           measured accesses per core
  *   --seed N              RNG seed
+ *   --fault-ml2 R         per-bit flip rate injected into ML2 images
+ *   --fault-cte R         per-bit flip rate injected into embedded CTEs
+ *   --fault-ptb R         per-bit flip rate injected into compressed PTBs
+ *   --fault-seed N        fault-injection RNG seed
  *   --stats               dump every component counter
  *   --record FILE N       record N accesses of the workload to FILE
  *                         (no simulation) and exit
@@ -115,6 +119,15 @@ main(int argc, char **argv)
                 static_cast<std::uint64_t>(std::atoll(value()));
         } else if (arg == "--seed") {
             cfg.seed = static_cast<std::uint64_t>(std::atoll(value()));
+        } else if (arg == "--fault-ml2") {
+            cfg.osMc.faults.ml2BitFlipRate = std::atof(value());
+        } else if (arg == "--fault-cte") {
+            cfg.osMc.faults.cteBitFlipRate = std::atof(value());
+        } else if (arg == "--fault-ptb") {
+            cfg.osMc.faults.ptbBitFlipRate = std::atof(value());
+        } else if (arg == "--fault-seed") {
+            cfg.osMc.faults.seed =
+                static_cast<std::uint64_t>(std::atoll(value()));
         } else if (arg == "--stats") {
             dump_all = true;
         } else if (arg == "--record") {
@@ -194,6 +207,21 @@ main(int argc, char **argv)
     }
     std::printf("bus utilization     read %.3f write %.3f\n",
                 r.readBusUtil, r.writeBusUtil);
+
+    if (cfg.osMc.faults.enabled()) {
+        const auto stat = [&](const char *name) {
+            return static_cast<unsigned long>(r.stats.get(name));
+        };
+        std::printf("corruption          detected %lu (recovered %lu, "
+                    "unrecoverable %lu)\n",
+                    stat("mc.ml2.corruption_detected"),
+                    stat("mc.ml2.corruption_recovered"),
+                    stat("mc.ml2.corruption_unrecoverable"));
+        std::printf("                    cte mismatches %lu, ptb decode "
+                    "rejects %lu\n",
+                    stat("mc.cte_mismatch"),
+                    stat("mc.ptb_decode_rejects"));
+    }
 
     if (dump_all) {
         std::printf("\n--- component counters ---\n");

@@ -139,7 +139,11 @@ class BitReader
         : BitReader(v.data(), v.size())
     {}
 
-    /** Read `width` bits (width <= 57). Reads past the end return zeros. */
+    /**
+     * Read `width` bits (width <= 57). Reads past the end return zeros
+     * and latch the overrun() flag so corruption-safe decoders can tell
+     * a truncated stream from one that legitimately ends in zeros.
+     */
     std::uint64_t
     get(unsigned width)
     {
@@ -148,6 +152,8 @@ class BitReader
             cur_ |= static_cast<std::uint64_t>(data_[pos_++]) << curBits_;
             curBits_ += 8;
         }
+        if (curBits_ < width)
+            overrun_ = true;
         const std::uint64_t v =
             cur_ & (width >= 64 ? ~0ULL : (1ULL << width) - 1);
         cur_ >>= width;
@@ -171,7 +177,15 @@ class BitReader
     void
     skip(unsigned width)
     {
-        assert(curBits_ >= width);
+        if (curBits_ < width) {
+            // Only reachable on corrupt input: a decoded code claimed
+            // more bits than the stream held.  Latch instead of assert.
+            overrun_ = true;
+            bitsRead_ += width;
+            cur_ = 0;
+            curBits_ = 0;
+            return;
+        }
         cur_ >>= width;
         curBits_ -= width;
         bitsRead_ += width;
@@ -187,6 +201,9 @@ class BitReader
         return pos_ >= size_ && curBits_ == 0;
     }
 
+    /** True once any read reached past the end of the stream. */
+    bool overrun() const { return overrun_; }
+
   private:
     const std::uint8_t *data_;
     std::size_t size_;
@@ -194,6 +211,7 @@ class BitReader
     std::uint64_t cur_ = 0;
     unsigned curBits_ = 0;
     std::size_t bitsRead_ = 0;
+    bool overrun_ = false;
 };
 
 } // namespace tmcc

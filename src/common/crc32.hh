@@ -1,0 +1,65 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3 reflected polynomial 0xEDB88320) for end-to-end
+ * integrity of compressed images.
+ *
+ * Every compressor stamps the CRC of the *original* data into its
+ * result; every decompressor recomputes it over its output and rejects
+ * on mismatch.  The CRC models the side-band metadata protection real
+ * compressed-memory hardware carries alongside each compressed page
+ * (IBM MXT-lineage designs pair compression metadata with ECC/CRC); it
+ * is deliberately *not* counted in any sizeBits/sizeBytes accounting,
+ * exactly as DRAM ECC bits are not counted in data capacity.
+ */
+
+#ifndef TMCC_COMMON_CRC32_HH
+#define TMCC_COMMON_CRC32_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tmcc
+{
+
+namespace crc_detail
+{
+
+constexpr std::array<std::uint32_t, 256>
+makeCrc32Table()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> crc32Table =
+    makeCrc32Table();
+
+} // namespace crc_detail
+
+/** CRC-32 of `size` bytes at `data`; chainable via `seed`. */
+constexpr std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size, std::uint32_t seed = 0)
+{
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = crc_detail::crc32Table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+inline std::uint32_t
+crc32(const std::vector<std::uint8_t> &data, std::uint32_t seed = 0)
+{
+    return crc32(data.data(), data.size(), seed);
+}
+
+} // namespace tmcc
+
+#endif // TMCC_COMMON_CRC32_HH

@@ -64,6 +64,9 @@ constexpr std::size_t ptesPerPtb = 8;
 /** Bytes per page table entry. */
 constexpr std::size_t pteSize = 8;
 
+/** Bytes per page table block (one cache line of PTEs). */
+constexpr std::size_t ptbBytes = ptesPerPtb * pteSize;
+
 /** Extract the page-aligned base of an address. */
 constexpr Addr
 pageAlign(Addr a)

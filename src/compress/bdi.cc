@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/bitops.hh"
+#include "common/crc32.hh"
 #include "common/log.hh"
 
 namespace tmcc
@@ -91,6 +92,7 @@ BlockResult
 Bdi::compress(const std::uint8_t *block) const
 {
     BlockResult enc;
+    enc.crc = crc32(block, blockSize);
 
     // All zeros?
     bool zeros = true;
@@ -153,33 +155,34 @@ Bdi::compress(const std::uint8_t *block) const
     return enc;
 }
 
-void
+Status
 Bdi::decompress(const BlockResult &enc, std::uint8_t *out) const
 {
     BitReader br(enc.payload);
     const auto tag = static_cast<BdiScheme>(br.get(4));
+    if (br.overrun())
+        return Status::truncated("BDI: empty payload");
 
+    unsigned base_bytes = 0, delta_bytes = 0;
     switch (tag) {
       case BdiScheme::Zeros:
         std::memset(out, 0, blockSize);
-        return;
+        return verify(enc, out);
       case BdiScheme::Repeat8: {
         std::uint64_t v = br.get(32);
         v |= br.get(32) << 32;
+        if (br.overrun())
+            return Status::truncated("BDI: truncated repeat value");
         for (std::size_t i = 0; i < blockSize; i += 8)
             storeLe(out + i, v, 8);
-        return;
+        return verify(enc, out);
       }
       case BdiScheme::Uncompressed:
         for (std::size_t i = 0; i < blockSize; ++i)
             out[i] = static_cast<std::uint8_t>(br.get(8));
-        return;
-      default:
-        break;
-    }
-
-    unsigned base_bytes = 0, delta_bytes = 0;
-    switch (tag) {
+        if (br.overrun())
+            return Status::truncated("BDI: truncated raw block");
+        return verify(enc, out);
       case BdiScheme::B8D1: base_bytes = 8; delta_bytes = 1; break;
       case BdiScheme::B8D2: base_bytes = 8; delta_bytes = 2; break;
       case BdiScheme::B4D1: base_bytes = 4; delta_bytes = 1; break;
@@ -187,7 +190,7 @@ Bdi::decompress(const BlockResult &enc, std::uint8_t *out) const
       case BdiScheme::B4D2: base_bytes = 4; delta_bytes = 2; break;
       case BdiScheme::B2D1: base_bytes = 2; delta_bytes = 1; break;
       default:
-        panic("BDI: corrupt scheme tag");
+        return Status::corruption("BDI: corrupt scheme tag");
     }
 
     std::uint64_t base;
@@ -208,6 +211,17 @@ Bdi::decompress(const BlockResult &enc, std::uint8_t *out) const
             w &= (1ULL << (base_bytes * 8)) - 1;
         storeLe(out + i * base_bytes, w, base_bytes);
     }
+    if (br.overrun())
+        return Status::truncated("BDI: truncated delta stream");
+    return verify(enc, out);
+}
+
+Status
+Bdi::verify(const BlockResult &enc, const std::uint8_t *out)
+{
+    if (crc32(out, blockSize) != enc.crc)
+        return Status::checksumMismatch("BDI: block CRC mismatch");
+    return Status::okStatus();
 }
 
 BdiScheme

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "common/status.hh"
 #include "compress/block_result.hh"
 
 namespace tmcc
@@ -41,11 +42,19 @@ class Bdi
     /** Compress `block` (64 bytes); always succeeds (may be uncompressed). */
     BlockResult compress(const std::uint8_t *block) const;
 
-    /** Decompress into `out` (64 bytes). */
-    void decompress(const BlockResult &enc, std::uint8_t *out) const;
+    /**
+     * Decompress into `out` (64 bytes).  Rejects corrupt scheme tags,
+     * truncated payloads, and CRC mismatches without touching memory
+     * beyond the 64B output.
+     */
+    Status decompress(const BlockResult &enc, std::uint8_t *out) const;
 
     /** Scheme tag of an encoded block (for tests/inspection). */
     static BdiScheme scheme(const BlockResult &enc);
+
+  private:
+    /** CRC check shared by every decode arm. */
+    static Status verify(const BlockResult &enc, const std::uint8_t *out);
 };
 
 } // namespace tmcc

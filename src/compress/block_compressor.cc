@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/crc32.hh"
 #include "common/log.hh"
 
 namespace tmcc
@@ -30,6 +31,7 @@ BlockCompressor::compress(const std::uint8_t *block) const
         best.algo = BlockAlgo::Zero;
         best.result.sizeBits = 0; // the 3-bit selector alone encodes it
         best.result.payload.clear();
+        best.result.crc = crc32(block, blockSize);
         return best;
     }
 
@@ -52,34 +54,39 @@ BlockCompressor::compress(const std::uint8_t *block) const
         best.algo = BlockAlgo::Uncompressed;
         best.result.sizeBits = blockSize * 8;
         best.result.payload.assign(block, block + blockSize);
+        best.result.crc = crc32(block, blockSize);
     }
     return best;
 }
 
-void
+Status
 BlockCompressor::decompress(const BestBlockResult &enc,
                             std::uint8_t *out) const
 {
     switch (enc.algo) {
       case BlockAlgo::Zero:
         std::memset(out, 0, blockSize);
-        return;
+        if (crc32(out, blockSize) != enc.result.crc)
+            return Status::checksumMismatch(
+                "block: zero-block CRC mismatch");
+        return Status::okStatus();
       case BlockAlgo::Bdi:
-        bdi_.decompress(enc.result, out);
-        return;
+        return bdi_.decompress(enc.result, out);
       case BlockAlgo::Bpc:
-        bpc_.decompress(enc.result, out);
-        return;
+        return bpc_.decompress(enc.result, out);
       case BlockAlgo::Cpack:
-        cpack_.decompress(enc.result, out);
-        return;
+        return cpack_.decompress(enc.result, out);
       case BlockAlgo::Uncompressed:
-        panicIf(enc.result.payload.size() != blockSize,
-                "uncompressed block payload must be 64B");
+        if (enc.result.payload.size() != blockSize)
+            return Status::corruption(
+                "block: uncompressed payload must be 64B");
         std::memcpy(out, enc.result.payload.data(), blockSize);
-        return;
+        if (crc32(out, blockSize) != enc.result.crc)
+            return Status::checksumMismatch(
+                "block: raw block CRC mismatch");
+        return Status::okStatus();
     }
-    panic("BlockCompressor: bad algorithm tag");
+    return Status::corruption("block: bad algorithm tag");
 }
 
 std::size_t

@@ -52,8 +52,12 @@ class BlockCompressor
     /** Compress one 64B block, selecting the smallest encoding. */
     BestBlockResult compress(const std::uint8_t *block) const;
 
-    /** Round-trip decompress into `out` (64 bytes). */
-    void decompress(const BestBlockResult &enc, std::uint8_t *out) const;
+    /**
+     * Round-trip decompress into `out` (64 bytes), forwarding any
+     * corruption error from the selected codec; bad algorithm tags and
+     * wrong-sized raw payloads are errors, not panics.
+     */
+    Status decompress(const BestBlockResult &enc, std::uint8_t *out) const;
 
     /**
      * Compress a whole 4KB page block-by-block; returns total compressed

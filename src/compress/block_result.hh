@@ -23,6 +23,13 @@ struct BlockResult
     /** The encoded bit stream (empty for schemes modelled size-only). */
     std::vector<std::uint8_t> payload;
 
+    /**
+     * CRC-32 of the original 64B block, carried as side-band integrity
+     * metadata (like ECC bits; deliberately not counted in sizeBits so
+     * compression-ratio accounting is unchanged).
+     */
+    std::uint32_t crc = 0;
+
     /** Size rounded up to whole bytes. */
     std::size_t sizeBytes() const { return (sizeBits + 7) / 8; }
 

@@ -3,6 +3,7 @@
 #include <array>
 
 #include "common/bitops.hh"
+#include "common/crc32.hh"
 #include "common/log.hh"
 
 namespace tmcc
@@ -81,33 +82,40 @@ encodePlanes(BitWriter &bw, const std::array<std::uint32_t,
     }
 }
 
-void
+Status
 decodePlanes(BitReader &br, std::array<std::uint32_t, numPlanes> &planes)
 {
     unsigned i = 0;
     while (i < numPlanes) {
         if (br.get(1) == 0) { // ZRUN
             const unsigned run = static_cast<unsigned>(br.get(4)) + 1;
-            panicIf(i + run > numPlanes, "BPC: zero run overflows planes");
+            if (i + run > numPlanes)
+                return Status::corruption(
+                    "BPC: zero run overflows planes");
             for (unsigned k = 0; k < run; ++k)
                 planes[i + k] = 0;
             i += run;
-            continue;
-        }
-        if (br.get(1) == 0) { // '10' RAW
+        } else if (br.get(1) == 0) { // '10' RAW
             planes[i++] = static_cast<std::uint32_t>(br.get(15));
-            continue;
-        }
-        if (br.get(1) == 0) { // '110' ALL1
+        } else if (br.get(1) == 0) { // '110' ALL1
             planes[i++] = 0x7fff;
-            continue;
-        }
-        if (br.get(1) == 0) { // '1110' SINGLE1
-            planes[i++] = 1u << br.get(4);
+        } else if (br.get(1) == 0) { // '1110' SINGLE1
+            const unsigned pos = static_cast<unsigned>(br.get(4));
+            if (pos >= 15)
+                return Status::corruption(
+                    "BPC: one-bit position out of plane");
+            planes[i++] = 1u << pos;
         } else { // '1111' TWO1
-            planes[i++] = 0x3u << br.get(4);
+            const unsigned pos = static_cast<unsigned>(br.get(4));
+            if (pos + 1 >= 15)
+                return Status::corruption(
+                    "BPC: two-ones position out of plane");
+            planes[i++] = 0x3u << pos;
         }
+        if (br.overrun())
+            return Status::truncated("BPC: truncated plane stream");
     }
+    return Status::okStatus();
 }
 
 } // namespace
@@ -147,19 +155,22 @@ Bpc::compress(const std::uint8_t *block) const
     encodePlanes(bw, dbx);
 
     BlockResult enc;
+    enc.crc = crc32(block, blockSize);
     enc.sizeBits = bw.sizeBits();
     enc.payload = bw.finish();
     return enc;
 }
 
-void
+Status
 Bpc::decompress(const BlockResult &enc, std::uint8_t *out) const
 {
     BitReader br(enc.payload);
     const auto base = static_cast<std::uint32_t>(br.get(32));
+    if (br.overrun())
+        return Status::truncated("BPC: truncated base word");
 
     std::array<std::uint32_t, numPlanes> dbx{};
-    decodePlanes(br, dbx);
+    TMCC_RETURN_IF_ERROR(decodePlanes(br, dbx));
 
     // Undo the XOR chain from the anchor plane downwards.
     std::array<std::uint32_t, numPlanes> dbp{};
@@ -184,6 +195,10 @@ Bpc::decompress(const BlockResult &enc, std::uint8_t *out) const
 
     for (unsigned i = 0; i < wordsPerBlock; ++i)
         storeWord(out + i * 4, words[i]);
+
+    if (crc32(out, blockSize) != enc.crc)
+        return Status::checksumMismatch("BPC: block CRC mismatch");
+    return Status::okStatus();
 }
 
 } // namespace tmcc

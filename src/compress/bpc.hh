@@ -22,6 +22,7 @@
 
 #include <cstdint>
 
+#include "common/status.hh"
 #include "compress/block_result.hh"
 
 namespace tmcc
@@ -34,8 +35,11 @@ class Bpc
     /** Compress `block` (64 bytes). */
     BlockResult compress(const std::uint8_t *block) const;
 
-    /** Decompress into `out` (64 bytes). */
-    void decompress(const BlockResult &enc, std::uint8_t *out) const;
+    /**
+     * Decompress into `out` (64 bytes).  Rejects over-long zero runs,
+     * truncated plane streams, and CRC mismatches.
+     */
+    Status decompress(const BlockResult &enc, std::uint8_t *out) const;
 };
 
 } // namespace tmcc

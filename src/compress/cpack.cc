@@ -3,6 +3,7 @@
 #include <array>
 
 #include "common/bitops.hh"
+#include "common/crc32.hh"
 #include "common/log.hh"
 
 namespace tmcc
@@ -71,6 +72,9 @@ class Dict
 
     std::uint32_t at(unsigned i) const { return entries_[i]; }
 
+    /** Number of entries written so far (valid indices are < size()). */
+    unsigned size() const { return size_; }
+
     /** FIFO insert. */
     void
     push(std::uint32_t w)
@@ -135,12 +139,13 @@ Cpack::compress(const std::uint8_t *block) const
     }
 
     BlockResult enc;
+    enc.crc = crc32(block, blockSize);
     enc.sizeBits = bw.sizeBits();
     enc.payload = bw.finish();
     return enc;
 }
 
-void
+Status
 Cpack::decompress(const BlockResult &enc, std::uint8_t *out) const
 {
     Dict dict;
@@ -156,6 +161,9 @@ Cpack::decompress(const BlockResult &enc, std::uint8_t *out) const
             dict.push(w);
         } else if (first == 0b10) {
             const auto idx = static_cast<unsigned>(br.get(4));
+            if (idx >= dict.size())
+                return Status::corruption(
+                    "CPack: reference to unwritten dictionary entry");
             w = dict.at(idx);
         } else {
             const std::uint64_t second = br.get(2);
@@ -163,20 +171,32 @@ Cpack::decompress(const BlockResult &enc, std::uint8_t *out) const
                 w = static_cast<std::uint32_t>(br.get(8));
             } else if (second == 0b10) { // 1110 mmmx
                 const auto idx = static_cast<unsigned>(br.get(4));
+                if (idx >= dict.size())
+                    return Status::corruption(
+                        "CPack: reference to unwritten dictionary entry");
                 w = (dict.at(idx) & 0xffffff00u) |
                     static_cast<std::uint32_t>(br.get(8));
                 dict.push(w);
             } else if (second == 0b00) { // 1100 mmxx
                 const auto idx = static_cast<unsigned>(br.get(4));
+                if (idx >= dict.size())
+                    return Status::corruption(
+                        "CPack: reference to unwritten dictionary entry");
                 w = (dict.at(idx) & 0xffff0000u) |
                     static_cast<std::uint32_t>(br.get(16));
                 dict.push(w);
             } else {
-                panic("CPack: corrupt pattern code");
+                return Status::corruption("CPack: corrupt pattern code");
             }
         }
+        if (br.overrun())
+            return Status::truncated("CPack: truncated pattern stream");
         storeWord(out + i * 4, w);
     }
+
+    if (crc32(out, blockSize) != enc.crc)
+        return Status::checksumMismatch("CPack: block CRC mismatch");
+    return Status::okStatus();
 }
 
 } // namespace tmcc

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "common/status.hh"
 #include "compress/block_result.hh"
 
 namespace tmcc
@@ -31,8 +32,12 @@ class Cpack
     /** Compress `block` (64 bytes). */
     BlockResult compress(const std::uint8_t *block) const;
 
-    /** Decompress into `out` (64 bytes). */
-    void decompress(const BlockResult &enc, std::uint8_t *out) const;
+    /**
+     * Decompress into `out` (64 bytes).  Rejects unknown pattern codes,
+     * dictionary references to unwritten entries, truncation, and CRC
+     * mismatches.
+     */
+    Status decompress(const BlockResult &enc, std::uint8_t *out) const;
 };
 
 } // namespace tmcc

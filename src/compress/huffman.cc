@@ -88,6 +88,25 @@ CanonicalCode::limitedLengths(const std::vector<std::uint64_t> &freqs,
     return lengths;
 }
 
+Status
+CanonicalCode::validateLengths(const std::vector<unsigned> &lengths)
+{
+    unsigned max_len = 0;
+    for (unsigned l : lengths)
+        max_len = std::max(max_len, l);
+    if (max_len == 0)
+        return Status::corruption("Huffman: empty code length set");
+    if (max_len > 31)
+        return Status::corruption("Huffman: code deeper than 31 bits");
+    std::uint64_t kraft = 0;
+    for (unsigned l : lengths)
+        if (l > 0)
+            kraft += 1ULL << (max_len - l);
+    if (kraft > (1ULL << max_len))
+        return Status::corruption("Huffman: over-full code length set");
+    return Status::okStatus();
+}
+
 CanonicalCode::CanonicalCode(const std::vector<unsigned> &lengths)
     : lengths_(lengths)
 {
@@ -142,19 +161,21 @@ CanonicalCode::encode(BitWriter &bw, unsigned sym) const
         bw.put((code >> (len - 1 - i)) & 1, 1); // MSB first
 }
 
-unsigned
+StatusOr<unsigned>
 CanonicalCode::decode(BitReader &br) const
 {
     std::uint32_t code = 0;
     for (unsigned len = 1; len <= maxLen_; ++len) {
         code = (code << 1) | static_cast<std::uint32_t>(br.get(1));
+        if (br.overrun())
+            return Status::truncated("Huffman: bit stream ended mid-code");
         if (countAt_[len] != 0 && code >= firstCode_[len] &&
             code < firstCode_[len] + countAt_[len]) {
             return sortedSyms_[static_cast<std::size_t>(firstIndex_[len]) +
                                (code - firstCode_[len])];
         }
     }
-    panic("CanonicalCode: corrupt bit stream");
+    return Status::corruption("Huffman: no code matches bit stream");
 }
 
 // ---------------------------------------------------------------------
@@ -217,7 +238,7 @@ ReducedTree::write(BitWriter &bw) const
     bw.put(lengths_.back(), 4); // escape length
 }
 
-ReducedTree
+StatusOr<ReducedTree>
 ReducedTree::read(BitReader &br)
 {
     ReducedTree t;
@@ -226,11 +247,23 @@ ReducedTree::read(BitReader &br)
     for (unsigned i = 0; i < hot_count; ++i) {
         const auto c = static_cast<std::uint8_t>(br.get(8));
         const auto len = static_cast<unsigned>(br.get(4));
+        if (t.charToHot_[c] != -1)
+            return Status::corruption(
+                "reduced tree: duplicate hot character");
+        if (len == 0)
+            return Status::corruption(
+                "reduced tree: hot character with zero code length");
         t.hotChars_.push_back(c);
         t.charToHot_[c] = static_cast<int>(i);
         t.lengths_.push_back(len);
     }
-    t.lengths_.push_back(static_cast<unsigned>(br.get(4))); // escape
+    const auto esc_len = static_cast<unsigned>(br.get(4));
+    if (esc_len == 0)
+        return Status::corruption("reduced tree: zero escape code length");
+    t.lengths_.push_back(esc_len);
+    if (br.overrun())
+        return Status::truncated("reduced tree: truncated header");
+    TMCC_RETURN_IF_ERROR(CanonicalCode::validateLengths(t.lengths_));
     t.code_ = std::make_unique<CanonicalCode>(t.lengths_);
     return t;
 }
@@ -247,12 +280,17 @@ ReducedTree::encodeByte(BitWriter &bw, std::uint8_t b) const
     }
 }
 
-std::uint8_t
+StatusOr<std::uint8_t>
 ReducedTree::decodeByte(BitReader &br) const
 {
-    const unsigned sym = code_->decode(br);
-    if (sym == hotCount())
-        return static_cast<std::uint8_t>(br.get(8));
+    TMCC_ASSIGN_OR_RETURN(const unsigned sym, code_->decode(br));
+    if (sym == hotCount()) {
+        const auto raw = static_cast<std::uint8_t>(br.get(8));
+        if (br.overrun())
+            return Status::truncated(
+                "reduced tree: stream ended mid-escape");
+        return raw;
+    }
     return hotChars_[sym];
 }
 

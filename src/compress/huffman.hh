@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/bitops.hh"
+#include "common/status.hh"
 
 namespace tmcc
 {
@@ -44,14 +45,24 @@ class CanonicalCode
     limitedLengths(const std::vector<std::uint64_t> &freqs,
                    unsigned max_len);
 
+    /**
+     * Check that `lengths` describe a usable, not-over-full code.
+     * Untrusted readers must call this before constructing — the
+     * constructor panics on the same conditions.
+     */
+    static Status validateLengths(const std::vector<unsigned> &lengths);
+
     /** Construct from per-symbol code lengths (0 = absent). */
     explicit CanonicalCode(const std::vector<unsigned> &lengths);
 
     /** Emit the code for `sym` MSB-first. */
     void encode(BitWriter &bw, unsigned sym) const;
 
-    /** Decode one symbol by reading bits one at a time. */
-    unsigned decode(BitReader &br) const;
+    /**
+     * Decode one symbol by reading bits one at a time.  Returns
+     * Corruption if no code matches, Truncated on stream overrun.
+     */
+    StatusOr<unsigned> decode(BitReader &br) const;
 
     /** Code length of `sym` (0 if absent). */
     unsigned length(unsigned sym) const { return lengths_[sym]; }
@@ -98,8 +109,12 @@ class ReducedTree
      */
     ReducedTree(const std::uint64_t *freqs, const ReducedTreeConfig &cfg);
 
-    /** Reconstruct from the serialized header produced by write(). */
-    static ReducedTree read(BitReader &br);
+    /**
+     * Reconstruct from the serialized header produced by write().
+     * Rejects truncated headers, duplicate hot characters, zero code
+     * lengths, and over-full (non-Kraft) length sets.
+     */
+    static StatusOr<ReducedTree> read(BitReader &br);
 
     /** Serialize the plain-format tree header. */
     void write(BitWriter &bw) const;
@@ -108,7 +123,7 @@ class ReducedTree
     void encodeByte(BitWriter &bw, std::uint8_t b) const;
 
     /** Decode one byte. */
-    std::uint8_t decodeByte(BitReader &br) const;
+    StatusOr<std::uint8_t> decodeByte(BitReader &br) const;
 
     /** Cost in bits of encoding byte `b`. */
     unsigned costBits(std::uint8_t b) const;

@@ -156,7 +156,7 @@ Lz::compress(const std::uint8_t *data, std::size_t size) const
     return out;
 }
 
-std::vector<std::uint8_t>
+StatusOr<std::vector<std::uint8_t>>
 Lz::decompress(const std::vector<LzToken> &tokens) const
 {
     std::vector<std::uint8_t> out;
@@ -165,8 +165,13 @@ Lz::decompress(const std::vector<LzToken> &tokens) const
             out.push_back(t.literal);
             continue;
         }
-        panicIf(t.distance == 0 || t.distance > out.size(),
-                "LZ: match distance outside produced data");
+        if (t.distance == 0 || t.distance > out.size())
+            return Status::corruption(
+                "LZ match distance outside produced data");
+        if (t.distance > cfg_.windowSize)
+            return Status::corruption("LZ match distance exceeds window");
+        if (t.length < cfg_.minMatch || t.length > cfg_.maxMatch)
+            return Status::corruption("LZ match length out of range");
         std::size_t from = out.size() - t.distance;
         for (unsigned i = 0; i < t.length; ++i)
             out.push_back(out[from + i]); // overlapping copies are legal

@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.hh"
+
 namespace tmcc
 {
 
@@ -65,8 +67,11 @@ class Lz
     std::vector<LzToken> compress(const std::uint8_t *data,
                                   std::size_t size) const;
 
-    /** Expand tokens; returns the reconstructed bytes. */
-    std::vector<std::uint8_t>
+    /**
+     * Expand tokens; returns the reconstructed bytes, or Corruption for
+     * out-of-window/zero distances and over-long copies.
+     */
+    StatusOr<std::vector<std::uint8_t>>
     decompress(const std::vector<LzToken> &tokens) const;
 
     /**

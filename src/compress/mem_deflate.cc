@@ -1,5 +1,6 @@
 #include "compress/mem_deflate.hh"
 
+#include "common/crc32.hh"
 #include "common/log.hh"
 
 namespace tmcc
@@ -14,6 +15,7 @@ MemDeflate::compress(const std::uint8_t *data, std::size_t size) const
 {
     CompressedPage out;
     out.originalSize = size;
+    out.crc = crc32(data, size);
 
     const std::vector<LzToken> tokens = lz_.compress(data, size);
     out.lzTokens = tokens.size();
@@ -70,55 +72,71 @@ MemDeflate::compress(const std::uint8_t *data, std::size_t size) const
     return out;
 }
 
-std::vector<std::uint8_t>
+StatusOr<std::vector<std::uint8_t>>
 MemDeflate::decompress(const CompressedPage &page) const
 {
     BitReader br(page.payload);
     const bool huffman_used = br.get(1) != 0;
+    if (br.overrun())
+        return Status::truncated("MemDeflate: empty payload");
 
     std::vector<std::uint8_t> out;
     out.reserve(page.originalSize);
 
     const unsigned dist_bits = lz_.distanceBits();
     const unsigned min_match = lz_.config().minMatch;
+    const unsigned max_match = lz_.config().maxMatch;
 
+    const ReducedTree *tree = nullptr;
+    std::optional<ReducedTree> tree_storage;
     if (huffman_used) {
-        const ReducedTree tree = ReducedTree::read(br);
-        while (out.size() < page.originalSize) {
-            if (br.get(1)) {
-                const unsigned len =
-                    static_cast<unsigned>(br.get(8)) + min_match;
-                const auto dist = static_cast<std::size_t>(
-                    br.get(dist_bits));
-                panicIf(dist == 0 || dist > out.size(),
-                        "MemDeflate: corrupt match distance");
-                const std::size_t from = out.size() - dist;
-                for (unsigned i = 0; i < len; ++i)
-                    out.push_back(out[from + i]);
-            } else {
-                out.push_back(tree.decodeByte(br));
-            }
-        }
-    } else {
-        while (out.size() < page.originalSize) {
-            if (br.get(1)) {
-                const unsigned len =
-                    static_cast<unsigned>(br.get(8)) + min_match;
-                const auto dist = static_cast<std::size_t>(
-                    br.get(dist_bits));
-                panicIf(dist == 0 || dist > out.size(),
-                        "MemDeflate: corrupt match distance");
-                const std::size_t from = out.size() - dist;
-                for (unsigned i = 0; i < len; ++i)
-                    out.push_back(out[from + i]);
-            } else {
-                out.push_back(static_cast<std::uint8_t>(br.get(8)));
-            }
-        }
+        auto read = ReducedTree::read(br);
+        if (!read.ok())
+            return read.status();
+        tree_storage.emplace(std::move(read).value());
+        tree = &*tree_storage;
     }
 
-    panicIf(out.size() != page.originalSize,
-            "MemDeflate: decoded size mismatch");
+    while (out.size() < page.originalSize) {
+        if (br.get(1)) {
+            const unsigned len =
+                static_cast<unsigned>(br.get(8)) + min_match;
+            const auto dist =
+                static_cast<std::size_t>(br.get(dist_bits));
+            if (br.overrun())
+                return Status::truncated(
+                    "MemDeflate: stream ended mid-match");
+            if (dist == 0 || dist > out.size())
+                return Status::corruption(
+                    "MemDeflate: match distance outside produced data");
+            if (len > max_match)
+                return Status::corruption(
+                    "MemDeflate: match length out of range");
+            if (out.size() + len > page.originalSize)
+                return Status::corruption(
+                    "MemDeflate: match overruns original size");
+            const std::size_t from = out.size() - dist;
+            for (unsigned i = 0; i < len; ++i)
+                out.push_back(out[from + i]);
+        } else if (tree) {
+            TMCC_ASSIGN_OR_RETURN(const std::uint8_t b,
+                                  tree->decodeByte(br));
+            out.push_back(b);
+        } else {
+            const auto b = static_cast<std::uint8_t>(br.get(8));
+            if (br.overrun())
+                return Status::truncated(
+                    "MemDeflate: stream ended mid-literal");
+            out.push_back(b);
+        }
+        if (br.overrun())
+            return Status::truncated("MemDeflate: truncated stream");
+    }
+
+    if (out.size() != page.originalSize)
+        return Status::corruption("MemDeflate: decoded size mismatch");
+    if (crc32(out) != page.crc)
+        return Status::checksumMismatch("MemDeflate: page CRC mismatch");
     return out;
 }
 

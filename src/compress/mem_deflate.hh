@@ -47,6 +47,12 @@ struct CompressedPage
     std::size_t lzTokens = 0;   //!< token count (timing model input)
     std::size_t lzLiterals = 0; //!< literal token count
 
+    /**
+     * CRC-32 of the original page, carried as side-band integrity
+     * metadata (like DRAM ECC bits, not counted in sizeBits).
+     */
+    std::uint32_t crc = 0;
+
     std::size_t sizeBytes() const { return (sizeBits + 7) / 8; }
 
     /** True when compression did not beat the original size. */
@@ -63,8 +69,13 @@ class MemDeflate
     CompressedPage compress(const std::uint8_t *data,
                             std::size_t size) const;
 
-    /** Decompress; `expected_size` is the original length (page size). */
-    std::vector<std::uint8_t> decompress(const CompressedPage &page) const;
+    /**
+     * Decompress.  Returns the original bytes, or an error for corrupt
+     * match distances, truncated bit streams, and CRC mismatches — a
+     * garbage `page` must never crash or return silently-wrong data.
+     */
+    StatusOr<std::vector<std::uint8_t>>
+    decompress(const CompressedPage &page) const;
 
     const MemDeflateConfig &config() const { return cfg_; }
     const Lz &lz() const { return lz_; }

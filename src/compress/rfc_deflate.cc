@@ -3,6 +3,7 @@
 #include <array>
 
 #include "common/bitops.hh"
+#include "common/crc32.hh"
 #include "common/log.hh"
 #include "compress/huffman.hh"
 
@@ -135,6 +136,7 @@ RfcDeflate::compress(const std::uint8_t *data, std::size_t size) const
 {
     RfcCompressed out;
     out.originalSize = size;
+    out.crc = crc32(data, size);
 
     const std::vector<LzToken> tokens = lz_.compress(data, size);
 
@@ -237,7 +239,7 @@ RfcDeflate::compress(const std::uint8_t *data, std::size_t size) const
     return out;
 }
 
-std::vector<std::uint8_t>
+StatusOr<std::vector<std::uint8_t>>
 RfcDeflate::decompress(const RfcCompressed &in) const
 {
     BitReader br(in.payload);
@@ -245,20 +247,32 @@ RfcDeflate::decompress(const RfcCompressed &in) const
     const unsigned hlit = static_cast<unsigned>(br.get(5)) + 257;
     const unsigned hdist = static_cast<unsigned>(br.get(5)) + 1;
     const unsigned hclen = static_cast<unsigned>(br.get(4)) + 4;
+    if (br.overrun())
+        return Status::truncated("RFC deflate: truncated block header");
+    // The 5-bit HLIT field can encode up to 288 symbols but the
+    // alphabet only has 286 — anything more walks off lenCodes.
+    if (hlit > numLitLen)
+        return Status::corruption("RFC deflate: HLIT exceeds alphabet");
+    if (hdist > numDist)
+        return Status::corruption("RFC deflate: HDIST exceeds alphabet");
 
     std::vector<unsigned> cl_lens(numCl, 0);
     for (unsigned i = 0; i < hclen; ++i)
         cl_lens[clOrder[i]] = static_cast<unsigned>(br.get(3));
+    if (br.overrun())
+        return Status::truncated("RFC deflate: truncated CL lengths");
+    TMCC_RETURN_IF_ERROR(CanonicalCode::validateLengths(cl_lens));
     CanonicalCode cl_code(cl_lens);
 
     std::vector<unsigned> all_lens;
     all_lens.reserve(hlit + hdist);
     while (all_lens.size() < hlit + hdist) {
-        const unsigned sym = cl_code.decode(br);
+        TMCC_ASSIGN_OR_RETURN(const unsigned sym, cl_code.decode(br));
         if (sym < 16) {
             all_lens.push_back(sym);
         } else if (sym == 16) {
-            panicIf(all_lens.empty(), "RFC deflate: CL 16 at start");
+            if (all_lens.empty())
+                return Status::corruption("RFC deflate: CL 16 at start");
             const unsigned n = static_cast<unsigned>(br.get(2)) + 3;
             const unsigned v = all_lens.back();
             for (unsigned k = 0; k < n; ++k)
@@ -272,8 +286,11 @@ RfcDeflate::decompress(const RfcCompressed &in) const
             for (unsigned k = 0; k < n; ++k)
                 all_lens.push_back(0);
         }
+        if (br.overrun())
+            return Status::truncated("RFC deflate: truncated CL stream");
     }
-    panicIf(all_lens.size() != hlit + hdist,
+    if (all_lens.size() != hlit + hdist)
+        return Status::corruption(
             "RFC deflate: CL stream overran header counts");
 
     std::vector<unsigned> ll_lens(all_lens.begin(),
@@ -281,35 +298,47 @@ RfcDeflate::decompress(const RfcCompressed &in) const
     ll_lens.resize(numLitLen, 0);
     std::vector<unsigned> d_lens(all_lens.begin() + hlit, all_lens.end());
     d_lens.resize(numDist, 0);
+    TMCC_RETURN_IF_ERROR(CanonicalCode::validateLengths(ll_lens));
+    TMCC_RETURN_IF_ERROR(CanonicalCode::validateLengths(d_lens));
     CanonicalCode ll_code(ll_lens);
     CanonicalCode d_code(d_lens);
 
     std::vector<std::uint8_t> out;
     out.reserve(in.originalSize);
     for (;;) {
-        const unsigned sym = ll_code.decode(br);
+        TMCC_ASSIGN_OR_RETURN(const unsigned sym, ll_code.decode(br));
         if (sym == eob)
             break;
         if (sym < 256) {
+            if (out.size() >= in.originalSize)
+                return Status::corruption(
+                    "RFC deflate: output exceeds original size");
             out.push_back(static_cast<std::uint8_t>(sym));
             continue;
         }
         const LenCode &lc = lenCodes[sym - 257];
         const unsigned len = lc.base +
             static_cast<unsigned>(br.get(lc.extra));
-        const unsigned ds = d_code.decode(br);
+        TMCC_ASSIGN_OR_RETURN(const unsigned ds, d_code.decode(br));
         const LenCode &dc = distCodes[ds];
         const unsigned dist = dc.base +
             static_cast<unsigned>(br.get(dc.extra));
-        panicIf(dist == 0 || dist > out.size(),
-                "RFC deflate: corrupt distance");
+        if (br.overrun())
+            return Status::truncated("RFC deflate: stream ended mid-match");
+        if (dist == 0 || dist > out.size())
+            return Status::corruption("RFC deflate: corrupt distance");
+        if (out.size() + len > in.originalSize)
+            return Status::corruption(
+                "RFC deflate: match overruns original size");
         const std::size_t from = out.size() - dist;
         for (unsigned i = 0; i < len; ++i)
             out.push_back(out[from + i]);
     }
 
-    panicIf(out.size() != in.originalSize,
-            "RFC deflate: decoded size mismatch");
+    if (out.size() != in.originalSize)
+        return Status::corruption("RFC deflate: decoded size mismatch");
+    if (crc32(out) != in.crc)
+        return Status::checksumMismatch("RFC deflate: CRC mismatch");
     return out;
 }
 

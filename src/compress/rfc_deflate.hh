@@ -32,6 +32,9 @@ struct RfcCompressed
     std::size_t sizeBits = 0;
     std::size_t originalSize = 0;
 
+    /** CRC-32 of the original data (side-band, not counted in sizeBits). */
+    std::uint32_t crc = 0;
+
     std::size_t sizeBytes() const { return (sizeBits + 7) / 8; }
 };
 
@@ -45,8 +48,12 @@ class RfcDeflate
     RfcCompressed compress(const std::uint8_t *data,
                            std::size_t size) const;
 
-    /** Decompress; must reproduce the original exactly. */
-    std::vector<std::uint8_t> decompress(const RfcCompressed &in) const;
+    /**
+     * Decompress.  Returns the original bytes, or an error for malformed
+     * headers, out-of-window distances, truncation, or CRC mismatch.
+     */
+    StatusOr<std::vector<std::uint8_t>>
+    decompress(const RfcCompressed &in) const;
 
   private:
     Lz lz_;

@@ -1,0 +1,79 @@
+#include "fault/fault_injector.hh"
+
+#include <cmath>
+
+namespace tmcc
+{
+
+FaultInjector::FaultInjector(const FaultConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed)
+{}
+
+double
+FaultInjector::anyFlipProbability(double rate, std::uint64_t bits) const
+{
+    if (rate <= 0.0 || bits == 0)
+        return 0.0;
+    if (rate >= 1.0)
+        return 1.0;
+    // 1 - (1-r)^n, computed in log space to stay stable for tiny rates.
+    return -std::expm1(static_cast<double>(bits) * std::log1p(-rate));
+}
+
+bool
+FaultInjector::ml2ImageCorrupted(std::uint64_t bits)
+{
+    const bool hit =
+        rng_.chance(anyFlipProbability(cfg_.ml2BitFlipRate, bits));
+    if (hit)
+        ml2Injected_.inc();
+    return hit;
+}
+
+bool
+FaultInjector::ml2CorruptionTransient()
+{
+    return rng_.chance(cfg_.transientFraction);
+}
+
+std::uint64_t
+FaultInjector::corruptCte(std::uint64_t v, unsigned width)
+{
+    if (width == 0 ||
+        !rng_.chance(anyFlipProbability(cfg_.cteBitFlipRate, width)))
+        return v;
+    cteInjected_.inc();
+    return v ^ (1ULL << rng_.below(width));
+}
+
+void
+FaultInjector::corruptPtbImage(std::uint8_t *bytes, std::size_t size)
+{
+    const std::uint64_t bits = static_cast<std::uint64_t>(size) * 8;
+    if (!rng_.chance(anyFlipProbability(cfg_.ptbBitFlipRate, bits)))
+        return;
+    ptbInjected_.inc();
+    // Conditioned on "image corrupted", flip one bit, then keep going
+    // with the same any-flip draw over the remaining bits so heavier
+    // rates produce multi-bit damage.  Capped at `bits` flips so a
+    // rate of 1.0 terminates.
+    std::uint64_t flips = 0;
+    do {
+        const std::uint64_t bit = rng_.below(bits);
+        bytes[bit >> 3] ^= static_cast<std::uint8_t>(1u << (bit & 7));
+        ptbBitsFlipped_.inc();
+    } while (++flips < bits &&
+             rng_.chance(anyFlipProbability(cfg_.ptbBitFlipRate,
+                                            bits - 1)));
+}
+
+void
+FaultInjector::dumpStats(StatDump &dump, const std::string &prefix) const
+{
+    dump.set(prefix + ".ml2_injected", ml2Injected_.value());
+    dump.set(prefix + ".cte_injected", cteInjected_.value());
+    dump.set(prefix + ".ptb_injected", ptbInjected_.value());
+    dump.set(prefix + ".ptb_bits_flipped", ptbBitsFlipped_.value());
+}
+
+} // namespace tmcc

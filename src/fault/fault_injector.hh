@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic fault injection for the corruption-safe decode paths.
+ *
+ * The simulator is timing-only: ML2 page images and CTE arrays are not
+ * materialized, so bit flips there are modelled statistically — a seeded
+ * Bernoulli draw over the image size decides whether a given read
+ * observes corruption.  Compressed PTB images *are* real 64B byte
+ * strings (PtbCodec::encode), so those get literal bit flips and must
+ * survive PtbCodec::decode.
+ *
+ * All draws flow through one seeded Rng, making every injected fault
+ * reproducible from the config seed.
+ */
+
+#ifndef TMCC_FAULT_FAULT_INJECTOR_HH
+#define TMCC_FAULT_FAULT_INJECTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace tmcc
+{
+
+/** Per-site bit-flip rates; all zero (the default) disables injection. */
+struct FaultConfig
+{
+    /** Per-bit flip probability for each ML2 compressed-image read. */
+    double ml2BitFlipRate = 0.0;
+
+    /** Per-bit flip probability for each embedded-CTE field read. */
+    double cteBitFlipRate = 0.0;
+
+    /** Per-bit flip probability for each compressed-PTB image fetch. */
+    double ptbBitFlipRate = 0.0;
+
+    /**
+     * Fraction of detected ML2 corruptions that a retried read clears
+     * (transient bus/cell upsets vs. corrupted stored images).
+     */
+    double transientFraction = 0.5;
+
+    std::uint64_t seed = 1;
+
+    bool
+    enabled() const
+    {
+        return ml2BitFlipRate > 0.0 || cteBitFlipRate > 0.0 ||
+               ptbBitFlipRate > 0.0;
+    }
+};
+
+/** Seeded source of injected faults; one per memory controller. */
+class FaultInjector : public Stated
+{
+  public:
+    explicit FaultInjector(const FaultConfig &cfg = FaultConfig{});
+
+    bool enabled() const { return cfg_.enabled(); }
+    const FaultConfig &config() const { return cfg_; }
+
+    /**
+     * Whether a read of an ML2 image of `bits` bits observes at least
+     * one flipped bit: Bernoulli(1 - (1-rate)^bits).
+     */
+    bool ml2ImageCorrupted(std::uint64_t bits);
+
+    /** Whether a detected ML2 corruption clears on the retry read. */
+    bool ml2CorruptionTransient();
+
+    /**
+     * Return `v` with an injected single-bit flip in its low `width`
+     * bits when the per-field draw fires (rates are small enough that
+     * multi-bit flips within one field are negligible).
+     */
+    std::uint64_t corruptCte(std::uint64_t v, unsigned width);
+
+    /** Flip bits of a PTB image in place at the configured rate. */
+    void corruptPtbImage(std::uint8_t *bytes, std::size_t size);
+
+    void dumpStats(StatDump &dump,
+                   const std::string &prefix) const override;
+
+  private:
+    /** P(at least one of `bits` independent per-bit draws fires). */
+    double anyFlipProbability(double rate, std::uint64_t bits) const;
+
+    FaultConfig cfg_;
+    Rng rng_;
+
+    Counter ml2Injected_, cteInjected_, ptbInjected_, ptbBitsFlipped_;
+};
+
+} // namespace tmcc
+
+#endif // TMCC_FAULT_FAULT_INJECTOR_HH

@@ -30,6 +30,7 @@
 #include <unordered_set>
 
 #include "compress/deflate_timing.hh"
+#include "fault/fault_injector.hh"
 #include "mc/cte.hh"
 #include "mc/cte_cache.hh"
 #include "mc/free_list.hh"
@@ -77,6 +78,8 @@ struct OsMcConfig
     double recencySampleP = 0.01;
 
     PtbCodecConfig ptb; //!< truncation geometry (§V-A5)
+
+    FaultConfig faults; //!< bit-flip injection (off by default)
 };
 
 /** The OS-inspired / TMCC memory controller. */
@@ -187,6 +190,7 @@ class OsInspiredMc : public MemController
     const PhysMem &physMem_;
     OsMcConfig cfg_;
     PtbCodec codec_;
+    FaultInjector injector_;
     CteCache cteCache_;
     Ml1FreeList ml1Free_;
     Ml2FreeLists ml2Free_;
@@ -224,6 +228,8 @@ class OsInspiredMc : public MemController
     Counter migrationStalls_, cteDramFetches_;
     Counter ptbCompressedFetches_, ptbIncompressibleFetches_;
     Counter lazyPtbUpdates_, budgetOverruns_;
+    Counter corruptionDetected_, corruptionRecovered_;
+    Counter corruptionUnrecoverable_, ptbDecodeRejects_;
 };
 
 } // namespace tmcc

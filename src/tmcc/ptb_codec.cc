@@ -1,8 +1,11 @@
 #include "tmcc/ptb_codec.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/bitops.hh"
+#include "common/crc32.hh"
+#include "common/log.hh"
 
 namespace tmcc
 {
@@ -19,6 +22,14 @@ PtbCodec::PtbCodec(const PtbCodecConfig &cfg) : cfg_(cfg)
         (40 - std::min(40u, ppnBits_)) * ptesPerPtb;
     maxSlots_ = std::min<unsigned>(
         ptesPerPtb, (status_saved + ppn_saved) / cteBits_);
+
+    // The serialized image spends 1 marker + 24 status + 8 x ppnBits +
+    // an 8-bit CTE mask before any CTE, and reserves one byte for the
+    // CRC.  Clamp the slot count so every encodable PTB fits.
+    const unsigned fixed = 1 + 24 + ptesPerPtb * ppnBits_ + 8;
+    const unsigned payload = (ptbBytes - 1) * 8;
+    fatalIf(fixed > payload, "PPNs too wide for a 64B compressed PTB");
+    maxSlots_ = std::min(maxSlots_, (payload - fixed) / cteBits_);
 }
 
 PtbAnalysis
@@ -37,6 +48,92 @@ PtbCodec::analyze(const std::uint64_t *ptes) const
     a.freedBits = status_saved + ppn_saved;
     a.cteSlots = maxSlots_;
     return a;
+}
+
+/*
+ * Wire format of a compressed-PTB image (little-endian bit stream over
+ * bytes [0, 62], 8-bit CRC in byte 63):
+ *
+ *   1 bit              compressible marker (always 1)
+ *   24 bits            shared status bits
+ *   8 x ppnBits        truncated PPNs
+ *   8 bits             CTE presence mask, one bit per PTE
+ *   popcount x cteBits embedded truncated CTEs, in PTE order
+ *
+ * Worst case across the paper's configs (§V-A5) is 499 bits, inside the
+ * 504-bit payload budget.
+ */
+
+std::array<std::uint8_t, ptbBytes>
+PtbCodec::encode(const std::uint64_t *ptes,
+                 const std::array<bool, ptesPerPtb> &has_cte,
+                 const std::array<std::uint64_t, ptesPerPtb> &cte) const
+{
+    const PtbAnalysis a = analyze(ptes);
+    panicIf(!a.compressible, "encode() on an incompressible PTB");
+
+    BitWriter bw;
+    bw.put(1, 1);
+    bw.put(a.statusBits, 24);
+    for (unsigned i = 0; i < ptesPerPtb; ++i)
+        bw.put(ptePpn(ptes[i]), ppnBits_);
+
+    unsigned mask = 0, slots = 0;
+    for (unsigned i = 0; i < ptesPerPtb; ++i)
+        if (has_cte[i] && slots < maxSlots_) {
+            mask |= 1u << i;
+            ++slots;
+        }
+    bw.put(mask, 8);
+    for (unsigned i = 0; i < ptesPerPtb; ++i)
+        if (mask & (1u << i))
+            bw.put(cte[i], cteBits_);
+    panicIf(bw.sizeBits() > (ptbBytes - 1) * 8,
+            "compressed PTB overflows its 63-byte payload");
+
+    std::array<std::uint8_t, ptbBytes> image{};
+    const auto payload = bw.finish();
+    std::memcpy(image.data(), payload.data(), payload.size());
+    image[ptbBytes - 1] =
+        static_cast<std::uint8_t>(crc32(image.data(), ptbBytes - 1));
+    return image;
+}
+
+StatusOr<DecodedPtb>
+PtbCodec::decode(const std::array<std::uint8_t, ptbBytes> &image) const
+{
+    const auto crc =
+        static_cast<std::uint8_t>(crc32(image.data(), ptbBytes - 1));
+    if (image[ptbBytes - 1] != crc)
+        return Status::checksumMismatch("compressed PTB CRC mismatch");
+
+    BitReader br(image.data(), ptbBytes - 1);
+    if (br.get(1) != 1)
+        return Status::corruption("image lacks the compressed-PTB marker");
+
+    DecodedPtb d;
+    d.statusBits = static_cast<std::uint32_t>(br.get(24));
+    for (unsigned i = 0; i < ptesPerPtb; ++i) {
+        d.ppns[i] = br.get(ppnBits_);
+        if (d.ppns[i] >= cfg_.physPages)
+            return Status::corruption("embedded PPN out of range");
+    }
+
+    const unsigned mask = static_cast<unsigned>(br.get(8));
+    if (popCount(mask) > maxSlots_)
+        return Status::corruption("CTE presence mask exceeds slot budget");
+    const std::uint64_t cte_limit = cfg_.managedDramBytes / pageSize;
+    for (unsigned i = 0; i < ptesPerPtb; ++i) {
+        if (!(mask & (1u << i)))
+            continue;
+        d.hasCte[i] = true;
+        d.cte[i] = br.get(cteBits_);
+        if (d.cte[i] >= cte_limit)
+            return Status::corruption("embedded CTE out of range");
+    }
+    if (br.overrun())
+        return Status::truncated("compressed PTB payload too short");
+    return d;
 }
 
 } // namespace tmcc

@@ -20,6 +20,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/status.hh"
 #include "common/types.hh"
 #include "vm/pte.hh"
 
@@ -45,6 +46,15 @@ struct PtbAnalysis
     std::uint32_t statusBits = 0;
 };
 
+/** Contents recovered from a serialized compressed-PTB image. */
+struct DecodedPtb
+{
+    std::uint32_t statusBits = 0;
+    std::array<Ppn, ptesPerPtb> ppns{};
+    std::array<bool, ptesPerPtb> hasCte{};
+    std::array<std::uint64_t, ptesPerPtb> cte{};
+};
+
 /** The PTB compression rules. */
 class PtbCodec
 {
@@ -65,6 +75,28 @@ class PtbCodec
      * bits are identical across all eight entries (present or not).
      */
     PtbAnalysis analyze(const std::uint64_t *ptes) const;
+
+    /**
+     * Serialize a compressible PTB (Fig. 7c layout: shared status once,
+     * eight truncated PPNs, then the freed bits holding embedded CTE
+     * slots) into a 64B image.  The last byte is an 8-bit CRC over the
+     * rest — the integrity budget a real PTB format could afford, so a
+     * corrupt image is *usually* rejected at decode and occasionally
+     * slips through to exercise the §V-A verify-then-reaccess path.
+     * The PTB must have analyzed compressible.
+     */
+    std::array<std::uint8_t, ptbBytes>
+    encode(const std::uint64_t *ptes,
+           const std::array<bool, ptesPerPtb> &has_cte,
+           const std::array<std::uint64_t, ptesPerPtb> &cte) const;
+
+    /**
+     * Recover PTB contents from a 64B image, rejecting bad CRCs and
+     * out-of-range PPN/CTE fields.  On error the caller falls back to
+     * uncompressed PTB semantics.
+     */
+    StatusOr<DecodedPtb>
+    decode(const std::array<std::uint8_t, ptbBytes> &image) const;
 
     const PtbCodecConfig &config() const { return cfg_; }
 

@@ -1,0 +1,49 @@
+/** Tests for the CRC-32 (IEEE) integrity checksum. */
+
+#include <gtest/gtest.h>
+
+#include "common/crc32.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+TEST(Crc32, KnownAnswer)
+{
+    // The classic CRC-32/ISO-HDLC check value.
+    const std::uint8_t check[] = {'1', '2', '3', '4', '5',
+                                  '6', '7', '8', '9'};
+    EXPECT_EQ(crc32(check, sizeof(check)), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero)
+{
+    EXPECT_EQ(crc32(nullptr, 0), 0u);
+    EXPECT_EQ(crc32(std::vector<std::uint8_t>{}), 0u);
+}
+
+TEST(Crc32, EveryBitMatters)
+{
+    std::vector<std::uint8_t> data(257);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 31);
+    const std::uint32_t base = crc32(data);
+    for (std::size_t bit = 0; bit < data.size() * 8; bit += 7) {
+        auto mutated = data;
+        mutated[bit >> 3] ^=
+            static_cast<std::uint8_t>(1u << (bit & 7));
+        EXPECT_NE(crc32(mutated), base) << "bit " << bit;
+    }
+}
+
+TEST(Crc32, ConstexprUsable)
+{
+    constexpr std::uint8_t b[] = {0x00};
+    constexpr std::uint32_t c = crc32(b, 1);
+    static_assert(c != 0, "CRC of a zero byte is nonzero");
+    EXPECT_EQ(c, 0xD202EF8Du);
+}
+
+} // namespace
+} // namespace tmcc

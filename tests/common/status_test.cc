@@ -1,0 +1,90 @@
+/** Tests for the Status/StatusOr error-propagation vocabulary. */
+
+#include <gtest/gtest.h>
+
+#include "common/status.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+TEST(Status, OkByDefault)
+{
+    const Status s = Status::okStatus();
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Ok);
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage)
+{
+    const Status s = Status::corruption("bad tag");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Corruption);
+    EXPECT_EQ(s.message(), "bad tag");
+    EXPECT_NE(s.toString().find("bad tag"), std::string::npos);
+
+    EXPECT_EQ(Status::truncated("t").code(), StatusCode::Truncated);
+    EXPECT_EQ(Status::checksumMismatch("c").code(),
+              StatusCode::ChecksumMismatch);
+    EXPECT_EQ(Status::invalidArgument("i").code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(Status::internal("x").code(), StatusCode::Internal);
+}
+
+TEST(StatusOr, HoldsValueOrStatus)
+{
+    StatusOr<int> good = 42;
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good.value(), 42);
+
+    StatusOr<int> bad = Status::truncated("short");
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::Truncated);
+}
+
+TEST(StatusOr, MoveOnlyValuesWork)
+{
+    StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+    ASSERT_TRUE(v.ok());
+    const std::vector<int> out = std::move(v).value();
+    EXPECT_EQ(out.size(), 3u);
+}
+
+StatusOr<int>
+half(int v)
+{
+    if (v % 2)
+        return Status::invalidArgument("odd");
+    return v / 2;
+}
+
+StatusOr<int>
+quarter(int v)
+{
+    TMCC_ASSIGN_OR_RETURN(const int h, half(v));
+    return half(h);
+}
+
+TEST(StatusOr, AssignOrReturnPropagates)
+{
+    EXPECT_EQ(quarter(8).value(), 2);
+    EXPECT_FALSE(quarter(6).ok()); // 6/2 = 3 is odd
+    EXPECT_FALSE(quarter(7).ok());
+}
+
+Status
+needsEven(int v)
+{
+    TMCC_RETURN_IF_ERROR(half(v).status());
+    return Status::okStatus();
+}
+
+TEST(Status, ReturnIfErrorPropagates)
+{
+    EXPECT_TRUE(needsEven(4).ok());
+    EXPECT_FALSE(needsEven(5).ok());
+}
+
+} // namespace
+} // namespace tmcc

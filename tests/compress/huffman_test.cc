@@ -87,7 +87,7 @@ TEST(CanonicalCode, EncodeDecodeAllSymbols)
     auto bytes = bw.finish();
     BitReader br(bytes);
     for (unsigned s = 0; s < freqs.size(); ++s)
-        ASSERT_EQ(code.decode(br), s);
+        ASSERT_EQ(code.decode(br).value(), s);
 }
 
 TEST(CanonicalCode, RandomStreamsRoundTrip)
@@ -110,7 +110,7 @@ TEST(CanonicalCode, RandomStreamsRoundTrip)
         auto bytes = bw.finish();
         BitReader br(bytes);
         for (unsigned s : syms)
-            ASSERT_EQ(code.decode(br), s);
+            ASSERT_EQ(code.decode(br).value(), s);
     }
 }
 
@@ -157,10 +157,10 @@ TEST(ReducedTree, HeaderRoundTrip)
 
     auto bytes = bw.finish();
     BitReader br(bytes);
-    ReducedTree read_back = ReducedTree::read(br);
+    ReducedTree read_back = ReducedTree::read(br).value();
     EXPECT_EQ(read_back.hotCount(), tree.hotCount());
     for (auto b : data)
-        ASSERT_EQ(read_back.decodeByte(br), b);
+        ASSERT_EQ(read_back.decodeByte(br).value(), b);
 }
 
 TEST(ReducedTree, HeaderBitsMatchesSerializedSize)

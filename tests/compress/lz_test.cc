@@ -15,7 +15,8 @@ expectRoundTrip(const Lz &lz, const std::vector<std::uint8_t> &in)
 {
     const auto tokens = lz.compress(in.data(), in.size());
     const auto out = lz.decompress(tokens);
-    ASSERT_EQ(out, in);
+    ASSERT_TRUE(out.ok()) << out.status().toString();
+    ASSERT_EQ(out.value(), in);
 }
 
 TEST(Lz, EmptyInput)
@@ -23,7 +24,7 @@ TEST(Lz, EmptyInput)
     Lz lz;
     const auto tokens = lz.compress(nullptr, 0);
     EXPECT_TRUE(tokens.empty());
-    EXPECT_TRUE(lz.decompress(tokens).empty());
+    EXPECT_TRUE(lz.decompress(tokens).value().empty());
 }
 
 TEST(Lz, AllLiteralsWhenNoRepeats)

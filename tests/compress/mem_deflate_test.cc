@@ -16,7 +16,8 @@ expectRoundTrip(const MemDeflate &codec,
 {
     const CompressedPage enc = codec.compress(in.data(), in.size());
     const auto out = codec.decompress(enc);
-    ASSERT_EQ(out, in);
+    ASSERT_TRUE(out.ok()) << out.status().toString();
+    ASSERT_EQ(out.value(), in);
 }
 
 TEST(MemDeflate, TextPageCompressesWell)

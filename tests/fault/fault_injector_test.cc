@@ -1,0 +1,113 @@
+/** Tests for the deterministic fault-injection harness. */
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_injector.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+TEST(FaultInjector, DisabledByDefault)
+{
+    FaultConfig cfg;
+    EXPECT_FALSE(cfg.enabled());
+    FaultInjector inj(cfg);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(inj.ml2ImageCorrupted(1 << 20));
+        EXPECT_EQ(inj.corruptCte(0x1234, 30), 0x1234u);
+    }
+    std::uint8_t image[64] = {};
+    inj.corruptPtbImage(image, sizeof(image));
+    for (auto b : image)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(FaultInjector, DeterministicFromSeed)
+{
+    FaultConfig cfg;
+    cfg.ml2BitFlipRate = 1e-5;
+    cfg.cteBitFlipRate = 1e-3;
+    cfg.seed = 77;
+    FaultInjector a(cfg), b(cfg);
+    for (int i = 0; i < 5000; ++i) {
+        EXPECT_EQ(a.ml2ImageCorrupted(8192), b.ml2ImageCorrupted(8192));
+        EXPECT_EQ(a.corruptCte(i, 28), b.corruptCte(i, 28));
+    }
+}
+
+TEST(FaultInjector, RateOneAlwaysFires)
+{
+    FaultConfig cfg;
+    cfg.ml2BitFlipRate = 1.0;
+    cfg.transientFraction = 1.0;
+    FaultInjector inj(cfg);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(inj.ml2ImageCorrupted(1));
+        EXPECT_TRUE(inj.ml2CorruptionTransient());
+    }
+}
+
+TEST(FaultInjector, Ml2RateMatchesBernoulliModel)
+{
+    // p = 1-(1-r)^n with r=1e-4, n=8192 gives ~0.56; the empirical
+    // rate over 10k draws must land near it.
+    FaultConfig cfg;
+    cfg.ml2BitFlipRate = 1e-4;
+    FaultInjector inj(cfg);
+    unsigned hits = 0;
+    constexpr unsigned trials = 10000;
+    for (unsigned i = 0; i < trials; ++i)
+        hits += inj.ml2ImageCorrupted(8192);
+    const double p = static_cast<double>(hits) / trials;
+    EXPECT_NEAR(p, 0.5596, 0.03);
+}
+
+TEST(FaultInjector, CorruptCteFlipsWithinWidth)
+{
+    FaultConfig cfg;
+    cfg.cteBitFlipRate = 0.05; // per bit; 28-bit field flips often
+    FaultInjector inj(cfg);
+    unsigned changed = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = 0x0ABCDEF;
+        const std::uint64_t got = inj.corruptCte(v, 28);
+        if (got != v) {
+            ++changed;
+            // Exactly one bit, inside the field.
+            const std::uint64_t diff = got ^ v;
+            EXPECT_EQ(diff & (diff - 1), 0u);
+            EXPECT_LT(diff, 1ULL << 28);
+        }
+    }
+    EXPECT_GT(changed, 100u);
+    EXPECT_LT(changed, 1900u);
+}
+
+TEST(FaultInjector, PtbImageDamageIsCounted)
+{
+    FaultConfig cfg;
+    cfg.ptbBitFlipRate = 0.01;
+    FaultInjector inj(cfg);
+    unsigned damaged = 0;
+    for (int i = 0; i < 500; ++i) {
+        std::uint8_t image[64] = {};
+        inj.corruptPtbImage(image, sizeof(image));
+        bool any = false;
+        for (auto b : image)
+            any |= b != 0;
+        damaged += any;
+    }
+    EXPECT_GT(damaged, 0u);
+
+    StatDump dump;
+    inj.dumpStats(dump, "faults");
+    EXPECT_EQ(dump.get("faults.ptb_injected"),
+              static_cast<double>(damaged));
+    EXPECT_GE(dump.get("faults.ptb_bits_flipped"),
+              dump.get("faults.ptb_injected"));
+}
+
+} // namespace
+} // namespace tmcc
