@@ -16,44 +16,56 @@ using namespace tmcc::bench;
 int
 main()
 {
+    BenchReport report("ablation_cte_reach");
     header("Ablation: CTE reach (page vs block) and cache size",
            "page-level kills ~40% of misses; 4x cache only ~13%");
     std::printf("%-14s %12s %12s %12s %12s\n", "workload", "blk_miss",
                 "blk4x_miss", "page_miss", "page_gain");
 
-    std::vector<double> blk, blk4, page, gains;
-    for (const auto &name : largeWorkloadNames()) {
-        auto miss_rate = [](const SimResult &r) {
-            const auto total = r.cteHits + r.cteMisses;
-            return total ? static_cast<double>(r.cteMisses) /
-                               static_cast<double>(total)
-                         : 0.0;
-        };
-
-        const double m_blk =
-            miss_rate(run(baseConfig(name, Arch::Compresso)));
+    const auto &names = largeWorkloadNames();
+    std::vector<SimConfig> configs;
+    for (const auto &name : names) {
+        configs.push_back(baseConfig(name, Arch::Compresso));
 
         SimConfig big = baseConfig(name, Arch::Compresso);
         big.compresso.cteCacheBytes *= 4;
-        const double m_blk4 = miss_rate(run(big));
+        configs.push_back(big);
 
         // Page-level CTEs with the SAME cache capacity as block-level:
         // isolates the reach effect.
         SimConfig pg = baseConfig(name, Arch::Barebone);
         pg.osMc.cteCacheBytes = baseConfig(name, Arch::Compresso)
                                     .compresso.cteCacheBytes;
-        const double m_page = miss_rate(run(pg));
+        configs.push_back(pg);
+    }
+    const std::vector<SimResult> results = runAll(configs);
 
+    auto miss_rate = [](const SimResult &r) {
+        const auto total = r.cteHits + r.cteMisses;
+        return total ? static_cast<double>(r.cteMisses) /
+                           static_cast<double>(total)
+                     : 0.0;
+    };
+
+    std::vector<double> blk, blk4, page, gains;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const double m_blk = miss_rate(results[3 * i]);
+        const double m_blk4 = miss_rate(results[3 * i + 1]);
+        const double m_page = miss_rate(results[3 * i + 2]);
         const double gain = m_blk > 0 ? 1.0 - m_page / m_blk : 0.0;
         blk.push_back(m_blk);
         blk4.push_back(m_blk4);
         page.push_back(m_page);
         gains.push_back(gain);
-        std::printf("%-14s %12.3f %12.3f %12.3f %12.3f\n", name.c_str(),
-                    m_blk, m_blk4, m_page, gain);
+        std::printf("%-14s %12.3f %12.3f %12.3f %12.3f\n",
+                    names[i].c_str(), m_blk, m_blk4, m_page, gain);
     }
     std::printf("%-14s %12.3f %12.3f %12.3f %12.3f\n", "AVG", mean(blk),
                 mean(blk4), mean(page), mean(gains));
+    report.metric("avg.blk_miss", mean(blk));
+    report.metric("avg.blk4x_miss", mean(blk4));
+    report.metric("avg.page_miss", mean(page));
+    report.metric("avg.page_gain", mean(gains));
     std::printf("paper AVG: blk 0.34, blk4x 0.295, page eliminates "
                 "~40%% of misses\n");
     return 0;

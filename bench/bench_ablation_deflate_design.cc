@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.hh"
 #include "common/rng.hh"
 #include "compress/mem_deflate.hh"
 #include "compress/rfc_deflate.hh"
@@ -58,6 +59,7 @@ ratioWith(const MemDeflateConfig &cfg,
 int
 main()
 {
+    bench::BenchReport report("ablation_deflate_design");
     std::printf("=====================================================\n");
     std::printf("Ablation: memory-Deflate design space (§V-B)\n");
     std::printf("=====================================================\n");
@@ -77,6 +79,8 @@ main()
         std::printf("  window %5zuB  ratio %.3f\n", window, r);
     }
     std::printf("  1KB vs 4KB: %+.1f%%\n", 100.0 * (r1k / r4k - 1.0));
+    report.metric("window_1k.ratio", r1k);
+    report.metric("window_4k.ratio", r4k);
 
     std::printf("\nreduced-tree leaf count (paper: 16 leaves ~ -1%% vs "
                 "larger trees):\n");
@@ -103,6 +107,8 @@ main()
     const double rn = ratioWith(no_skip, pages);
     std::printf("  skip on  %.3f\n  skip off %.3f  (gain %+.1f%%)\n",
                 rs, rn, 100.0 * (rs / rn - 1.0));
+    report.metric("skip_on.ratio", rs);
+    report.metric("skip_off.ratio", rn);
 
     std::printf("\nlazy vs greedy match selection:\n");
     MemDeflateConfig lazy;

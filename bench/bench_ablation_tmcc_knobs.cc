@@ -14,6 +14,7 @@ using namespace tmcc::bench;
 int
 main()
 {
+    BenchReport report("ablation_tmcc_knobs");
     header("Ablation: CTE buffer size, recency sampling, truncation "
            "geometry",
            "64-entry buffer suffices; 1% sampling matches richer LRU");
@@ -26,40 +27,58 @@ main()
         pcfg.physPages = 4 * (pcfg.managedDramBytes / pageSize);
         PtbCodec codec(pcfg);
         std::printf("  %4lluTB DRAM: CTE %u bits -> %u slots\n",
-                    pcfg.managedDramBytes >> 40,
+                    static_cast<unsigned long long>(
+                        pcfg.managedDramBytes >> 40),
                     codec.truncatedCteBits(), codec.maxSlots());
     }
 
-    // CTE buffer size sweep on a translation-heavy workload.
-    std::printf("\nCTE buffer entries (shortestPath, parallel-access fraction):\n");
-    // The buffer size is currently fixed per-core at 64 in the sim;
-    // sweep by changing the constructor default through the config.
-    for (unsigned entries : {4u, 16u, 64u, 256u}) {
+    // Both simulation sweeps as one batch.
+    const unsigned buf_entries[] = {4u, 16u, 64u, 256u};
+    const double sample_ps[] = {0.01, 0.05, 0.10, 0.50};
+    std::vector<SimConfig> configs;
+    for (unsigned entries : buf_entries) {
         SimConfig cfg = baseConfig("shortestPath", Arch::Tmcc);
         cfg.measureAccesses /= 2;
         cfg.cteBufferEntries = entries;
-        const SimResult r = run(cfg);
+        configs.push_back(cfg);
+    }
+    for (double p : sample_ps) {
+        SimConfig cfg = baseConfig("canneal", Arch::Tmcc);
+        cfg.osMc.recencySampleP = p;
+        cfg.measureAccesses /= 2;
+        configs.push_back(cfg);
+    }
+    const std::vector<SimResult> results = runAll(configs);
+
+    // CTE buffer size sweep on a translation-heavy workload.
+    std::printf("\nCTE buffer entries (shortestPath, parallel-access "
+                "fraction):\n");
+    for (std::size_t i = 0; i < std::size(buf_entries); ++i) {
+        const SimResult &r = results[i];
         const double par =
             r.llcMisses ? static_cast<double>(r.ml1Parallel) /
                               static_cast<double>(r.llcMisses)
                         : 0.0;
-        std::printf("  entries %3u  parallel/llc-miss %.3f\n", entries,
-                    par);
+        std::printf("  entries %3u  parallel/llc-miss %.3f\n",
+                    buf_entries[i], par);
+        report.metric("buffer" + std::to_string(buf_entries[i]) +
+                          ".parallel_per_miss",
+                      par);
     }
 
     // Recency sampling probability.
     std::printf("\nrecency sampling probability (canneal, perf "
                 "acc/us):\n");
-    for (double p : {0.01, 0.05, 0.10, 0.50}) {
-        SimConfig cfg = baseConfig("canneal", Arch::Tmcc);
-        cfg.osMc.recencySampleP = p;
-        cfg.measureAccesses /= 2;
-        const SimResult r = run(cfg);
-        std::printf("  sampleP %.2f  perf %.1f  ml2/miss %.4f\n", p,
-                    r.accessesPerNs() * 1000.0,
+    for (std::size_t i = 0; i < std::size(sample_ps); ++i) {
+        const SimResult &r = results[std::size(buf_entries) + i];
+        std::printf("  sampleP %.2f  perf %.1f  ml2/miss %.4f\n",
+                    sample_ps[i], r.accessesPerNs() * 1000.0,
                     r.llcMisses ? static_cast<double>(r.ml2Accesses) /
                                       static_cast<double>(r.llcMisses)
                                 : 0.0);
+        report.metric("sampleP" + std::to_string(sample_ps[i]) +
+                          ".perf_acc_us",
+                      r.accessesPerNs() * 1000.0);
     }
     return 0;
 }

@@ -17,23 +17,33 @@ using namespace tmcc::bench;
 int
 main()
 {
+    BenchReport report("fig01_miss_rates");
     header("Figure 1: TLB and CTE misses per LLC miss (block-level CTEs)",
            "avg TLB ~0.30, avg CTE ~0.34; CTE > TLB on average");
     cols({"tlb/llc", "cte/llc"});
 
+    const auto &names = largeWorkloadNames();
+    std::vector<SimConfig> configs;
+    for (const auto &name : names)
+        configs.push_back(baseConfig(name, Arch::Compresso));
+    const std::vector<SimResult> results = runAll(configs);
+
     std::vector<double> tlb_rates, cte_rates;
-    for (const auto &name : largeWorkloadNames()) {
-        SimConfig cfg = baseConfig(name, Arch::Compresso);
-        const SimResult r = run(cfg);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const SimResult &r = results[i];
         const double denom =
             r.llcMisses ? static_cast<double>(r.llcMisses) : 1.0;
         const double tlb = static_cast<double>(r.tlbMisses) / denom;
         const double cte = static_cast<double>(r.cteMisses) / denom;
         tlb_rates.push_back(tlb);
         cte_rates.push_back(cte);
-        row(name, {tlb, cte});
+        row(names[i], {tlb, cte});
+        report.metric(names[i] + ".tlb_per_llc", tlb);
+        report.metric(names[i] + ".cte_per_llc", cte);
     }
     row("AVG", {mean(tlb_rates), mean(cte_rates)});
+    report.metric("avg.tlb_per_llc", mean(tlb_rates));
+    report.metric("avg.cte_per_llc", mean(cte_rates));
     std::printf("paper AVG:        0.300      0.340\n");
     return 0;
 }

@@ -15,22 +15,30 @@ using namespace tmcc::bench;
 int
 main()
 {
+    BenchReport report("fig05_cte_after_tlb");
     header("Figure 5: CTE misses that follow a TLB miss (8B page CTEs)",
            "average ~0.89");
     cols({"after_tlb"});
 
+    const auto &names = largeWorkloadNames();
+    std::vector<SimConfig> configs;
+    for (const auto &name : names)
+        configs.push_back(baseConfig(name, Arch::Barebone));
+    const std::vector<SimResult> results = runAll(configs);
+
     std::vector<double> fractions;
-    for (const auto &name : largeWorkloadNames()) {
-        SimConfig cfg = baseConfig(name, Arch::Barebone);
-        const SimResult r = run(cfg);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const SimResult &r = results[i];
         const double frac =
             r.cteMisses ? static_cast<double>(r.cteMissesAfterTlbMiss) /
                               static_cast<double>(r.cteMisses)
                         : 0.0;
         fractions.push_back(frac);
-        row(name, {frac});
+        row(names[i], {frac});
+        report.metric(names[i] + ".after_tlb", frac);
     }
     row("AVG", {mean(fractions)});
+    report.metric("avg.after_tlb", mean(fractions));
     std::printf("paper AVG:        0.890\n");
     return 0;
 }

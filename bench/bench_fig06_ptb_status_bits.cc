@@ -38,10 +38,15 @@ uniformFraction(System &system, unsigned level)
 int
 main()
 {
+    BenchReport report("fig06_ptb_status_bits");
     header("Figure 6: PTBs with identical status bits across all 8 PTEs",
            "L1 avg 99.94%, L2 avg 99.3%");
     cols({"L1_PTBs", "L2_PTBs"});
 
+    // Systems are built (page tables mapped) but never run; the
+    // analysis walks each System's live page table, so this harness
+    // stays serial -- the profile-measurement cache makes repeat
+    // constructions cheap.
     std::vector<double> l1s, l2s;
     for (const auto &name : largeWorkloadNames()) {
         SimConfig cfg = baseConfig(name, Arch::NoCompression);
@@ -58,6 +63,8 @@ main()
         row(name, {l1, l2}, 4);
     }
     row("AVG", {mean(l1s), mean(l2s)}, 4);
+    report.metric("avg.l1_uniform", mean(l1s));
+    report.metric("avg.l2_uniform", mean(l2s));
     std::printf("paper AVG:        0.9994     0.9930\n");
     return 0;
 }

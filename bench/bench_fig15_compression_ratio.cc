@@ -19,6 +19,7 @@ using namespace tmcc::bench;
 int
 main()
 {
+    BenchReport report("fig15_compression_ratio");
     header("Figure 15: compression ratio of workload memory images",
            "geomean: block ~1.51x, our Deflate ~3.4x, gzip ~3.8x");
     cols({"block", "deflate", "no_skip", "gzip"});
@@ -50,6 +51,10 @@ main()
     row("GEOMEAN",
         {geoMean(blocks), geoMean(deflates), geoMean(no_skips),
          geoMean(gzips)}, 2);
+    report.metric("geomean.block", geoMean(blocks));
+    report.metric("geomean.deflate", geoMean(deflates));
+    report.metric("geomean.no_skip", geoMean(no_skips));
+    report.metric("geomean.gzip", geoMean(gzips));
     std::printf("paper GEOMEAN:      1.51       3.60       3.40       "
                 "3.86 (approx)\n");
     std::printf("our Deflate vs gzip gap: %.1f%% (paper: ~7%% with "

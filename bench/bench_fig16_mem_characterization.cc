@@ -12,20 +12,28 @@ using namespace tmcc::bench;
 int
 main()
 {
+    BenchReport report("fig16_mem_characterization");
     header("Figure 16: DRAM bandwidth utilization, no compression",
            "graph kernels and canneal are the most memory-intensive");
     cols({"read_util", "write_util", "llc_mpki"});
 
-    for (const auto &name : largeWorkloadNames()) {
-        SimConfig cfg = baseConfig(name, Arch::NoCompression);
-        const SimResult r = run(cfg);
+    const auto &names = largeWorkloadNames();
+    std::vector<SimConfig> configs;
+    for (const auto &name : names)
+        configs.push_back(baseConfig(name, Arch::NoCompression));
+    const std::vector<SimResult> results = runAll(configs);
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const SimResult &r = results[i];
         // Misses per kilo-access (the paper plots per instruction; our
         // unit of work is a memory access).
         const double mpka =
             r.accesses ? 1000.0 * static_cast<double>(r.llcMisses) /
                              static_cast<double>(r.accesses)
                        : 0.0;
-        row(name, {r.readBusUtil, r.writeBusUtil, mpka});
+        row(names[i], {r.readBusUtil, r.writeBusUtil, mpka});
+        report.metric(names[i] + ".bus_util",
+                      r.readBusUtil + r.writeBusUtil);
     }
     return 0;
 }

@@ -16,28 +16,35 @@ using namespace tmcc::bench;
 int
 main()
 {
+    BenchReport report("fig17_perf_vs_compresso");
     header("Figure 17: TMCC performance normalized to Compresso "
            "(iso-savings)",
            "average ~1.14; max ~1.25 (shortestPath, canneal); min ~1.02 "
            "(kcore, triCount)");
     cols({"compresso", "tmcc", "ratio"});
 
+    const auto &names = largeWorkloadNames();
+    std::vector<SimConfig> configs;
+    for (const auto &name : names) {
+        configs.push_back(baseConfig(name, Arch::Compresso));
+        configs.push_back(baseConfig(name, Arch::Tmcc));
+    }
+    const std::vector<SimResult> results = runAll(configs);
+
     std::vector<double> ratios;
-    for (const auto &name : largeWorkloadNames()) {
-        SimConfig comp_cfg = baseConfig(name, Arch::Compresso);
-        const SimResult rc = run(comp_cfg);
-
-        SimConfig tmcc_cfg = baseConfig(name, Arch::Tmcc);
-        const SimResult rt = run(tmcc_cfg);
-
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const SimResult &rc = results[2 * i];
+        const SimResult &rt = results[2 * i + 1];
         const double ratio = rc.accessesPerNs() > 0
                                  ? rt.accessesPerNs() / rc.accessesPerNs()
                                  : 0.0;
         ratios.push_back(ratio);
-        row(name, {rc.accessesPerNs() * 1000.0,
-                   rt.accessesPerNs() * 1000.0, ratio});
+        row(names[i], {rc.accessesPerNs() * 1000.0,
+                       rt.accessesPerNs() * 1000.0, ratio});
+        report.metric(names[i] + ".ratio", ratio);
     }
     row("AVG", {0, 0, mean(ratios)});
+    report.metric("avg.ratio", mean(ratios));
     std::printf("paper AVG ratio: 1.14\n");
     return 0;
 }

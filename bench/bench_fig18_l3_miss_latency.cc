@@ -15,22 +15,35 @@ using namespace tmcc::bench;
 int
 main()
 {
+    BenchReport report("fig18_l3_miss_latency");
     header("Figure 18: average L3 miss latency (ns)",
            "no-comp 53, Compresso 73.9, TMCC 56.4");
     cols({"no_comp", "compresso", "tmcc"});
 
+    const auto &names = largeWorkloadNames();
+    std::vector<SimConfig> configs;
+    for (const auto &name : names) {
+        configs.push_back(baseConfig(name, Arch::NoCompression));
+        configs.push_back(baseConfig(name, Arch::Compresso));
+        configs.push_back(baseConfig(name, Arch::Tmcc));
+    }
+    const std::vector<SimResult> results = runAll(configs);
+
     std::vector<double> none, comp, tmcc_lat;
-    for (const auto &name : largeWorkloadNames()) {
-        const SimResult rn = run(baseConfig(name, Arch::NoCompression));
-        const SimResult rc = run(baseConfig(name, Arch::Compresso));
-        const SimResult rt = run(baseConfig(name, Arch::Tmcc));
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const SimResult &rn = results[3 * i];
+        const SimResult &rc = results[3 * i + 1];
+        const SimResult &rt = results[3 * i + 2];
         none.push_back(rn.avgL3MissLatencyNs);
         comp.push_back(rc.avgL3MissLatencyNs);
         tmcc_lat.push_back(rt.avgL3MissLatencyNs);
-        row(name, {rn.avgL3MissLatencyNs, rc.avgL3MissLatencyNs,
-                   rt.avgL3MissLatencyNs}, 1);
+        row(names[i], {rn.avgL3MissLatencyNs, rc.avgL3MissLatencyNs,
+                       rt.avgL3MissLatencyNs}, 1);
     }
     row("AVG", {mean(none), mean(comp), mean(tmcc_lat)}, 1);
+    report.metric("avg.no_comp_ns", mean(none));
+    report.metric("avg.compresso_ns", mean(comp));
+    report.metric("avg.tmcc_ns", mean(tmcc_lat));
     std::printf("paper AVG:            53.0       73.9       56.4\n");
     return 0;
 }

@@ -14,40 +14,10 @@
 using namespace tmcc;
 using namespace tmcc::bench;
 
-namespace
-{
-
-struct Split
-{
-    double ml1 = 0, ml2 = 0, both = 0;
-};
-
-Split
-measure(const std::string &name, double budget_fraction)
-{
-    auto cfg_for = [&](Arch arch) {
-        SimConfig cfg = baseConfig(name, arch);
-        cfg.dramBudgetFraction = budget_fraction;
-        return cfg;
-    };
-    const double base =
-        run(cfg_for(Arch::Barebone)).accessesPerNs();
-    Split s;
-    if (base > 0) {
-        s.ml1 = run(cfg_for(Arch::BarebonePlusMl1)).accessesPerNs() /
-                base;
-        s.ml2 = run(cfg_for(Arch::BarebonePlusMl2)).accessesPerNs() /
-                base;
-        s.both = run(cfg_for(Arch::Tmcc)).accessesPerNs() / base;
-    }
-    return s;
-}
-
-} // namespace
-
 int
 main()
 {
+    BenchReport report("fig20_vs_barebone");
     header("Figure 20: improvement over barebone OS-inspired "
            "compression",
            "Col B: +12.5% (ML1 8.25%, ML2 4.25); Col C: +15.4% "
@@ -56,19 +26,32 @@ main()
                 "workload", "+ml1", "+ml2", "tmcc", "+ml1", "+ml2",
                 "tmcc");
 
-    std::vector<double> b1, b2, bt, c1, c2, ct;
-    for (const auto &name : largeWorkloadNames()) {
-        // Col B: iso-savings with Compresso (0 = derive from profile).
-        // Col C: aggressive savings, per workload: halfway between the
-        // iso-savings usage and the everything-compressed floor (a
-        // fixed fraction would fall below some workloads' floors).
+    const auto &names = largeWorkloadNames();
+
+    // Stage 1 (probes): per workload, the iso-savings usage and the
+    // everything-compressed floor, to derive the Col C budget.  Col C
+    // sits halfway between the two because a fixed fraction would fall
+    // below some workloads' floors.
+    std::vector<SimConfig> probes;
+    for (const auto &name : names) {
         SimConfig probe_cfg = baseConfig(name, Arch::Barebone);
         probe_cfg.measureAccesses = 1000;
         probe_cfg.warmAccesses = 1000;
         probe_cfg.placementAccesses /= 4;
-        const SimResult iso = run(probe_cfg);
+        probes.push_back(probe_cfg);
         probe_cfg.dramBudgetFraction = 0.05; // clamps to the floor
-        const SimResult floor = run(probe_cfg);
+        probes.push_back(probe_cfg);
+    }
+    const std::vector<SimResult> probe_res = runAll(probes);
+
+    // Stage 2 (measurements): 4 architectures x 2 budget columns per
+    // workload, all submitted as one batch.
+    const Arch archs[] = {Arch::Barebone, Arch::BarebonePlusMl1,
+                          Arch::BarebonePlusMl2, Arch::Tmcc};
+    std::vector<SimConfig> configs;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const SimResult &iso = probe_res[2 * i];
+        const SimResult &floor = probe_res[2 * i + 1];
         const double frac_iso =
             static_cast<double>(iso.dramUsedBytes) /
             static_cast<double>(iso.footprintBytes);
@@ -76,24 +59,44 @@ main()
             static_cast<double>(floor.dramUsedBytes) /
             static_cast<double>(floor.footprintBytes);
         const double frac_c = 0.45 * frac_iso + 0.55 * frac_floor;
+        for (double budget : {0.0, frac_c})
+            for (Arch arch : archs) {
+                SimConfig cfg = baseConfig(names[i], arch);
+                cfg.dramBudgetFraction = budget;
+                configs.push_back(cfg);
+            }
+    }
+    const std::vector<SimResult> results = runAll(configs);
 
-        const Split colb = measure(name, 0.0);
-        const Split colc = measure(name, frac_c);
-        b1.push_back(colb.ml1);
-        b2.push_back(colb.ml2);
-        bt.push_back(colb.both);
-        c1.push_back(colc.ml1);
-        c2.push_back(colc.ml2);
-        ct.push_back(colc.both);
+    std::vector<double> b1, b2, bt, c1, c2, ct;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const SimResult *r = &results[8 * i];
+        auto norm = [](const SimResult &x, const SimResult &base) {
+            return base.accessesPerNs() > 0
+                       ? x.accessesPerNs() / base.accessesPerNs()
+                       : 0.0;
+        };
+        b1.push_back(norm(r[1], r[0]));
+        b2.push_back(norm(r[2], r[0]));
+        bt.push_back(norm(r[3], r[0]));
+        c1.push_back(norm(r[5], r[4]));
+        c2.push_back(norm(r[6], r[4]));
+        ct.push_back(norm(r[7], r[4]));
         std::printf("%-14s |       %8.3f %8.3f %8.3f |       %8.3f "
                     "%8.3f %8.3f\n",
-                    name.c_str(), colb.ml1, colb.ml2, colb.both,
-                    colc.ml1, colc.ml2, colc.both);
+                    names[i].c_str(), b1.back(), b2.back(), bt.back(),
+                    c1.back(), c2.back(), ct.back());
     }
     std::printf("%-14s |       %8.3f %8.3f %8.3f |       %8.3f %8.3f "
                 "%8.3f\n",
                 "AVG", mean(b1), mean(b2), mean(bt), mean(c1), mean(c2),
                 mean(ct));
+    report.metric("avg.colB.ml1", mean(b1));
+    report.metric("avg.colB.ml2", mean(b2));
+    report.metric("avg.colB.tmcc", mean(bt));
+    report.metric("avg.colC.ml1", mean(c1));
+    report.metric("avg.colC.ml2", mean(c2));
+    report.metric("avg.colC.tmcc", mean(ct));
     std::printf("paper AVG      |          1.083    1.043    1.125 |"
                 "          (ml2 > ml1)  1.154\n");
     return 0;

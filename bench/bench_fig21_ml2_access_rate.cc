@@ -17,11 +17,8 @@ namespace
 {
 
 double
-ml2Rate(const std::string &name, double budget_fraction)
+ml2Rate(const SimResult &r)
 {
-    SimConfig cfg = baseConfig(name, Arch::Tmcc);
-    cfg.dramBudgetFraction = budget_fraction;
-    const SimResult r = run(cfg);
     const double denom =
         static_cast<double>(r.llcMisses + r.llcWritebacks);
     return denom > 0 ? static_cast<double>(r.ml2Accesses) / denom : 0.0;
@@ -32,33 +29,55 @@ ml2Rate(const std::string &name, double budget_fraction)
 int
 main()
 {
+    BenchReport report("fig21_ml2_access_rate");
     header("Figure 21: ML2 accesses / (LLC misses + writebacks)",
            "Col B: ~0.5-6%; Col C: up to ~10%");
     cols({"colB", "colC"});
 
-    std::vector<double> b_rates, c_rates;
-    for (const auto &name : largeWorkloadNames()) {
-        // Per-workload Col C as in bench_fig20: between iso-savings
-        // usage and the everything-compressed floor.
+    const auto &names = largeWorkloadNames();
+
+    // Stage 1 (probes): per-workload Col C as in bench_fig20, between
+    // the iso-savings usage and the everything-compressed floor.
+    std::vector<SimConfig> probes;
+    for (const auto &name : names) {
         SimConfig probe_cfg = baseConfig(name, Arch::Tmcc);
         probe_cfg.measureAccesses = 1000;
         probe_cfg.warmAccesses = 1000;
         probe_cfg.placementAccesses /= 4;
-        const SimResult iso = run(probe_cfg);
+        probes.push_back(probe_cfg);
         probe_cfg.dramBudgetFraction = 0.05;
-        const SimResult floor = run(probe_cfg);
+        probes.push_back(probe_cfg);
+    }
+    const std::vector<SimResult> probe_res = runAll(probes);
+
+    // Stage 2: both budget columns for every workload in one batch.
+    std::vector<SimConfig> configs;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const SimResult &iso = probe_res[2 * i];
+        const SimResult &floor = probe_res[2 * i + 1];
         const double frac_c =
             (0.45 * static_cast<double>(iso.dramUsedBytes) +
              0.55 * static_cast<double>(floor.dramUsedBytes)) /
             static_cast<double>(iso.footprintBytes);
+        SimConfig cfg = baseConfig(names[i], Arch::Tmcc);
+        cfg.dramBudgetFraction = 0.0; // iso-savings
+        configs.push_back(cfg);
+        cfg.dramBudgetFraction = frac_c; // aggressive
+        configs.push_back(cfg);
+    }
+    const std::vector<SimResult> results = runAll(configs);
 
-        const double b = ml2Rate(name, 0.0); // iso-savings
-        const double c = ml2Rate(name, frac_c); // aggressive
+    std::vector<double> b_rates, c_rates;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const double b = ml2Rate(results[2 * i]);
+        const double c = ml2Rate(results[2 * i + 1]);
         b_rates.push_back(b);
         c_rates.push_back(c);
-        row(name, {b, c}, 4);
+        row(names[i], {b, c}, 4);
     }
     row("AVG", {mean(b_rates), mean(c_rates)}, 4);
+    report.metric("avg.colB", mean(b_rates));
+    report.metric("avg.colC", mean(c_rates));
     std::printf("paper: Col C > Col B for every workload\n");
     return 0;
 }

@@ -16,21 +16,28 @@ using namespace tmcc::bench;
 int
 main()
 {
+    BenchReport report("sec8_huge_pages");
     header("Section VIII: TMCC vs Compresso under 2MB huge pages",
            "avg ratio ~1.06 (vs ~1.14 with 4KB pages); parallel "
            "accesses vanish");
     cols({"ratio", "parallel"});
 
-    std::vector<double> ratios;
-    for (const auto &name : largeWorkloadNames()) {
+    const auto &names = largeWorkloadNames();
+    std::vector<SimConfig> configs;
+    for (const auto &name : names) {
         SimConfig comp_cfg = baseConfig(name, Arch::Compresso);
         comp_cfg.hugePages = true;
-        const SimResult rc = run(comp_cfg);
-
+        configs.push_back(comp_cfg);
         SimConfig tmcc_cfg = baseConfig(name, Arch::Tmcc);
         tmcc_cfg.hugePages = true;
-        const SimResult rt = run(tmcc_cfg);
+        configs.push_back(tmcc_cfg);
+    }
+    const std::vector<SimResult> results = runAll(configs);
 
+    std::vector<double> ratios;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const SimResult &rc = results[2 * i];
+        const SimResult &rt = results[2 * i + 1];
         const double ratio = rc.accessesPerNs() > 0
                                  ? rt.accessesPerNs() / rc.accessesPerNs()
                                  : 0.0;
@@ -39,9 +46,10 @@ main()
                                static_cast<double>(rt.llcMisses)
                          : 0.0;
         ratios.push_back(ratio);
-        row(name, {ratio, par});
+        row(names[i], {ratio, par});
     }
     row("AVG", {mean(ratios), 0.0});
+    report.metric("avg.ratio", mean(ratios));
     std::printf("paper AVG ratio: ~1.06; parallel accesses: 0 (ML1 "
                 "opt ineffective)\n");
     return 0;

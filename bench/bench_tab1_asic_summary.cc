@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.hh"
 #include "compress/deflate_timing.hh"
 
 using namespace tmcc;
@@ -17,6 +18,7 @@ using namespace tmcc;
 int
 main()
 {
+    bench::BenchReport report("tab1_asic_summary");
     std::printf("=====================================================\n");
     std::printf("Table I: ASIC Deflate synthesis summary (7nm ASAP7, "
                 "0.7V)\n");
@@ -36,6 +38,8 @@ main()
                 area.huffCompressorMm2, "160");
     std::printf("%-26s %10.3f %10.0f\n", "complete unit", area.totalMm2,
                 area.totalPowerMw);
+    report.metric("total_mm2", area.totalMm2);
+    report.metric("total_power_mw", area.totalPowerMw);
 
     const MemDeflateTimingConfig cfg;
     std::printf("\ncycle-model parameters (this repo, drives Table II):\n");

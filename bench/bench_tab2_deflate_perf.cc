@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.hh"
 #include "common/rng.hh"
 #include "compress/deflate_timing.hh"
 #include "workloads/content.hh"
@@ -16,6 +17,7 @@ using namespace tmcc;
 int
 main()
 {
+    bench::BenchReport report("tab2_deflate_perf");
     std::printf("=====================================================\n");
     std::printf("Table II: Deflate performance on 4KB memory pages\n");
     std::printf("=====================================================\n");
@@ -74,6 +76,11 @@ main()
     std::printf("%-22s %8.0fns %14s %9.1fGB/s\n", "IBM compressor",
                 ibm_comp, "N/A", ibm.compressGBs(pageSize));
 
+    report.metric("our.decompress_ns", dec_lat);
+    report.metric("our.halfpage_ns", half_lat);
+    report.metric("our.compress_ns", comp_lat);
+    report.metric("our.decompress_gbs", dec_gbs);
+    report.metric("our.compress_gbs", comp_gbs);
     std::printf("\npaper: ours 277/140ns 14.8GB/s dec, 662ns 17.2GB/s "
                 "comp; IBM 1100/878ns 3.7GB/s dec, 1050ns 3.9GB/s comp\n");
     std::printf("decompress speedup vs IBM: %.1fx (paper ~4x); "

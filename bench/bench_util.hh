@@ -3,22 +3,59 @@
  * Shared helpers for the experiment harnesses: one binary regenerates
  * each table/figure of the paper.  Environment knobs:
  *
- *   TMCC_QUICK=1     shrink phase lengths ~4x (smoke-test the benches)
- *   TMCC_SCALE=<f>   override the workload footprint scale
+ *   TMCC_QUICK=1       shrink phase lengths ~4x (smoke-test the benches)
+ *   TMCC_SCALE=<f>     override the workload footprint scale (> 0)
+ *   TMCC_JOBS=<n>      simulation worker threads (default: all cores)
+ *   TMCC_BENCH_DIR=<d> directory for BENCH_<name>.json reports (default .)
+ *
+ * Every harness submits its simulation grid through runAll(), which
+ * dispatches over a SimRunner thread pool, and records wall clock plus
+ * headline numbers in a BENCH_<name>.json report for CI to archive.
  */
 
 #ifndef TMCC_BENCH_BENCH_UTIL_HH
 #define TMCC_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/log.hh"
+#include "sim/runner.hh"
 #include "sim/system.hh"
 
 namespace tmcc::bench
 {
+
+/** Strictly parse env var `name` (value `s`) as a positive double. */
+inline double
+parsePositiveDouble(const char *name, const char *s)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    fatalIf(end == s || *end != '\0' || !std::isfinite(v) || v <= 0.0,
+            std::string(name) + " must be a positive number, got \"" + s +
+                "\"");
+    return v;
+}
+
+/** TMCC_QUICK: unset/empty or 0 = off, 1 = on; anything else is fatal. */
+inline bool
+quickEnabled()
+{
+    const char *s = std::getenv("TMCC_QUICK");
+    if (!s || !*s)
+        return false;
+    char *end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    fatalIf(end == s || *end != '\0' || (v != 0 && v != 1),
+            std::string("TMCC_QUICK must be 0 or 1, got \"") + s + "\"");
+    return v == 1;
+}
 
 /** The standard reach-scaled configuration used by every harness. */
 inline SimConfig
@@ -35,8 +72,8 @@ baseConfig(const std::string &workload, Arch arch)
         cfg.scale = 0.8;
 
     if (const char *s = std::getenv("TMCC_SCALE"))
-        cfg.scale = std::atof(s);
-    if (std::getenv("TMCC_QUICK")) {
+        cfg.scale = parsePositiveDouble("TMCC_SCALE", s);
+    if (quickEnabled()) {
         cfg.placementAccesses /= 4;
         cfg.warmAccesses /= 4;
         cfg.measureAccesses /= 4;
@@ -44,13 +81,84 @@ baseConfig(const std::string &workload, Arch arch)
     return cfg;
 }
 
-/** Run one configuration. */
+/** Run one configuration inline. */
 inline SimResult
 run(const SimConfig &cfg)
 {
     System system(cfg);
     return system.run();
 }
+
+/**
+ * Run a batch of configurations through the shared thread pool
+ * (TMCC_JOBS workers); results come back in submission order and are
+ * bit-identical to running the batch serially.
+ */
+inline std::vector<SimResult>
+runAll(const std::vector<SimConfig> &configs)
+{
+    return SimRunner().run(configs);
+}
+
+/**
+ * Wall-clock + headline-metric report, written as BENCH_<name>.json
+ * into TMCC_BENCH_DIR (default: current directory) when the report is
+ * destroyed.  Construct it first thing in main() so the wall clock
+ * covers the whole harness.
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string name)
+        : name_(std::move(name)),
+          start_(std::chrono::steady_clock::now())
+    {}
+
+    BenchReport(const BenchReport &) = delete;
+    BenchReport &operator=(const BenchReport &) = delete;
+
+    /** Record one headline number (insertion order is preserved). */
+    void
+    metric(const std::string &key, double value)
+    {
+        metrics_.emplace_back(key, value);
+    }
+
+    ~BenchReport()
+    {
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        const char *dir = std::getenv("TMCC_BENCH_DIR");
+        const std::string path = std::string(dir && *dir ? dir : ".") +
+                                 "/BENCH_" + name_ + ".json";
+        FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            warn("cannot write bench report " + path);
+            return;
+        }
+        std::fprintf(f, "{\n");
+        std::fprintf(f, "  \"bench\": \"%s\",\n", name_.c_str());
+        std::fprintf(f, "  \"wall_seconds\": %.3f,\n", wall);
+        std::fprintf(f, "  \"jobs\": %u,\n", SimRunner::defaultJobs());
+        std::fprintf(f, "  \"quick\": %s,\n",
+                     quickEnabled() ? "true" : "false");
+        std::fprintf(f, "  \"metrics\": {");
+        for (std::size_t i = 0; i < metrics_.size(); ++i)
+            std::fprintf(f, "%s\n    \"%s\": %.17g",
+                         i ? "," : "", metrics_[i].first.c_str(),
+                         metrics_[i].second);
+        std::fprintf(f, "%s  }\n}\n", metrics_.empty() ? "" : "\n");
+        std::fclose(f);
+        std::printf("[bench report: %s, %.1fs]\n", path.c_str(), wall);
+    }
+
+  private:
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
 
 /** Simple aligned table printing. */
 inline void

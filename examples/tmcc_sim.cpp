@@ -24,6 +24,11 @@
  *   --stats               dump every component counter
  *   --record FILE N       record N accesses of the workload to FILE
  *                         (no simulation) and exit
+ *   --sweep SET           run every workload of SET (large|small|
+ *                         bandwidth|all) under the configured arch,
+ *                         in parallel, and print one row per workload
+ *   --jobs N              worker threads for --sweep (default:
+ *                         TMCC_JOBS or all cores)
  *   --list                list known workloads and exit
  *
  * A recorded trace replays as a workload: --workload trace:FILE
@@ -33,7 +38,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "sim/runner.hh"
 #include "sim/system.hh"
 #include "workloads/trace.hh"
 
@@ -61,6 +68,29 @@ archByName(const std::string &name)
     std::exit(1);
 }
 
+std::vector<std::string>
+sweepSet(const std::string &set)
+{
+    std::vector<std::string> names;
+    if (set == "large" || set == "all")
+        for (const auto &n : largeWorkloadNames())
+            names.push_back(n);
+    if (set == "small" || set == "all")
+        for (const auto &n : smallWorkloadNames())
+            names.push_back(n);
+    if (set == "bandwidth" || set == "all")
+        for (const auto &n : bandwidthWorkloadNames())
+            names.push_back(n);
+    if (names.empty()) {
+        std::fprintf(stderr,
+                     "--sweep wants large|small|bandwidth|all, got "
+                     "'%s'\n",
+                     set.c_str());
+        std::exit(1);
+    }
+    return names;
+}
+
 void
 listWorkloads()
 {
@@ -84,6 +114,8 @@ main(int argc, char **argv)
     SimConfig cfg = SimConfig::scaledDefault();
     bool dump_all = false;
     bool scale_set = false;
+    std::string sweep;
+    unsigned jobs = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -141,6 +173,16 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(n),
                         cfg.workload.c_str(), path.c_str());
             return 0;
+        } else if (arg == "--sweep") {
+            sweep = value();
+        } else if (arg == "--jobs") {
+            const int v = std::atoi(value());
+            if (v <= 0) {
+                std::fprintf(stderr,
+                             "--jobs wants a positive integer\n");
+                return 1;
+            }
+            jobs = static_cast<unsigned>(v);
         } else if (arg == "--list") {
             listWorkloads();
             return 0;
@@ -154,10 +196,41 @@ main(int argc, char **argv)
         }
     }
 
-    if (!scale_set &&
-        (cfg.workload == "mcf" || cfg.workload == "omnetpp" ||
-         cfg.workload == "canneal"))
-        cfg.scale = 0.8;
+    auto preset_scale = [&](SimConfig &c) {
+        if (!scale_set &&
+            (c.workload == "mcf" || c.workload == "omnetpp" ||
+             c.workload == "canneal"))
+            c.scale = 0.8;
+    };
+
+    if (!sweep.empty()) {
+        const std::vector<std::string> names = sweepSet(sweep);
+        std::vector<SimConfig> configs;
+        for (const auto &name : names) {
+            SimConfig c = cfg;
+            c.workload = name;
+            preset_scale(c);
+            configs.push_back(c);
+        }
+        SimRunner runner(jobs);
+        std::printf("sweeping %zu workloads (%s) on %u threads, arch "
+                    "%s\n",
+                    configs.size(), sweep.c_str(), runner.jobs(),
+                    archName(cfg.arch));
+        const std::vector<SimResult> results = runner.run(configs);
+        std::printf("%-14s %10s %10s %10s %10s\n", "workload",
+                    "acc/us", "ratio", "l3lat_ns", "bus_util");
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const SimResult &r = results[i];
+            std::printf("%-14s %10.1f %10.2f %10.1f %10.3f\n",
+                        names[i].c_str(), r.accessesPerNs() * 1000.0,
+                        r.compressionRatio(), r.avgL3MissLatencyNs,
+                        r.readBusUtil + r.writeBusUtil);
+        }
+        return 0;
+    }
+
+    preset_scale(cfg);
 
     System system(cfg);
     const SimResult r = system.run();

@@ -103,6 +103,9 @@ class BitWriter
         }
     }
 
+    /** Pre-size the underlying byte buffer (capacity hint). */
+    void reserve(std::size_t bytes) { bytes_.reserve(bytes); }
+
     /** Finish the stream, flushing any partial byte. */
     std::vector<std::uint8_t>
     finish()

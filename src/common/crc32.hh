@@ -16,8 +16,11 @@
 #define TMCC_COMMON_CRC32_HH
 
 #include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <type_traits>
 #include <vector>
 
 namespace tmcc
@@ -26,21 +29,33 @@ namespace tmcc
 namespace crc_detail
 {
 
-constexpr std::array<std::uint32_t, 256>
-makeCrc32Table()
+/**
+ * Slicing-by-8 tables: table[0] is the classic byte-at-a-time table,
+ * table[k] advances a byte through k additional zero bytes, letting the
+ * runtime path fold 8 input bytes per iteration.  All slices compute
+ * the same polynomial, so the result is bit-identical to the byte loop.
+ */
+constexpr std::array<std::array<std::uint32_t, 256>, 8>
+makeCrc32Tables()
 {
-    std::array<std::uint32_t, 256> table{};
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
     for (std::uint32_t i = 0; i < 256; ++i) {
         std::uint32_t c = i;
         for (int k = 0; k < 8; ++k)
             c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-        table[i] = c;
+        t[0][i] = c;
     }
-    return table;
+    for (std::uint32_t k = 1; k < 8; ++k)
+        for (std::uint32_t i = 0; i < 256; ++i)
+            t[k][i] = t[0][t[k - 1][i] & 0xFFu] ^ (t[k - 1][i] >> 8);
+    return t;
 }
 
-inline constexpr std::array<std::uint32_t, 256> crc32Table =
-    makeCrc32Table();
+inline constexpr std::array<std::array<std::uint32_t, 256>, 8>
+    crc32Tables = makeCrc32Tables();
+
+inline constexpr const std::array<std::uint32_t, 256> &crc32Table =
+    crc32Tables[0];
 
 } // namespace crc_detail
 
@@ -48,9 +63,27 @@ inline constexpr std::array<std::uint32_t, 256> crc32Table =
 constexpr std::uint32_t
 crc32(const std::uint8_t *data, std::size_t size, std::uint32_t seed = 0)
 {
+    const auto &t = crc_detail::crc32Tables;
     std::uint32_t c = seed ^ 0xFFFFFFFFu;
-    for (std::size_t i = 0; i < size; ++i)
-        c = crc_detail::crc32Table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+    std::size_t i = 0;
+    // Slicing-by-8 fast path (memcpy loads are not constexpr and the
+    // 32-bit folds below assume little-endian lane order).
+    if (std::endian::native == std::endian::little &&
+        !std::is_constant_evaluated()) {
+        while (i + 8 <= size) {
+            std::uint32_t lo, hi;
+            std::memcpy(&lo, data + i, 4);
+            std::memcpy(&hi, data + i + 4, 4);
+            lo ^= c;
+            c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+                t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^
+                t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+                t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+            i += 8;
+        }
+    }
+    for (; i < size; ++i)
+        c = t[0][(c ^ data[i]) & 0xFFu] ^ (c >> 8);
     return c ^ 0xFFFFFFFFu;
 }
 

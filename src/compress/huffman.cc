@@ -31,54 +31,75 @@ CanonicalCode::limitedLengths(const std::vector<std::uint64_t> &freqs,
     panicIf((1ULL << max_len) < active.size(),
             "Huffman: depth limit cannot fit alphabet");
 
-    // Package-merge.  Each node carries its weight and the multiset of
-    // leaves beneath it (symbol indices into `active`).
+    // Package-merge.  Nodes live in one arena; a package references its
+    // two children instead of carrying the multiset of leaves beneath
+    // it, so the level merges move 8-byte indices instead of vectors
+    // (this runs once per measured page -- it is a hot path).
     struct Node
     {
         std::uint64_t weight;
-        std::vector<std::uint16_t> leaves;
+        std::int32_t leaf;  //!< index into `active`, or -1 for packages
+        std::int32_t a, b;  //!< children (arena indices) when leaf < 0
     };
-
-    std::vector<Node> leaves_sorted;
+    std::vector<Node> arena;
+    arena.reserve(active.size() * (max_len + 2));
+    std::vector<std::int32_t> leaves_sorted;
     leaves_sorted.reserve(active.size());
-    for (std::uint16_t i = 0; i < active.size(); ++i)
-        leaves_sorted.push_back({freqs[active[i]], {i}});
+    for (std::int32_t i = 0;
+         i < static_cast<std::int32_t>(active.size()); ++i) {
+        arena.push_back({freqs[active[i]], i, -1, -1});
+        leaves_sorted.push_back(i);
+    }
+    // Ties broken by symbol index for a deterministic code.
+    const auto lighter = [&arena](std::int32_t x, std::int32_t y) {
+        return arena[x].weight < arena[y].weight;
+    };
     std::sort(leaves_sorted.begin(), leaves_sorted.end(),
-              [](const Node &a, const Node &b) {
-                  return a.weight < b.weight;
+              [&arena](std::int32_t x, std::int32_t y) {
+                  return arena[x].weight != arena[y].weight
+                             ? arena[x].weight < arena[y].weight
+                             : arena[x].leaf < arena[y].leaf;
               });
 
-    std::vector<Node> prev; // packages from the previous level
+    std::vector<std::int32_t> prev; // packages from the previous level
+    std::vector<std::int32_t> packages, merged;
     for (unsigned level = 0; level < max_len; ++level) {
-        // Merge leaf list with pairs packaged from `prev`.
-        std::vector<Node> packages;
+        // Merge the leaf list with pairs packaged from `prev`.
+        packages.clear();
         for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
-            Node n;
-            n.weight = prev[i].weight + prev[i + 1].weight;
-            n.leaves = prev[i].leaves;
-            n.leaves.insert(n.leaves.end(), prev[i + 1].leaves.begin(),
-                            prev[i + 1].leaves.end());
-            packages.push_back(std::move(n));
+            arena.push_back({arena[prev[i]].weight +
+                                 arena[prev[i + 1]].weight,
+                             -1, prev[i], prev[i + 1]});
+            packages.push_back(
+                static_cast<std::int32_t>(arena.size() - 1));
         }
-        std::vector<Node> merged;
+        merged.clear();
         merged.reserve(leaves_sorted.size() + packages.size());
         std::merge(leaves_sorted.begin(), leaves_sorted.end(),
                    packages.begin(), packages.end(),
-                   std::back_inserter(merged),
-                   [](const Node &a, const Node &b) {
-                       return a.weight < b.weight;
-                   });
-        prev = std::move(merged);
+                   std::back_inserter(merged), lighter);
+        std::swap(prev, merged);
     }
 
-    // The first 2n-2 nodes of the final list; each leaf occurrence adds
-    // one to that symbol's code length.
+    // The first 2n-2 nodes of the final list; each leaf occurrence
+    // beneath them adds one to that symbol's code length.
     const std::size_t take = 2 * active.size() - 2;
     panicIf(prev.size() < take, "package-merge underflow");
     std::vector<unsigned> depth(active.size(), 0);
-    for (std::size_t i = 0; i < take; ++i)
-        for (auto leaf : prev[i].leaves)
-            ++depth[leaf];
+    std::vector<std::int32_t> stack;
+    for (std::size_t i = 0; i < take; ++i) {
+        stack.push_back(prev[i]);
+        while (!stack.empty()) {
+            const Node &n = arena[stack.back()];
+            stack.pop_back();
+            if (n.leaf >= 0) {
+                ++depth[n.leaf];
+            } else {
+                stack.push_back(n.a);
+                stack.push_back(n.b);
+            }
+        }
+    }
 
     for (std::size_t i = 0; i < active.size(); ++i) {
         panicIf(depth[i] == 0 || depth[i] > max_len,
@@ -143,6 +164,17 @@ CanonicalCode::CanonicalCode(const std::vector<unsigned> &lengths)
         }
     }
 
+    // BitWriter emits the low bit first; storing each code bit-reversed
+    // lets encode() emit the whole MSB-first code with a single put.
+    reversed_.assign(lengths_.size(), 0);
+    for (unsigned sym = 0; sym < lengths_.size(); ++sym) {
+        std::uint32_t r = 0;
+        for (unsigned i = 0; i < lengths_[sym]; ++i)
+            r |= ((codes_[sym] >> i) & 1)
+                 << (lengths_[sym] - 1 - i);
+        reversed_[sym] = r;
+    }
+
     // Kraft check: the code must be complete or under-full, never over.
     std::uint64_t kraft = 0;
     for (unsigned l : lengths_)
@@ -156,9 +188,7 @@ CanonicalCode::encode(BitWriter &bw, unsigned sym) const
 {
     const unsigned len = lengths_[sym];
     panicIf(len == 0, "CanonicalCode: encoding absent symbol");
-    const std::uint32_t code = codes_[sym];
-    for (unsigned i = 0; i < len; ++i)
-        bw.put((code >> (len - 1 - i)) & 1, 1); // MSB first
+    bw.put(reversed_[sym], len); // pre-reversed: emits MSB first
 }
 
 StatusOr<unsigned>
@@ -191,12 +221,17 @@ ReducedTree::ReducedTree(const std::uint64_t *freqs,
             "reduced tree depth must fit the 4-bit header field");
 
     // Select the (leaves-1) hottest characters ("Select 15 Characters").
+    // Only the top slots need ordering; ties break toward the smaller
+    // byte value, matching a stable full sort.
     std::vector<unsigned> order(256);
     std::iota(order.begin(), order.end(), 0u);
-    std::stable_sort(order.begin(), order.end(),
-                     [&](unsigned a, unsigned b) {
-                         return freqs[a] > freqs[b];
-                     });
+    std::partial_sort(order.begin(),
+                      order.begin() + std::min(256u, cfg.leaves - 1),
+                      order.end(), [&](unsigned a, unsigned b) {
+                          return freqs[a] != freqs[b]
+                                     ? freqs[a] > freqs[b]
+                                     : a < b;
+                      });
 
     std::uint64_t total = 0;
     for (unsigned c = 0; c < 256; ++c)

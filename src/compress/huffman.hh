@@ -75,6 +75,8 @@ class CanonicalCode
   private:
     std::vector<unsigned> lengths_;
     std::vector<std::uint32_t> codes_;
+    std::vector<std::uint32_t> reversed_; //!< codes_ bit-reversed for
+                                          //!< one-shot LSB-first emission
     unsigned maxLen_ = 0;
     // Decode tables indexed by code length.
     std::vector<std::uint32_t> firstCode_; //!< first canonical code of len

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 
 #include "common/bitops.hh"
 #include "common/log.hh"
@@ -24,16 +25,33 @@ hash3(const std::uint8_t *p)
     return (v * 2654435761u) >> (32 - hashBits);
 }
 
-/** Hash-chain match finder over a bounded window. */
+/**
+ * Hash-chain match finder over a bounded window.
+ *
+ * The finder is a reusable scratch object: resetting for a new page
+ * bumps a generation stamp instead of refilling the 64KB head table
+ * (the per-page fill used to dominate small-page compression), and the
+ * chain-link array only ever grows.  Chains can only link positions
+ * inserted in the current generation, so stale entries are never
+ * followed.
+ */
 class MatchFinder
 {
   public:
-    MatchFinder(const std::uint8_t *data, std::size_t size,
-                const LzConfig &cfg)
-        : data_(data), size_(size), cfg_(cfg),
-          prev_(size, SIZE_MAX)
+    void
+    reset(const std::uint8_t *data, std::size_t size,
+          const LzConfig &cfg)
     {
-        head_.fill(SIZE_MAX);
+        data_ = data;
+        size_ = size;
+        cfg_ = &cfg;
+        if (++gen_ == 0) {
+            // Stamp wrap: every slot looks current, so clear once.
+            headGen_.fill(0);
+            gen_ = 1;
+        }
+        if (prev_.size() < size)
+            prev_.resize(size);
     }
 
     /** Insert position `pos` into the chains. */
@@ -43,8 +61,9 @@ class MatchFinder
         if (pos + 3 > size_)
             return;
         const unsigned h = hash3(data_ + pos);
-        prev_[pos] = head_[h];
-        head_[h] = pos;
+        prev_[pos] = headGen_[h] == gen_ ? headPos_[h] : SIZE_MAX;
+        headGen_[h] = gen_;
+        headPos_[h] = pos;
     }
 
     /**
@@ -58,39 +77,80 @@ class MatchFinder
         if (pos + 3 > size_)
             return 0;
         const std::size_t window_start =
-            pos > cfg_.windowSize ? pos - cfg_.windowSize : 0;
+            pos > cfg_->windowSize ? pos - cfg_->windowSize : 0;
         unsigned best_len = 0;
         std::size_t best_pos = 0;
         const unsigned max_len = static_cast<unsigned>(
-            std::min<std::size_t>(cfg_.maxMatch, size_ - pos));
+            std::min<std::size_t>(cfg_->maxMatch, size_ - pos));
 
-        std::size_t cand = head_[hash3(data_ + pos)];
+        const unsigned h = hash3(data_ + pos);
+        std::size_t cand = headGen_[h] == gen_ ? headPos_[h] : SIZE_MAX;
         unsigned chain = 0;
         while (cand != SIZE_MAX && cand >= window_start && chain < 256) {
             ++chain;
-            unsigned len = 0;
-            while (len < max_len && data_[cand + len] == data_[pos + len])
-                ++len;
-            // Prefer longer; on tie, prefer nearer (larger cand).
-            if (len > best_len) {
-                best_len = len;
-                best_pos = cand;
+            // A candidate can only beat best_len if it also matches at
+            // index best_len; probing that byte first skips most of the
+            // chain without changing which match wins.
+            if (best_len == 0 ||
+                data_[cand + best_len] == data_[pos + best_len]) {
+                const unsigned len = matchLength(cand, pos, max_len);
+                // Prefer longer; on tie, prefer nearer (larger cand).
+                if (len > best_len) {
+                    best_len = len;
+                    best_pos = cand;
+                    if (best_len >= max_len)
+                        break; // cannot be beaten
+                }
             }
             cand = prev_[cand];
         }
-        if (best_len < cfg_.minMatch)
+        if (best_len < cfg_->minMatch)
             return 0;
         dist = static_cast<unsigned>(pos - best_pos);
         return best_len;
     }
 
   private:
-    const std::uint8_t *data_;
-    std::size_t size_;
-    const LzConfig &cfg_;
-    std::array<std::size_t, hashSize> head_;
+    /** Common prefix length of data_[cand..] and data_[pos..], 8 bytes
+     * at a time (both reads stay below pos + max_len <= size_). */
+    unsigned
+    matchLength(std::size_t cand, std::size_t pos,
+                unsigned max_len) const
+    {
+        unsigned len = 0;
+        while (len + 8 <= max_len) {
+            std::uint64_t a, b;
+            std::memcpy(&a, data_ + cand + len, 8);
+            std::memcpy(&b, data_ + pos + len, 8);
+            const std::uint64_t diff = a ^ b;
+            if (diff)
+                return len +
+                       (static_cast<unsigned>(__builtin_ctzll(diff)) >>
+                        3);
+            len += 8;
+        }
+        while (len < max_len && data_[cand + len] == data_[pos + len])
+            ++len;
+        return len;
+    }
+
+    const std::uint8_t *data_ = nullptr;
+    std::size_t size_ = 0;
+    const LzConfig *cfg_ = nullptr;
+    std::array<std::uint32_t, hashSize> headGen_{};
+    std::array<std::size_t, hashSize> headPos_{};
     std::vector<std::size_t> prev_;
+    std::uint32_t gen_ = 0;
 };
+
+/** Per-thread scratch so back-to-back compress() calls allocate
+ * nothing; also keeps concurrent simulations race-free. */
+MatchFinder &
+scratchFinder()
+{
+    thread_local MatchFinder finder;
+    return finder;
+}
 
 } // namespace
 
@@ -106,8 +166,12 @@ std::vector<LzToken>
 Lz::compress(const std::uint8_t *data, std::size_t size) const
 {
     std::vector<LzToken> out;
-    out.reserve(size / 2);
-    MatchFinder mf(data, size, cfg_);
+    // Compressible pages average well under one token per 8 input
+    // bytes; growth re-doubles for the rare literal-heavy page instead
+    // of paying a 4x-input-size allocation on every call.
+    out.reserve(size / 8);
+    MatchFinder &mf = scratchFinder();
+    mf.reset(data, size, cfg_);
 
     std::size_t pos = 0;
     while (pos < size) {
@@ -159,22 +223,33 @@ Lz::compress(const std::uint8_t *data, std::size_t size) const
 StatusOr<std::vector<std::uint8_t>>
 Lz::decompress(const std::vector<LzToken> &tokens) const
 {
-    std::vector<std::uint8_t> out;
+    std::size_t total = 0;
+    for (const auto &t : tokens)
+        total += t.isMatch ? t.length : 1;
+
+    std::vector<std::uint8_t> out(total);
+    std::size_t w = 0;
     for (const auto &t : tokens) {
         if (!t.isMatch) {
-            out.push_back(t.literal);
+            out[w++] = t.literal;
             continue;
         }
-        if (t.distance == 0 || t.distance > out.size())
+        if (t.distance == 0 || t.distance > w)
             return Status::corruption(
                 "LZ match distance outside produced data");
         if (t.distance > cfg_.windowSize)
             return Status::corruption("LZ match distance exceeds window");
         if (t.length < cfg_.minMatch || t.length > cfg_.maxMatch)
             return Status::corruption("LZ match length out of range");
-        std::size_t from = out.size() - t.distance;
-        for (unsigned i = 0; i < t.length; ++i)
-            out.push_back(out[from + i]); // overlapping copies are legal
+        const std::size_t from = w - t.distance;
+        if (t.distance >= t.length) {
+            // Non-overlapping: one bulk copy.
+            std::memcpy(out.data() + w, out.data() + from, t.length);
+            w += t.length;
+        } else {
+            for (unsigned i = 0; i < t.length; ++i)
+                out[w++] = out[from + i]; // overlapping copies are legal
+        }
     }
     return out;
 }

@@ -1,5 +1,7 @@
 #include "compress/mem_deflate.hh"
 
+#include <cstring>
+
 #include "common/crc32.hh"
 #include "common/log.hh"
 
@@ -33,23 +35,23 @@ MemDeflate::compress(const std::uint8_t *data, std::size_t size) const
     const unsigned min_match = lz_.config().minMatch;
 
     // Estimate both encodings to implement the dynamic Huffman skip.
-    std::size_t huff_bits = 1; // huffmanUsed flag
-    std::size_t raw_bits = 1;
+    // Match tokens cost the same either way and literal costs follow
+    // from the census, so the estimate is O(alphabet), not O(tokens).
+    const std::size_t matches = tokens.size() - out.lzLiterals;
+    const std::size_t match_bits = matches * (1 + 8 + dist_bits);
+    std::size_t huff_bits = 1 + match_bits; // 1 = huffmanUsed flag
+    std::size_t raw_bits = 1 + match_bits + out.lzLiterals * (1 + 8u);
     ReducedTree tree(freqs, cfg_.tree);
     huff_bits += tree.headerBits();
-    for (const auto &t : tokens) {
-        if (t.isMatch) {
-            huff_bits += 1 + 8 + dist_bits;
-            raw_bits += 1 + 8 + dist_bits;
-        } else {
-            huff_bits += 1 + tree.costBits(t.literal);
-            raw_bits += 1 + 8;
-        }
-    }
+    for (unsigned b = 0; b < 256; ++b)
+        if (freqs[b])
+            huff_bits += freqs[b] * (1 + tree.costBits(
+                                             static_cast<std::uint8_t>(b)));
 
     out.huffmanUsed = !cfg_.dynamicHuffmanSkip || huff_bits <= raw_bits;
 
     BitWriter bw;
+    bw.reserve((out.huffmanUsed ? huff_bits : raw_bits) / 8 + 8);
     bw.put(out.huffmanUsed ? 1 : 0, 1);
     if (out.huffmanUsed)
         tree.write(bw);
@@ -115,9 +117,16 @@ MemDeflate::decompress(const CompressedPage &page) const
             if (out.size() + len > page.originalSize)
                 return Status::corruption(
                     "MemDeflate: match overruns original size");
-            const std::size_t from = out.size() - dist;
-            for (unsigned i = 0; i < len; ++i)
-                out.push_back(out[from + i]);
+            const std::size_t w = out.size();
+            const std::size_t from = w - dist;
+            out.resize(w + len);
+            if (dist >= len) {
+                // Non-overlapping: one bulk copy.
+                std::memcpy(out.data() + w, out.data() + from, len);
+            } else {
+                for (unsigned i = 0; i < len; ++i)
+                    out[w + i] = out[from + i];
+            }
         } else if (tree) {
             TMCC_ASSIGN_OR_RETURN(const std::uint8_t b,
                                   tree->decodeByte(br));

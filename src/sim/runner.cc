@@ -1,0 +1,92 @@
+#include "sim/runner.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <thread>
+
+#include "common/log.hh"
+#include "sim/system.hh"
+
+namespace tmcc
+{
+
+SimRunner::SimRunner(unsigned jobs)
+    : jobs_(jobs ? jobs : defaultJobs())
+{}
+
+unsigned
+SimRunner::defaultJobs()
+{
+    const char *env = std::getenv("TMCC_JOBS");
+    if (env && *env) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        fatalIf(*end != '\0' || v <= 0,
+                std::string("TMCC_JOBS must be a positive integer, got \"") +
+                    env + "\"");
+        return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::vector<SimResult>
+SimRunner::run(const std::vector<SimConfig> &configs) const
+{
+    std::vector<SimResult> results(configs.size());
+    if (configs.empty())
+        return results;
+
+    auto run_one = [&](std::size_t i) {
+        System sys(configs[i]);
+        results[i] = sys.run();
+    };
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, configs.size()));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            run_one(i);
+        return results;
+    }
+
+    // Atomic-index dispatch: each worker claims the next unstarted
+    // config.  Results land by submission index, so the output order
+    // (and content -- every System is self-contained and seeded from
+    // its config alone) is identical to the serial loop.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(configs.size());
+    auto work = [&] {
+        for (std::size_t i = next.fetch_add(1); i < configs.size();
+             i = next.fetch_add(1)) {
+            try {
+                run_one(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned w = 0; w + 1 < workers; ++w)
+        pool.emplace_back(work);
+    work();
+    for (auto &t : pool)
+        t.join();
+
+    for (const auto &err : errors)
+        if (err)
+            std::rethrow_exception(err);
+    return results;
+}
+
+std::vector<SimResult>
+runConfigs(const std::vector<SimConfig> &configs, unsigned jobs)
+{
+    return SimRunner(jobs).run(configs);
+}
+
+} // namespace tmcc

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SimRunner: runs a batch of independent simulations on a worker-thread
+ * pool.
+ *
+ * Every experiment harness in bench/ sweeps a grid of SimConfigs whose
+ * runs share nothing (each System owns its DRAM, caches, workloads and
+ * RNG streams), so the grid is embarrassingly parallel.  SimRunner
+ * dispatches the batch over N threads and returns results in submission
+ * order; with the same configs the results are bit-identical to running
+ * the batch serially.
+ *
+ * The worker count comes from the TMCC_JOBS environment variable when
+ * set (a positive integer), else from std::thread::hardware_concurrency.
+ */
+
+#ifndef TMCC_SIM_RUNNER_HH
+#define TMCC_SIM_RUNNER_HH
+
+#include <vector>
+
+#include "sim/sim_config.hh"
+#include "sim/sim_result.hh"
+
+namespace tmcc
+{
+
+class SimRunner
+{
+  public:
+    /** `jobs` = worker threads; 0 = defaultJobs(). */
+    explicit SimRunner(unsigned jobs = 0);
+
+    /**
+     * TMCC_JOBS if set (rejects non-numeric or nonpositive values with
+     * a clear fatal error), else hardware_concurrency, else 1.
+     */
+    static unsigned defaultJobs();
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Run every config and return the results in submission order.
+     * Batches of one (or jobs() == 1) run inline on the caller's
+     * thread.  Exceptions from a worker are rethrown on the caller,
+     * earliest-submitted first.
+     */
+    std::vector<SimResult> run(const std::vector<SimConfig> &configs) const;
+
+  private:
+    unsigned jobs_;
+};
+
+/** One-shot convenience: SimRunner(jobs).run(configs). */
+std::vector<SimResult> runConfigs(const std::vector<SimConfig> &configs,
+                                  unsigned jobs = 0);
+
+} // namespace tmcc
+
+#endif // TMCC_SIM_RUNNER_HH

@@ -35,15 +35,36 @@ struct ContentMix
  * BlockCompressor / MemDeflate / RfcDeflate codecs and averages the
  * results into one PageProfile per part; pages are then assigned to
  * parts by weight (deterministic per PPN).
+ *
+ * Measurements are memoized process-wide, keyed by (content spec,
+ * samples, seed): a part's profile is a pure function of that key (each
+ * part gets its own RNG stream derived from the key), so repeated
+ * System constructions across an experiment grid stop re-compressing
+ * identical sample pages.  The cache is thread-safe; cold parts of one
+ * mix are measured in parallel.
  */
 class ProfileLibrary : public PageInfoProvider
 {
   public:
-    explicit ProfileLibrary(unsigned samples_per_part = 6,
+    explicit ProfileLibrary(unsigned samples_per_part = 12,
                             std::uint64_t seed = 0xfeed);
 
     /** Measure a mix; returns its id. */
     unsigned registerMix(const ContentMix &mix);
+
+    /** Counters for the process-wide measurement cache (stats hook for
+     * tests and benches). `pagesCompressed` counts every sample page
+     * run through the codecs; cache hits add none. */
+    struct CacheStats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t pagesCompressed = 0;
+    };
+    static CacheStats cacheStats();
+
+    /** Drop all memoized measurements (tests). */
+    static void clearCache();
 
     /** Assign a physical page to a mix (profile picked by PPN hash). */
     void assignPage(Ppn ppn, unsigned mix_id);

@@ -47,9 +47,16 @@ TEST(System, CompressoSavesMemoryAndPaysLatency)
 
 TEST(System, TmccBeatsCompressoAtIsoSavings)
 {
-    System comp(tinyConfig(Arch::Compresso));
+    // TMCC's placement/CTE machinery needs a longer window than the
+    // other smoke tests to amortize; 20k accesses sits on a knife edge.
+    SimConfig cfg = tinyConfig(Arch::Compresso);
+    cfg.placementAccesses = 40'000;
+    cfg.warmAccesses = 20'000;
+    cfg.measureAccesses = 40'000;
+    System comp(cfg);
     const SimResult rc = comp.run();
-    System tmcc(tinyConfig(Arch::Tmcc));
+    cfg.arch = Arch::Tmcc;
+    System tmcc(cfg);
     const SimResult rt = tmcc.run();
 
     // Iso-savings (Fig. 17): similar DRAM usage, higher performance.

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * ProfileLibrary's process-wide measurement cache: identical (spec,
+ * samples, seed) keys must be measured exactly once, the cached result
+ * must be independent of registration order, and distinct keys must not
+ * alias.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/profile_library.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+ContentMix
+mixA()
+{
+    ContentMix mix;
+    mix.parts.push_back({{ContentFamily::Text, 0.5, 1.0}, 2.0});
+    mix.parts.push_back({{ContentFamily::IntArray, 0.5, 3.0}, 1.0});
+    return mix;
+}
+
+ContentMix
+mixB()
+{
+    ContentMix mix;
+    mix.parts.push_back({{ContentFamily::PointerHeap, 0.5, 3.0}, 1.0});
+    mix.parts.push_back({{ContentFamily::FloatArray, 0.5, 3.0}, 1.0});
+    return mix;
+}
+
+void
+expectSameProfile(const PageProfile &a, const PageProfile &b)
+{
+    EXPECT_EQ(a.blockBytes, b.blockBytes);
+    EXPECT_EQ(a.deflateBytes, b.deflateBytes);
+    EXPECT_EQ(a.rfcBytes, b.rfcBytes);
+    EXPECT_EQ(a.lzTokens, b.lzTokens);
+    EXPECT_EQ(a.huffmanUsed, b.huffmanUsed);
+    EXPECT_EQ(a.overflowP, b.overflowP);
+}
+
+TEST(ProfileCache, SecondRegistrationCompressesNothing)
+{
+    ProfileLibrary::clearCache();
+
+    ProfileLibrary first(6);
+    first.registerMix(mixA());
+    const auto cold = ProfileLibrary::cacheStats();
+    EXPECT_EQ(cold.hits, 0u);
+    EXPECT_EQ(cold.misses, 2u); // one per part
+    EXPECT_EQ(cold.pagesCompressed, 2u * 6u);
+
+    // A fresh library with the same samples/seed re-registers the same
+    // mix: every part must come from the cache, zero codec work.
+    ProfileLibrary second(6);
+    second.registerMix(mixA());
+    const auto warm = ProfileLibrary::cacheStats();
+    EXPECT_EQ(warm.hits, 2u);
+    EXPECT_EQ(warm.misses, cold.misses);
+    EXPECT_EQ(warm.pagesCompressed, cold.pagesCompressed);
+}
+
+TEST(ProfileCache, CachedProfilesMatchColdMeasurement)
+{
+    ProfileLibrary::clearCache();
+
+    ProfileLibrary cold(6);
+    const unsigned idc = cold.registerMix(mixA());
+
+    ProfileLibrary warm(6);
+    const unsigned idw = warm.registerMix(mixA());
+
+    const auto &pc = cold.partProfiles(idc);
+    const auto &pw = warm.partProfiles(idw);
+    ASSERT_EQ(pc.size(), pw.size());
+    for (std::size_t i = 0; i < pc.size(); ++i) {
+        SCOPED_TRACE("part " + std::to_string(i));
+        expectSameProfile(pc[i], pw[i]);
+    }
+}
+
+TEST(ProfileCache, ProfilesIndependentOfRegistrationOrder)
+{
+    // Each part's RNG stream derives from its own key, so measuring
+    // mixA before mixB must give the same numbers as B before A.
+    ProfileLibrary::clearCache();
+    ProfileLibrary ab(6);
+    const unsigned a1 = ab.registerMix(mixA());
+    const unsigned b1 = ab.registerMix(mixB());
+    const std::vector<PageProfile> profA = ab.partProfiles(a1);
+    const std::vector<PageProfile> profB = ab.partProfiles(b1);
+
+    ProfileLibrary::clearCache();
+    ProfileLibrary ba(6);
+    const unsigned b2 = ba.registerMix(mixB());
+    const unsigned a2 = ba.registerMix(mixA());
+
+    ASSERT_EQ(profA.size(), ba.partProfiles(a2).size());
+    for (std::size_t i = 0; i < profA.size(); ++i)
+        expectSameProfile(profA[i], ba.partProfiles(a2)[i]);
+    for (std::size_t i = 0; i < profB.size(); ++i)
+        expectSameProfile(profB[i], ba.partProfiles(b2)[i]);
+}
+
+TEST(ProfileCache, DistinctKeysDoNotAlias)
+{
+    ProfileLibrary::clearCache();
+
+    ProfileLibrary lib(6);
+    lib.registerMix(mixA());
+    const auto base = ProfileLibrary::cacheStats();
+
+    // Same specs, different sample count -> new cache entries.
+    ProfileLibrary more(8);
+    more.registerMix(mixA());
+    const auto after_samples = ProfileLibrary::cacheStats();
+    EXPECT_EQ(after_samples.hits, base.hits);
+    EXPECT_EQ(after_samples.misses, base.misses + 2);
+
+    // Same specs and samples, different seed -> new cache entries.
+    ProfileLibrary reseeded(6, 0xbeef);
+    reseeded.registerMix(mixA());
+    const auto after_seed = ProfileLibrary::cacheStats();
+    EXPECT_EQ(after_seed.hits, after_samples.hits);
+    EXPECT_EQ(after_seed.misses, after_samples.misses + 2);
+}
+
+TEST(ProfileCache, DuplicatePartsWithinOneMixMeasuredOnce)
+{
+    ProfileLibrary::clearCache();
+
+    // The same (spec) twice in one mix at different weights: one
+    // measurement, one miss, one hit.
+    ContentMix mix;
+    mix.parts.push_back({{ContentFamily::Text, 0.5, 1.0}, 3.0});
+    mix.parts.push_back({{ContentFamily::Text, 0.5, 1.0}, 1.0});
+
+    ProfileLibrary lib(6);
+    const unsigned id = lib.registerMix(mix);
+    const auto s = ProfileLibrary::cacheStats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.pagesCompressed, 6u);
+    expectSameProfile(lib.partProfiles(id)[0], lib.partProfiles(id)[1]);
+}
+
+TEST(ProfileCache, ClearCacheResetsStats)
+{
+    ProfileLibrary lib(6);
+    lib.registerMix(mixA());
+    ProfileLibrary::clearCache();
+    const auto s = ProfileLibrary::cacheStats();
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.misses, 0u);
+    EXPECT_EQ(s.pagesCompressed, 0u);
+}
+
+} // namespace
+} // namespace tmcc
