@@ -47,7 +47,7 @@ main()
             rg.llcMisses ? static_cast<double>(rg.cteHits) /
                                static_cast<double>(rg.llcMisses)
                          : 0.0;
-        const double llc_hits = rv.stats.get("mc.llc_victim_hits");
+        const double llc_hits = rv.stats.getRequired("mc.llc_victim_hits");
         const double llc_extra =
             rv.llcMisses ? llc_hits / static_cast<double>(rv.llcMisses)
                          : 0.0;

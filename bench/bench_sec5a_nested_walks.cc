@@ -43,8 +43,8 @@ main()
         const SimResult &rb = results[3 * i + 1];
         const SimResult &rt = results[3 * i + 2];
         const double fetches_per_walk =
-            rt.stats.get("hier.walker_accesses") /
-            std::max(1.0, rt.stats.get("core0.walker.walks") * 4.0);
+            rt.stats.getRequired("hier.walker_accesses") /
+            std::max(1.0, rt.stats.getRequired("core0.walker.walks") * 4.0);
         const double comp = rc.accessesPerNs() * 1000.0;
         const double bare = rb.accessesPerNs() * 1000.0;
         const double tmcc = rt.accessesPerNs() * 1000.0;

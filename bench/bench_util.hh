@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/log.hh"
 #include "sim/runner.hh"
 #include "sim/system.hh"
@@ -139,16 +140,24 @@ class BenchReport
             return;
         }
         std::fprintf(f, "{\n");
-        std::fprintf(f, "  \"bench\": \"%s\",\n", name_.c_str());
+        std::fprintf(f, "  \"bench\": \"%s\",\n",
+                     jsonEscape(name_).c_str());
         std::fprintf(f, "  \"wall_seconds\": %.3f,\n", wall);
         std::fprintf(f, "  \"jobs\": %u,\n", SimRunner::defaultJobs());
         std::fprintf(f, "  \"quick\": %s,\n",
                      quickEnabled() ? "true" : "false");
         std::fprintf(f, "  \"metrics\": {");
-        for (std::size_t i = 0; i < metrics_.size(); ++i)
-            std::fprintf(f, "%s\n    \"%s\": %.17g",
-                         i ? "," : "", metrics_[i].first.c_str(),
-                         metrics_[i].second);
+        for (std::size_t i = 0; i < metrics_.size(); ++i) {
+            // Keys pass through jsonEscape (workload names can carry
+            // arbitrary characters, e.g. trace:FILE paths); non-finite
+            // values have no JSON spelling and become null.
+            std::fprintf(f, "%s\n    \"%s\": ", i ? "," : "",
+                         jsonEscape(metrics_[i].first).c_str());
+            if (std::isfinite(metrics_[i].second))
+                std::fprintf(f, "%.17g", metrics_[i].second);
+            else
+                std::fprintf(f, "null");
+        }
         std::fprintf(f, "%s  }\n}\n", metrics_.empty() ? "" : "\n");
         std::fclose(f);
         std::printf("[bench report: %s, %.1fs]\n", path.c_str(), wall);

@@ -22,6 +22,11 @@
  *   --fault-ptb R         per-bit flip rate injected into compressed PTBs
  *   --fault-seed N        fault-injection RNG seed
  *   --stats               dump every component counter
+ *   --trace FILE          write a Chrome trace-event / Perfetto JSON
+ *                         trace of the run (env: TMCC_TRACE)
+ *   --stats-interval N    snapshot epoch statistics every N measured
+ *                         accesses (env: TMCC_STATS_INTERVAL)
+ *   --stats-out FILE      write the epoch time series as JSON
  *   --record FILE N       record N accesses of the workload to FILE
  *                         (no simulation) and exit
  *   --sweep SET           run every workload of SET (large|small|
@@ -37,9 +42,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
+#include "common/trace.hh"
 #include "sim/runner.hh"
 #include "sim/system.hh"
 #include "workloads/trace.hh"
@@ -91,6 +99,56 @@ sweepSet(const std::string &set)
     return names;
 }
 
+std::uint64_t
+parsePositiveCount(const char *s, const char *what)
+{
+    char *end = nullptr;
+    const long long v = std::strtoll(s, &end, 10);
+    if (s[0] == '\0' || *end != '\0' || v <= 0) {
+        std::fprintf(stderr, "%s must be a positive integer, got "
+                             "\"%s\"\n",
+                     what, s);
+        std::exit(1);
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
+/** Epoch time series as JSON: one entry per run, one row per epoch. */
+void
+writeEpochStats(const std::string &path,
+                const std::vector<std::string> &names,
+                const std::vector<const SimResult *> &results)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write epoch stats to %s\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    std::fprintf(f, "{\"runs\":[");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        std::fprintf(f, "%s\n{\"workload\":\"%s\",\"epochs\":[",
+                     i ? "," : "", jsonEscape(names[i]).c_str());
+        const auto &epochs = results[i]->epochs;
+        for (std::size_t e = 0; e < epochs.size(); ++e) {
+            const EpochStat &ep = epochs[e];
+            std::fprintf(
+                f,
+                "%s\n{\"accesses\":%llu,\"delta_accesses\":%llu,"
+                "\"end_ns\":%.4f,\"ml2_access_rate\":%.6g,"
+                "\"cte_hit_rate\":%.6g,\"dram_used_mb\":%.6g}",
+                e ? "," : "",
+                static_cast<unsigned long long>(ep.accesses),
+                static_cast<unsigned long long>(ep.deltaAccesses),
+                ticksToNs(ep.endTick), ep.ml2AccessRate, ep.cteHitRate,
+                ep.dramUsedBytes / (1 << 20));
+        }
+        std::fprintf(f, "\n]}");
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+}
+
 void
 listWorkloads()
 {
@@ -116,6 +174,17 @@ main(int argc, char **argv)
     bool scale_set = false;
     std::string sweep;
     unsigned jobs = 0;
+
+    // Observability knobs: environment supplies the defaults, the
+    // command line overrides (validated identically either way).
+    std::string trace_path;
+    std::string stats_out;
+    if (const char *env = std::getenv("TMCC_TRACE"); env && *env)
+        trace_path = env;
+    if (const char *env = std::getenv("TMCC_STATS_INTERVAL");
+        env && *env)
+        cfg.statsInterval =
+            parsePositiveCount(env, "TMCC_STATS_INTERVAL");
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -162,6 +231,21 @@ main(int argc, char **argv)
                 static_cast<std::uint64_t>(std::atoll(value()));
         } else if (arg == "--stats") {
             dump_all = true;
+        } else if (arg == "--trace") {
+            trace_path = value();
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            trace_path = arg.substr(std::strlen("--trace="));
+        } else if (arg == "--stats-interval") {
+            cfg.statsInterval =
+                parsePositiveCount(value(), "--stats-interval");
+        } else if (arg.rfind("--stats-interval=", 0) == 0) {
+            cfg.statsInterval = parsePositiveCount(
+                arg.c_str() + std::strlen("--stats-interval="),
+                "--stats-interval");
+        } else if (arg == "--stats-out") {
+            stats_out = value();
+        } else if (arg.rfind("--stats-out=", 0) == 0) {
+            stats_out = arg.substr(std::strlen("--stats-out="));
         } else if (arg == "--record") {
             const std::string path = value();
             const auto n =
@@ -203,6 +287,26 @@ main(int argc, char **argv)
             c.scale = 0.8;
     };
 
+    std::unique_ptr<Tracer> tracer;
+    if (!trace_path.empty()) {
+        tracer = std::make_unique<Tracer>(trace_path);
+        Tracer::setActive(tracer.get());
+    }
+    auto flush_trace = [&] {
+        if (!tracer)
+            return;
+        Tracer::setActive(nullptr);
+        tracer->finish();
+        std::printf("trace               %s (%zu events%s)\n",
+                    tracer->path().c_str(), tracer->eventCount(),
+                    tracer->droppedEvents()
+                        ? (", " +
+                           std::to_string(tracer->droppedEvents()) +
+                           " dropped")
+                              .c_str()
+                        : "");
+    };
+
     if (!sweep.empty()) {
         const std::vector<std::string> names = sweepSet(sweep);
         std::vector<SimConfig> configs;
@@ -227,6 +331,15 @@ main(int argc, char **argv)
                         r.compressionRatio(), r.avgL3MissLatencyNs,
                         r.readBusUtil + r.writeBusUtil);
         }
+        if (!stats_out.empty()) {
+            std::vector<const SimResult *> ptrs;
+            for (const SimResult &r : results)
+                ptrs.push_back(&r);
+            writeEpochStats(stats_out, names, ptrs);
+            std::printf("epoch stats written to %s\n",
+                        stats_out.c_str());
+        }
+        flush_trace();
         return 0;
     }
 
@@ -295,6 +408,22 @@ main(int argc, char **argv)
                     stat("mc.cte_mismatch"),
                     stat("mc.ptb_decode_rejects"));
     }
+
+    if (!r.epochs.empty()) {
+        const EpochStat &last = r.epochs.back();
+        std::printf("epochs              %zu snapshots (every %llu "
+                    "accesses); last: ml2_rate %.4f cte_hit %.4f "
+                    "dram %.1f MB\n",
+                    r.epochs.size(),
+                    static_cast<unsigned long long>(cfg.statsInterval),
+                    last.ml2AccessRate, last.cteHitRate,
+                    last.dramUsedBytes / (1 << 20));
+    }
+    if (!stats_out.empty()) {
+        writeEpochStats(stats_out, {cfg.workload}, {&r});
+        std::printf("epoch stats written to %s\n", stats_out.c_str());
+    }
+    flush_trace();
 
     if (dump_all) {
         std::printf("\n--- component counters ---\n");

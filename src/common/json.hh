@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal JSON string escaping shared by every component that writes
+ * JSON by hand (the trace writer, bench reports, epoch-stats dumps).
+ * Escapes exactly what RFC 8259 requires: quote, backslash, and the
+ * C0 control characters; everything else (including UTF-8 multibyte
+ * sequences) passes through untouched.
+ */
+
+#ifndef TMCC_COMMON_JSON_HH
+#define TMCC_COMMON_JSON_HH
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace tmcc
+{
+
+/** Escape `s` for embedding inside a JSON string literal. */
+inline std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace tmcc
+
+#endif // TMCC_COMMON_JSON_HH

@@ -61,9 +61,7 @@ class Average
 class Histogram
 {
   public:
-    Histogram(double lo, double hi, unsigned buckets)
-        : lo_(lo), hi_(hi), counts_(buckets, 0)
-    {}
+    Histogram(double lo, double hi, unsigned buckets);
 
     void
     sample(double v)
@@ -77,11 +75,19 @@ class Histogram
             ++overflow_;
             return;
         }
-        const auto idx = static_cast<std::size_t>(
+        // (v - lo_) / (hi_ - lo_) can round to exactly 1.0 when v is
+        // just below hi_ (e.g. the subtraction rounding up to the full
+        // range), so the scaled index must be clamped to the top
+        // bucket to avoid an out-of-bounds write.
+        auto idx = static_cast<std::size_t>(
             (v - lo_) / (hi_ - lo_) * counts_.size());
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
         ++counts_[idx];
     }
 
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
     double mean() const { return avg_.mean(); }
     std::uint64_t count() const { return avg_.count(); }
     const std::vector<std::uint64_t> &buckets() const { return counts_; }
@@ -92,6 +98,13 @@ class Histogram
         return lo_ + (hi_ - lo_) * static_cast<double>(i) /
                static_cast<double>(counts_.size());
     }
+
+    /**
+     * Approximate p-quantile (p in [0, 1]) of the in-range samples,
+     * linearly interpolated within the containing bucket; lo()/hi()
+     * when the histogram is empty or p falls off either end.
+     */
+    double percentile(double p) const;
 
     void
     reset()
@@ -130,6 +143,13 @@ class StatDump
         return it == values_.end() ? 0.0 : it->second;
     }
 
+    /**
+     * Like get(), but a missing stat is fatal instead of a silent 0.0.
+     * Headline metrics must use this: a typo'd name then fails loudly
+     * rather than producing a plausible-looking zero in a report.
+     */
+    double getRequired(const std::string &name) const;
+
     bool has(const std::string &name) const
     {
         return values_.count(name) != 0;
@@ -157,6 +177,15 @@ class Stated
 
 /** Geometric mean of a vector of positive values; 0 if empty. */
 double geoMean(const std::vector<double> &values);
+
+/**
+ * Export a histogram into a StatDump under `prefix`: `.mean`,
+ * `.count`, `.underflow`, `.overflow`, `.lo`, `.hi`, `.num_buckets`,
+ * and one `.bucketNNN` entry per non-empty bucket (NNN zero-padded so
+ * the dump sorts in bucket order; edges follow from lo/hi/num_buckets).
+ */
+void dumpHistogram(StatDump &dump, const std::string &prefix,
+                   const Histogram &h);
 
 } // namespace tmcc
 

@@ -1,0 +1,165 @@
+#include "common/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/json.hh"
+#include "common/log.hh"
+
+namespace tmcc
+{
+
+std::atomic<Tracer *> Tracer::activeTracer_{nullptr};
+thread_local std::uint32_t Tracer::tlsPid_ = 0;
+
+namespace
+{
+
+std::uint64_t
+steadyNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+Tracer::Tracer(std::string path, std::size_t max_events)
+    : path_(std::move(path)), maxEvents_(max_events),
+      wallEpochNs_(steadyNowNs())
+{
+    fatalIf(path_.empty(), "trace path must not be empty");
+}
+
+Tracer::~Tracer()
+{
+    finish();
+}
+
+double
+Tracer::wallNs() const
+{
+    return static_cast<double>(steadyNowNs() - wallEpochNs_);
+}
+
+void
+Tracer::append(Event e)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (events_.size() >= maxEvents_) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    e.seq = seq_++;
+    events_.push_back(std::move(e));
+}
+
+void
+Tracer::complete(const char *name, const char *cat, std::uint32_t tid,
+                 double ts_ns, double dur_ns, std::string args_json)
+{
+    append(Event{name, cat, 'X', tlsPid_, tid, ts_ns, dur_ns, 0.0, 0,
+                 std::move(args_json)});
+}
+
+void
+Tracer::instant(const char *name, const char *cat, std::uint32_t tid,
+                double ts_ns, std::string args_json)
+{
+    append(Event{name, cat, 'i', tlsPid_, tid, ts_ns, 0.0, 0.0, 0,
+                 std::move(args_json)});
+}
+
+void
+Tracer::counter(const char *name, double ts_ns, double value)
+{
+    append(Event{name, "counter", 'C', tlsPid_, 0, ts_ns, 0.0, value, 0,
+                 std::string()});
+}
+
+void
+Tracer::processName(std::uint32_t pid, const std::string &label)
+{
+    Event e{"process_name", "__metadata", 'M', pid, 0, 0.0, 0.0, 0.0, 0,
+            jsonEscape(label)};
+    append(std::move(e));
+}
+
+std::size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+bool
+Tracer::finish()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (finished_)
+        return true;
+    finished_ = true;
+
+    // Stable total order: timestamp first, emission order as the tie
+    // breaker, metadata events up front (they carry no timestamp).
+    std::sort(events_.begin(), events_.end(),
+              [](const Event &a, const Event &b) {
+                  const bool am = a.ph == 'M', bm = b.ph == 'M';
+                  if (am != bm)
+                      return am;
+                  if (a.tsNs != b.tsNs)
+                      return a.tsNs < b.tsNs;
+                  return a.seq < b.seq;
+              });
+
+    FILE *f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+        warn("cannot write trace file " + path_);
+        return false;
+    }
+
+    std::fprintf(f, "{\"traceEvents\":[");
+    bool first = true;
+    for (const Event &e : events_) {
+        std::fprintf(f, "%s\n", first ? "" : ",");
+        first = false;
+        // ts/dur are microseconds in the trace-event format; %.4f
+        // keeps sub-nanosecond (tick) resolution.
+        if (e.ph == 'M') {
+            std::fprintf(f,
+                         "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%u,"
+                         "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+                         e.name, e.pid, e.tid, e.args.c_str());
+            continue;
+        }
+        std::fprintf(f,
+                     "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\","
+                     "\"pid\":%u,\"tid\":%u,\"ts\":%.4f",
+                     e.name, e.cat, e.ph, e.pid, e.tid, e.tsNs / 1000.0);
+        if (e.ph == 'X')
+            std::fprintf(f, ",\"dur\":%.4f", e.durNs / 1000.0);
+        if (e.ph == 'i')
+            std::fprintf(f, ",\"s\":\"t\"");
+        if (e.ph == 'C')
+            std::fprintf(f, ",\"args\":{\"value\":%.17g}", e.value);
+        else if (!e.args.empty())
+            std::fprintf(f, ",\"args\":{%s}", e.args.c_str());
+        std::fprintf(f, "}");
+    }
+    const std::uint64_t dropped =
+        dropped_.load(std::memory_order_relaxed);
+    std::fprintf(f,
+                 "\n],\"displayTimeUnit\":\"ns\","
+                 "\"otherData\":{\"dropped_events\":%llu}}\n",
+                 static_cast<unsigned long long>(dropped));
+    std::fclose(f);
+    if (dropped > 0)
+        warn("trace " + path_ + " dropped " + std::to_string(dropped) +
+             " events (buffer cap)");
+    return true;
+}
+
+} // namespace tmcc

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 
 namespace tmcc
 {
@@ -103,6 +104,10 @@ CompressoMc::read(const McReadRequest &req)
         resp.cteCacheHit = true;
         resp.complete = dram_.read(blockDramAddr(ps, req.paddr), t0) +
                         nsToTicks(cfg_.blockDecompressNs);
+        if (Tracer *tr = Tracer::active())
+            tr->complete("compresso_read", "mc", req.core,
+                         ticksToNs(req.when),
+                         ticksToNs(resp.complete - req.when));
         return resp;
     }
 
@@ -132,6 +137,10 @@ CompressoMc::read(const McReadRequest &req)
     resp.serializedNoCte = true;
     resp.complete = dram_.read(blockDramAddr(ps, req.paddr), cte_ready) +
                     nsToTicks(cfg_.blockDecompressNs);
+    if (Tracer *tr = Tracer::active())
+        tr->complete("compresso_read", "mc", req.core,
+                     ticksToNs(req.when),
+                     ticksToNs(resp.complete - req.when));
     return resp;
 }
 

@@ -1,6 +1,7 @@
 #include "dram/dram_system.hh"
 
 #include "common/log.hh"
+#include "common/trace.hh"
 
 namespace tmcc
 {
@@ -28,7 +29,12 @@ Tick
 DramSystem::read(Addr addr, Tick when)
 {
     const DramCoordinates c = map_.decode(addr);
-    return channel(c.mc, c.channel).read(c, when);
+    const Tick done = channel(c.mc, c.channel).read(c, when);
+    if (Tracer *tr = Tracer::active())
+        tr->complete("dram_rd", "dram",
+                     dramTidBase + c.mc * il_.channelsPerMc + c.channel,
+                     ticksToNs(when), ticksToNs(done - when));
+    return done;
 }
 
 void
@@ -36,6 +42,10 @@ DramSystem::write(Addr addr, Tick when)
 {
     const DramCoordinates c = map_.decode(addr);
     channel(c.mc, c.channel).write(c, when);
+    if (Tracer *tr = Tracer::active())
+        tr->instant("dram_wr", "dram",
+                    dramTidBase + c.mc * il_.channelsPerMc + c.channel,
+                    ticksToNs(when));
 }
 
 void

@@ -11,8 +11,18 @@ CteCache::CteCache(std::size_t size_bytes, unsigned pages_per_block,
     : pagesPerBlock_(pages_per_block), assoc_(assoc)
 {
     fatalIf(pages_per_block == 0, "CTE block must cover >= 1 page");
+    fatalIf(assoc == 0, "CTE cache associativity must be >= 1");
     const std::size_t blocks = size_bytes / blockSize;
-    fatalIf(blocks % assoc != 0, "CTE cache blocks must divide assoc");
+    fatalIf(blocks < assoc,
+            "CTE cache of " + std::to_string(size_bytes) +
+                " bytes holds " + std::to_string(blocks) + " " +
+                std::to_string(blockSize) +
+                "B blocks, too few for even one " +
+                std::to_string(assoc) + "-way set");
+    fatalIf(blocks % assoc != 0,
+            "CTE cache associativity (" + std::to_string(assoc) +
+                ") must divide the block count (" +
+                std::to_string(blocks) + ")");
     sets_ = blocks / assoc;
     fatalIf(!isPowerOf2(sets_), "CTE cache sets must be a power of two");
     ways_.resize(blocks);

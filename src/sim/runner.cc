@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 #include "sim/system.hh"
 
 namespace tmcc
@@ -40,8 +41,22 @@ SimRunner::run(const std::vector<SimConfig> &configs) const
         return results;
 
     auto run_one = [&](std::size_t i) {
+        Tracer *tr = Tracer::active();
+        const double t0 = tr ? tr->wallNs() : 0.0;
         System sys(configs[i]);
         results[i] = sys.run();
+        if (tr != nullptr) {
+            // Host track (pid 0), wall-clock timebase: one slice per
+            // worker job, labelled with the config it ran.
+            Tracer::PidScope host_scope(0);
+            tr->complete("sim_job", "runner",
+                         static_cast<std::uint32_t>(i), t0,
+                         tr->wallNs() - t0,
+                         "\"workload\":\"" + configs[i].workload +
+                             "\",\"arch\":\"" +
+                             archName(configs[i].arch) +
+                             "\",\"index\":" + std::to_string(i));
+        }
     };
 
     const unsigned workers = static_cast<unsigned>(

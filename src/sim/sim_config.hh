@@ -89,6 +89,15 @@ struct SimConfig
     std::uint64_t measureAccesses = 500'000;
 
     /**
+     * Epoch statistics: snapshot a delta StatDump every N measured
+     * accesses (across all cores) so time-series curves -- ML2 access
+     * rate (Fig. 21), CTE hit rate, live DRAM bytes -- can be plotted
+     * over the measured window.  0 disables snapshots entirely; the
+     * run is then bit-identical to a build without the feature.
+     */
+    std::uint64_t statsInterval = 0;
+
+    /**
      * The reach-scaled preset used by the benches: workload footprints
      * are ~1/400 of the paper's, so every capacity-like structure
      * (TLB reach, CTE-cache reach, LLC, free-list watermarks) scales by

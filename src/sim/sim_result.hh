@@ -8,12 +8,32 @@
 #define TMCC_SIM_SIM_RESULT_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
 
 namespace tmcc
 {
+
+/**
+ * One epoch of the measured window (SimConfig::statsInterval > 0):
+ * headline gauges plus the per-key counter deltas since the previous
+ * snapshot.  Summing `delta` across epochs reproduces the end-of-run
+ * totals for every monotonic counter.
+ */
+struct EpochStat
+{
+    std::uint64_t accesses = 0;      //!< cumulative measured accesses
+    std::uint64_t deltaAccesses = 0; //!< accesses in this epoch
+    Tick endTick = 0;                //!< relative to measurement start
+
+    double ml2AccessRate = 0.0; //!< ML2 / (LLC misses + writebacks)
+    double cteHitRate = 0.0;    //!< CTE-cache hit rate in this epoch
+    double dramUsedBytes = 0.0; //!< live bytes (absolute gauge)
+
+    StatDump delta; //!< counter deltas vs. the previous epoch
+};
 
 /** Measured outcomes of one run. */
 struct SimResult
@@ -62,6 +82,13 @@ struct SimResult
     // Latency (Fig. 18).
     double avgL3MissLatencyNs = 0.0;
 
+    // Latency distributions over the measured window (Fig. 18's
+    // distribution-level claims).  Ranges cover the interesting span
+    // at full timing scale; the overflow bucket catches the tail.
+    Histogram l3MissLatency{0.0, 1000.0, 100};
+    Histogram pageWalkLatency{0.0, 2000.0, 100};
+    Histogram ml2FaultLatency{0.0, 20000.0, 100};
+
     // Bandwidth (Fig. 16 / 22).
     double readBusUtil = 0.0;
     double writeBusUtil = 0.0;
@@ -81,6 +108,9 @@ struct SimResult
 
     /** Every component's raw counters. */
     StatDump stats;
+
+    /** Per-epoch time series (empty unless statsInterval > 0). */
+    std::vector<EpochStat> epochs;
 };
 
 } // namespace tmcc

@@ -1,9 +1,11 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 
 namespace tmcc
 {
@@ -402,6 +404,12 @@ System::handleMcResponse(unsigned core, Addr paddr,
         }
     }
 
+    if (cfg_.arch != Arch::NoCompression && !resp.cteCacheHit) {
+        if (Tracer *tr = Tracer::active())
+            tr->instant("cte_miss", "mc", core,
+                        ticksToNs(resp.complete));
+    }
+
     if (!measuring)
         return;
     ++result_.llcMisses;
@@ -473,9 +481,18 @@ System::memoryAccess(unsigned core, Addr paddr, bool is_write,
         // one NoC traversal plus the DRAM access; the return path is
         // folded into the DRAM/NoC figure.
         done = resp.complete;
-        if (measuring)
-            l3MissLatency_.sample(
-                ticksToNs(done - (start + l1 + l2 + l3)));
+        const Tick miss_start = start + l1 + l2 + l3;
+        if (measuring) {
+            const double lat_ns = ticksToNs(done - miss_start);
+            l3MissLatency_.sample(lat_ns);
+            result_.l3MissLatency.sample(lat_ns);
+            if (resp.hitMl2)
+                result_.ml2FaultLatency.sample(lat_ns);
+        }
+        if (Tracer *tr = Tracer::active())
+            tr->complete("llc_miss", "mem", core,
+                         ticksToNs(miss_start),
+                         ticksToNs(done - miss_start));
 
         handleMcResponse(core, paddr, resp, from_walker,
                          after_tlb_miss, measuring);
@@ -594,7 +611,14 @@ System::step(unsigned core, bool measuring)
         tlb_miss = true;
         if (measuring)
             ++result_.tlbMisses;
+        const Tick walk_start = t;
         t = pageWalk(core, a.vaddr, t, ppn, measuring);
+        if (measuring)
+            result_.pageWalkLatency.sample(ticksToNs(t - walk_start));
+        if (Tracer *tr = Tracer::active())
+            tr->complete("page_walk", "vm", core,
+                         ticksToNs(walk_start),
+                         ticksToNs(t - walk_start));
         pageTable_->setAccessedDirty(a.vaddr, a.isWrite);
     } else if (measuring) {
         ++result_.tlbHits;
@@ -632,9 +656,92 @@ System::step(unsigned core, bool measuring)
     }
 }
 
+void
+System::dumpAllStats(StatDump &dump) const
+{
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        tlbs_[c]->dumpStats(dump,
+                            "core" + std::to_string(c) + ".tlb");
+        walkers_[c]->dumpStats(dump,
+                               "core" + std::to_string(c) + ".walker");
+        cteBuffers_[c]->dumpStats(
+            dump, "core" + std::to_string(c) + ".cte_buffer");
+    }
+    hierarchy_->dumpStats(dump, "hier");
+    dram_->dumpStats(dump, "dram");
+    mc_->dumpStats(dump, "mc");
+
+    // Measured-window pipeline counters, exported by name so epoch
+    // deltas and bench harnesses can address them like any component
+    // stat (via StatDump::getRequired).
+    dump.set("sys.accesses", result_.accesses);
+    dump.set("sys.store_accesses", result_.storeAccesses);
+    dump.set("sys.tlb_hits", result_.tlbHits);
+    dump.set("sys.tlb_misses", result_.tlbMisses);
+    dump.set("sys.llc_misses", result_.llcMisses);
+    dump.set("sys.llc_writebacks", result_.llcWritebacks);
+    dump.set("sys.cte_hits", result_.cteHits);
+    dump.set("sys.cte_misses", result_.cteMisses);
+    dump.set("sys.cte_misses_after_tlb_miss",
+             result_.cteMissesAfterTlbMiss);
+    dump.set("sys.ml1_cte_hit", result_.ml1CteHit);
+    dump.set("sys.ml1_parallel", result_.ml1Parallel);
+    dump.set("sys.ml1_mismatch", result_.ml1Mismatch);
+    dump.set("sys.ml1_serial", result_.ml1Serial);
+    dump.set("sys.ml2_accesses", result_.ml2Accesses);
+    dump.set("sys.dram_used_bytes", mc_->dramUsedBytes());
+    dumpHistogram(dump, "sys.l3_miss_latency", result_.l3MissLatency);
+    dumpHistogram(dump, "sys.page_walk_latency",
+                  result_.pageWalkLatency);
+    dumpHistogram(dump, "sys.ml2_fault_latency",
+                  result_.ml2FaultLatency);
+}
+
+void
+System::snapshotEpoch(Tick now)
+{
+    StatDump cur;
+    dumpAllStats(cur);
+
+    EpochStat e;
+    e.accesses = result_.accesses;
+    e.deltaAccesses = result_.accesses - prevEpochAccesses_;
+    e.endTick = now > measureStart_ ? now - measureStart_ : 0;
+    for (const auto &[name, v] : cur.all())
+        e.delta.set(name, v - prevEpoch_.get(name));
+
+    const double d_ml2 = e.delta.get("sys.ml2_accesses");
+    const double d_denom = e.delta.get("sys.llc_misses") +
+                           e.delta.get("sys.llc_writebacks");
+    e.ml2AccessRate = d_denom > 0.0 ? d_ml2 / d_denom : 0.0;
+    const double d_hits = e.delta.get("sys.cte_hits");
+    const double d_total = d_hits + e.delta.get("sys.cte_misses");
+    e.cteHitRate = d_total > 0.0 ? d_hits / d_total : 0.0;
+    e.dramUsedBytes = cur.get("sys.dram_used_bytes");
+
+    if (Tracer *tr = Tracer::active()) {
+        const double ts = ticksToNs(now);
+        tr->counter("ml2_access_rate", ts, e.ml2AccessRate);
+        tr->counter("cte_hit_rate", ts, e.cteHitRate);
+        tr->counter("dram_used_mb", ts,
+                    e.dramUsedBytes / (1 << 20));
+    }
+
+    result_.epochs.push_back(std::move(e));
+    prevEpoch_ = std::move(cur);
+    prevEpochAccesses_ = result_.accesses;
+}
+
 SimResult
 System::run()
 {
+    Tracer *tracer = Tracer::active();
+    Tracer::PidScope pid_scope(tracer ? tracer->allocTrack() : 0);
+    if (tracer != nullptr)
+        tracer->processName(Tracer::currentPid(),
+                            std::string(archName(cfg_.arch)) + ":" +
+                                cfg_.workload);
+
     warmPlacement();
 
     // Cache/TLB/ML warm-up window.
@@ -656,6 +763,15 @@ System::run()
     busReadsAtStart_ = dram_->busBusyReads();
     busWritesAtStart_ = dram_->busBusyWrites();
 
+    // Epoch snapshots diff against the measure-start baseline so the
+    // first epoch's deltas exclude warm-up activity.
+    if (cfg_.statsInterval > 0) {
+        prevEpoch_ = StatDump{};
+        dumpAllStats(prevEpoch_);
+        prevEpochAccesses_ = 0;
+        nextEpochAt_ = cfg_.statsInterval;
+    }
+
     // Interleave cores by local time.
     bool running = true;
     while (running) {
@@ -664,6 +780,11 @@ System::run()
             if (cores_[c].now < cores_[next].now)
                 next = c;
         step(next, true);
+        if (cfg_.statsInterval > 0 &&
+            result_.accesses >= nextEpochAt_) {
+            snapshotEpoch(cores_[next].now);
+            nextEpochAt_ += cfg_.statsInterval;
+        }
         running = false;
         for (unsigned c = 0; c < cfg_.cores; ++c)
             if (cores_[c].accesses < cfg_.measureAccesses)
@@ -674,6 +795,12 @@ System::run()
     for (unsigned c = 0; c < cfg_.cores; ++c)
         end = std::max(end, cores_[c].now);
     mc_->drain(end);
+
+    // Flush the final (possibly partial) epoch after the drain so the
+    // epoch deltas sum exactly to the end-of-run totals.
+    if (cfg_.statsInterval > 0 &&
+        result_.accesses > prevEpochAccesses_)
+        snapshotEpoch(end);
 
     result_.elapsed = end - measureStart_;
     result_.footprintBytes = footprintBytes_;
@@ -689,18 +816,8 @@ System::run()
         static_cast<double>(dram_->busBusyWrites() - busWritesAtStart_) /
         static_cast<double>(window);
 
-    // Raw component counters.
-    for (unsigned c = 0; c < cfg_.cores; ++c) {
-        tlbs_[c]->dumpStats(result_.stats,
-                            "core" + std::to_string(c) + ".tlb");
-        walkers_[c]->dumpStats(result_.stats,
-                               "core" + std::to_string(c) + ".walker");
-        cteBuffers_[c]->dumpStats(
-            result_.stats, "core" + std::to_string(c) + ".cte_buffer");
-    }
-    hierarchy_->dumpStats(result_.stats, "hier");
-    dram_->dumpStats(result_.stats, "dram");
-    mc_->dumpStats(result_.stats, "mc");
+    // Raw component counters plus sys.* pipeline counters.
+    dumpAllStats(result_.stats);
 
     return result_;
 }

@@ -102,6 +102,16 @@ class System
 
     void collectPtbCtes(unsigned core, Addr ptb_addr);
 
+    /**
+     * Dump every component's counters plus the measured-window
+     * pipeline counters ("sys.*") and latency histograms.  Used for
+     * the end-of-run StatDump and for each epoch snapshot.
+     */
+    void dumpAllStats(StatDump &dump) const;
+
+    /** Record one epoch: per-key deltas vs. the previous snapshot. */
+    void snapshotEpoch(Tick now);
+
     SimConfig cfg_;
     Tick cpuPeriod_;
 
@@ -136,6 +146,11 @@ class System
     Average l3MissLatency_;
     Tick measureStart_ = 0;
     Tick busReadsAtStart_ = 0, busWritesAtStart_ = 0;
+
+    // Epoch-snapshot state (active only when cfg_.statsInterval > 0).
+    StatDump prevEpoch_;
+    std::uint64_t prevEpochAccesses_ = 0;
+    std::uint64_t nextEpochAt_ = 0;
 };
 
 } // namespace tmcc

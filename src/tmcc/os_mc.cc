@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 
 namespace tmcc
 {
@@ -289,6 +290,14 @@ OsInspiredMc::readMl2(const McReadRequest &req, Ppn ppn, PageCte &c)
     migrateToMl1(ppn, c, full_page_done);
     *slot = std::max(full_page_done, migCursor_);
 
+    if (Tracer *tr = Tracer::active()) {
+        tr->complete("ml2_fault", "mc", req.core, ticksToNs(req.when),
+                     ticksToNs(resp.complete - req.when));
+        tr->complete("deflate_decompress", "compress", req.core,
+                     ticksToNs(first_beat),
+                     ticksToNs(resp.complete - first_beat));
+    }
+
     resp.hasCorrectCte = true;
     resp.correctCte = c.truncated(codec_.truncatedCteBits());
     return resp;
@@ -392,6 +401,11 @@ OsInspiredMc::evictToMl2(Ppn ppn, Tick when)
     backgroundBytes_ += pageSize + prof.deflateBytes;
     const Tick done = std::max(migCursor_,
                                when + deflateCompressLatency(prof));
+
+    if (Tracer *tr = Tracer::active())
+        tr->complete("deflate_compress", "compress",
+                     backgroundTid, ticksToNs(when),
+                     ticksToNs(done - when));
 
     ml1Free_.push(c.dramFrame);
     --ml1Pages_;

@@ -1,5 +1,6 @@
 /** Unit tests for the statistics primitives. */
 
+#include <cmath>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -47,6 +48,112 @@ TEST(Histogram, BucketsAndOverflow)
     EXPECT_EQ(h.overflow(), 1u);
     EXPECT_EQ(h.count(), 4u);
     EXPECT_DOUBLE_EQ(h.bucketLow(1), 10.0);
+}
+
+TEST(Histogram, TopEdgeClampRegression)
+{
+    // (v - lo) / (hi - lo) can round to exactly 1.0 for v just below
+    // hi, which used to index one past the bucket array.  The widest
+    // trigger: a huge |lo| makes both subtractions round to the same
+    // value, so the ratio is exactly 1.0 while v < hi still holds.
+    struct Case {
+        double lo, hi;
+        unsigned buckets;
+    };
+    const Case cases[] = {
+        {-1e16, 1.5, 1},   {-1e16, 1.5, 7},    {-1e16, 1.5, 100},
+        {0.0, 1.0, 1},     {0.0, 1e-300, 3},   {-1.0, 1.0, 64},
+        {1e15, 1e15 + 2, 2},
+    };
+    for (const Case &c : cases) {
+        Histogram h(c.lo, c.hi, c.buckets);
+        const double v = std::nextafter(c.hi, c.lo);
+        h.sample(v); // must not write out of bounds
+        EXPECT_EQ(h.count(), 1u);
+        EXPECT_EQ(h.overflow(), 0u)
+            << "lo=" << c.lo << " hi=" << c.hi;
+        // The sample lands in-range; with the clamp it is counted in
+        // the top bucket whenever rounding pushes the index past it.
+        std::uint64_t in_buckets = 0;
+        for (auto n : h.buckets())
+            in_buckets += n;
+        EXPECT_EQ(in_buckets, 1u)
+            << "lo=" << c.lo << " hi=" << c.hi;
+    }
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.sample(-1);
+    h.sample(3);
+    h.sample(99);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    for (auto n : h.buckets())
+        EXPECT_EQ(n, 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, BucketLowEdges)
+{
+    Histogram h(100.0, 200.0, 4);
+    EXPECT_DOUBLE_EQ(h.bucketLow(0), 100.0);
+    EXPECT_DOUBLE_EQ(h.bucketLow(2), 150.0);
+    EXPECT_DOUBLE_EQ(h.bucketLow(4), 200.0); // == hi
+}
+
+TEST(Histogram, Percentile)
+{
+    Histogram h(0.0, 100.0, 10);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0); // empty -> lo
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5); // one sample per unit, 10 per bucket
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 1.0);
+    EXPECT_NEAR(h.percentile(0.95), 95.0, 1.0);
+    EXPECT_LE(h.percentile(1.0), 100.0);
+    EXPECT_GE(h.percentile(0.0), 0.0);
+}
+
+TEST(HistogramDeathTest, BadConstruction)
+{
+    EXPECT_EXIT(Histogram(0.0, 1.0, 0),
+                ::testing::ExitedWithCode(1), "at least one bucket");
+    EXPECT_EXIT(Histogram(1.0, 1.0, 4),
+                ::testing::ExitedWithCode(1), "lo < hi");
+    EXPECT_EXIT(Histogram(2.0, 1.0, 4),
+                ::testing::ExitedWithCode(1), "lo < hi");
+}
+
+TEST(DumpHistogram, ExportsSummaryAndBuckets)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(1.5);
+    h.sample(1.6);
+    h.sample(7.5);
+    h.sample(-5.0);
+    StatDump d;
+    dumpHistogram(d, "lat", h);
+    EXPECT_DOUBLE_EQ(d.getRequired("lat.count"), 4.0);
+    EXPECT_DOUBLE_EQ(d.getRequired("lat.underflow"), 1.0);
+    EXPECT_DOUBLE_EQ(d.getRequired("lat.overflow"), 0.0);
+    EXPECT_DOUBLE_EQ(d.getRequired("lat.lo"), 0.0);
+    EXPECT_DOUBLE_EQ(d.getRequired("lat.hi"), 10.0);
+    EXPECT_DOUBLE_EQ(d.getRequired("lat.num_buckets"), 10.0);
+    EXPECT_DOUBLE_EQ(d.getRequired("lat.bucket001"), 2.0);
+    EXPECT_DOUBLE_EQ(d.getRequired("lat.bucket007"), 1.0);
+    EXPECT_FALSE(d.has("lat.bucket000")); // empty buckets are omitted
+}
+
+TEST(StatDumpDeathTest, GetRequiredMissingIsFatal)
+{
+    StatDump d;
+    d.set("present", 1.0);
+    EXPECT_DOUBLE_EQ(d.getRequired("present"), 1.0);
+    EXPECT_EXIT(d.getRequired("absent"),
+                ::testing::ExitedWithCode(1), "absent.*missing");
 }
 
 TEST(StatDump, SetGetPrint)

@@ -1,0 +1,173 @@
+/** Tests for the Chrome trace-event tracer and JSON escaping. */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "common/trace.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+std::string
+readAll(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Every "ts":<number> in emission order. */
+std::vector<double>
+timestamps(const std::string &json)
+{
+    std::vector<double> ts;
+    std::size_t pos = 0;
+    while ((pos = json.find("\"ts\":", pos)) != std::string::npos) {
+        pos += 5;
+        ts.push_back(std::stod(json.substr(pos)));
+    }
+    return ts;
+}
+
+class TempTrace : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        path_ = ::testing::TempDir() + "trace_test_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".json";
+        std::remove(path_.c_str());
+    }
+
+    void TearDown() override
+    {
+        Tracer::setActive(nullptr);
+        std::remove(path_.c_str());
+    }
+
+    std::string path_;
+};
+
+TEST(JsonEscape, PassesPlainStringsThrough)
+{
+    EXPECT_EQ(jsonEscape("pageRank"), "pageRank");
+    EXPECT_EQ(jsonEscape(""), "");
+}
+
+TEST(JsonEscape, EscapesSpecials)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(jsonEscape("\r\b\f"), "\\r\\b\\f");
+    EXPECT_EQ(jsonEscape(std::string("\x01", 1)), "\\u0001");
+    EXPECT_EQ(jsonEscape(std::string("\x1f", 1)), "\\u001f");
+}
+
+TEST_F(TempTrace, WritesWellFormedSortedEvents)
+{
+    Tracer tr(path_);
+    // Emit out of timestamp order; the file must come out sorted.
+    tr.complete("late", "test", 1, 3000.0, 10.0);
+    tr.instant("early", "test", 1, 1000.0);
+    tr.counter("gauge", 2000.0, 42.5);
+    tr.processName(0, "host");
+    EXPECT_EQ(tr.eventCount(), 4u);
+    EXPECT_TRUE(tr.finish());
+
+    const std::string json = readAll(path_);
+    // Structural spot checks (CI validates with a real JSON parser).
+    EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(json.find("\"dropped_events\":0"), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"early\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"args\":{\"name\":\"host\"}"),
+              std::string::npos);
+    // Metadata first, then strictly ordered timestamps (in us).
+    EXPECT_LT(json.find("\"ph\":\"M\""), json.find("\"name\":\"early\""));
+    const std::vector<double> ts = timestamps(json);
+    ASSERT_EQ(ts.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+    EXPECT_DOUBLE_EQ(ts.front(), 1.0); // 1000ns == 1us
+}
+
+TEST_F(TempTrace, CapsBufferAndCountsDrops)
+{
+    Tracer tr(path_, /*max_events=*/3);
+    for (int i = 0; i < 10; ++i)
+        tr.instant("e", "test", 0, i * 100.0);
+    EXPECT_EQ(tr.eventCount(), 3u);
+    EXPECT_EQ(tr.droppedEvents(), 7u);
+    EXPECT_TRUE(tr.finish());
+    EXPECT_NE(readAll(path_).find("\"dropped_events\":7"),
+              std::string::npos);
+}
+
+TEST_F(TempTrace, ActiveRegistrationAndPidScope)
+{
+    EXPECT_EQ(Tracer::active(), nullptr); // off by default
+    EXPECT_EQ(Tracer::currentPid(), 0u);
+
+    Tracer tr(path_);
+    Tracer::setActive(&tr);
+    EXPECT_EQ(Tracer::active(), &tr);
+
+    EXPECT_EQ(tr.allocTrack(), 1u);
+    EXPECT_EQ(tr.allocTrack(), 2u);
+    {
+        Tracer::PidScope outer(1);
+        EXPECT_EQ(Tracer::currentPid(), 1u);
+        {
+            Tracer::PidScope inner(2);
+            EXPECT_EQ(Tracer::currentPid(), 2u);
+            tr.instant("inner", "test", 0, 0.0);
+        }
+        EXPECT_EQ(Tracer::currentPid(), 1u);
+    }
+    EXPECT_EQ(Tracer::currentPid(), 0u);
+
+    Tracer::setActive(nullptr);
+    EXPECT_EQ(Tracer::active(), nullptr);
+    EXPECT_TRUE(tr.finish());
+    EXPECT_NE(readAll(path_).find("\"pid\":2"), std::string::npos);
+}
+
+TEST_F(TempTrace, FinishIsIdempotentAndDtorWrites)
+{
+    {
+        Tracer tr(path_);
+        tr.instant("only", "test", 0, 1.0);
+        // No explicit finish(): the destructor must write the file.
+    }
+    EXPECT_NE(readAll(path_).find("\"name\":\"only\""),
+              std::string::npos);
+}
+
+TEST_F(TempTrace, ArgsJsonPassThrough)
+{
+    Tracer tr(path_);
+    tr.complete("job", "runner", 3, 0.0, 5.0,
+                "\"workload\":\"pageRank\",\"index\":3");
+    EXPECT_TRUE(tr.finish());
+    EXPECT_NE(readAll(path_).find(
+                  "\"args\":{\"workload\":\"pageRank\",\"index\":3}"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace tmcc

@@ -90,6 +90,25 @@ TEST(CteCache, StatsTrackHitRate)
     EXPECT_DOUBLE_EQ(d.get("c.hit_rate"), 0.5);
 }
 
+TEST(CteCacheDeathTest, RejectsBadGeometry)
+{
+    // Each message must name the actual problem (the original fatal
+    // for an undersized cache blamed the associativity instead).
+    EXPECT_EXIT(CteCache(64 * 1024, 0),
+                ::testing::ExitedWithCode(1), "cover >= 1 page");
+    EXPECT_EXIT(CteCache(64 * 1024, 8, 0),
+                ::testing::ExitedWithCode(1),
+                "associativity must be >= 1");
+    // 2 blocks cannot form even one 8-way set.
+    EXPECT_EXIT(CteCache(2 * 64, 8, 8),
+                ::testing::ExitedWithCode(1),
+                "too few for even one 8-way set");
+    // 3 blocks at 2 ways: not divisible into whole sets.
+    EXPECT_EXIT(CteCache(3 * 64, 1, 2),
+                ::testing::ExitedWithCode(1),
+                "must divide the block count");
+}
+
 TEST(PageCte, TruncationMask)
 {
     PageCte cte;

@@ -1,7 +1,11 @@
 /** Integration tests: the assembled system end to end. */
 
+#include <cstdio>
+#include <string>
+
 #include <gtest/gtest.h>
 
+#include "common/trace.hh"
 #include "sim/system.hh"
 
 namespace tmcc
@@ -173,6 +177,99 @@ TEST(System, BandwidthUtilizationBounded)
     const SimResult r = sys.run();
     EXPECT_GT(r.readBusUtil + r.writeBusUtil, 0.005);
     EXPECT_LT(r.readBusUtil + r.writeBusUtil, 1.2);
+}
+
+TEST(System, SysStatsMatchHeadlineCounters)
+{
+    System sys(tinyConfig(Arch::Tmcc));
+    const SimResult r = sys.run();
+    EXPECT_DOUBLE_EQ(r.stats.getRequired("sys.accesses"),
+                     static_cast<double>(r.accesses));
+    EXPECT_DOUBLE_EQ(r.stats.getRequired("sys.llc_misses"),
+                     static_cast<double>(r.llcMisses));
+    EXPECT_DOUBLE_EQ(r.stats.getRequired("sys.cte_misses"),
+                     static_cast<double>(r.cteMisses));
+    EXPECT_DOUBLE_EQ(r.stats.getRequired("sys.dram_used_bytes"),
+                     static_cast<double>(r.dramUsedBytes));
+    // The latency histograms export through the same dump.
+    EXPECT_GT(r.stats.getRequired("sys.l3_miss_latency.count"), 0.0);
+    EXPECT_GT(r.stats.getRequired("sys.page_walk_latency.count"), 0.0);
+}
+
+TEST(System, EpochsDisabledByDefault)
+{
+    System sys(tinyConfig(Arch::Tmcc));
+    EXPECT_TRUE(sys.run().epochs.empty());
+}
+
+TEST(System, EpochDeltasSumToRunTotals)
+{
+    SimConfig cfg = tinyConfig(Arch::Tmcc);
+    cfg.statsInterval = 5'000;
+    System sys(cfg);
+    const SimResult r = sys.run();
+
+    ASSERT_GT(r.epochs.size(), 2u);
+    std::uint64_t acc = 0;
+    double llc = 0.0, ml2 = 0.0, walks = 0.0;
+    Tick prev_end = 0;
+    for (const EpochStat &e : r.epochs) {
+        acc += e.deltaAccesses;
+        llc += e.delta.getRequired("sys.llc_misses");
+        ml2 += e.delta.getRequired("sys.ml2_accesses");
+        walks += e.delta.getRequired("core0.walker.walks");
+        EXPECT_GE(e.endTick, prev_end); // monotonic epoch boundaries
+        prev_end = e.endTick;
+        EXPECT_GE(e.cteHitRate, 0.0);
+        EXPECT_LE(e.cteHitRate, 1.0);
+    }
+    // The final (partial) epoch is flushed after the drain, so the
+    // per-epoch deltas reproduce the end-of-run totals exactly.
+    EXPECT_EQ(acc, r.accesses);
+    EXPECT_EQ(r.epochs.back().accesses, r.accesses);
+    EXPECT_DOUBLE_EQ(llc, static_cast<double>(r.llcMisses));
+    EXPECT_DOUBLE_EQ(ml2, static_cast<double>(r.ml2Accesses));
+    // Component counters run from process start, so their epoch sum
+    // covers only the measured window: positive, bounded by the total.
+    EXPECT_GT(walks, 0.0);
+    EXPECT_LE(walks, r.stats.getRequired("core0.walker.walks"));
+    // The absolute gauge tracks the final usage.
+    EXPECT_DOUBLE_EQ(r.epochs.back().dramUsedBytes,
+                     static_cast<double>(r.dramUsedBytes));
+}
+
+TEST(System, TracingDoesNotPerturbResults)
+{
+    // Tracing only reads simulator state: a traced run must produce
+    // exactly the same timing and counters as an untraced one.
+    System plain(tinyConfig(Arch::Tmcc));
+    const SimResult rp = plain.run();
+
+    const std::string path =
+        ::testing::TempDir() + "system_trace_test.json";
+    std::remove(path.c_str());
+    SimResult rt;
+    {
+        Tracer tracer(path);
+        Tracer::setActive(&tracer);
+        System traced(tinyConfig(Arch::Tmcc));
+        rt = traced.run();
+        Tracer::setActive(nullptr);
+        EXPECT_TRUE(tracer.finish());
+        EXPECT_GT(tracer.eventCount(), 0u);
+    }
+    std::remove(path.c_str());
+
+    EXPECT_EQ(rp.accesses, rt.accesses);
+    EXPECT_EQ(rp.elapsed, rt.elapsed);
+    EXPECT_EQ(rp.llcMisses, rt.llcMisses);
+    EXPECT_EQ(rp.tlbMisses, rt.tlbMisses);
+    EXPECT_EQ(rp.cteMisses, rt.cteMisses);
+    EXPECT_EQ(rp.ml2Accesses, rt.ml2Accesses);
+    EXPECT_EQ(rp.dramUsedBytes, rt.dramUsedBytes);
+    ASSERT_EQ(rp.stats.all().size(), rt.stats.all().size());
+    for (const auto &[name, v] : rp.stats.all())
+        EXPECT_DOUBLE_EQ(v, rt.stats.getRequired(name)) << name;
 }
 
 } // namespace
