@@ -34,6 +34,9 @@
  *                         in parallel, and print one row per workload
  *   --jobs N              worker threads for --sweep (default:
  *                         TMCC_JOBS or all cores)
+ *   --ckpt-dir DIR        persist setup checkpoints to DIR and restore
+ *                         from them on later runs (env: TMCC_CKPT_DIR;
+ *                         TMCC_CKPT=0 disables checkpointing entirely)
  *   --list                list known workloads and exit
  *
  * A recorded trace replays as a workload: --workload trace:FILE
@@ -48,6 +51,7 @@
 
 #include "common/json.hh"
 #include "common/trace.hh"
+#include "sim/checkpoint.hh"
 #include "sim/runner.hh"
 #include "sim/system.hh"
 #include "workloads/trace.hh"
@@ -259,6 +263,11 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--sweep") {
             sweep = value();
+        } else if (arg == "--ckpt-dir") {
+            CheckpointStore::global().setDiskDir(value());
+        } else if (arg.rfind("--ckpt-dir=", 0) == 0) {
+            CheckpointStore::global().setDiskDir(
+                arg.substr(std::strlen("--ckpt-dir=")));
         } else if (arg == "--jobs") {
             const int v = std::atoi(value());
             if (v <= 0) {
@@ -345,8 +354,9 @@ main(int argc, char **argv)
 
     preset_scale(cfg);
 
-    System system(cfg);
-    const SimResult r = system.run();
+    // Through the runner so the setup phase goes via the checkpoint
+    // store (a populated --ckpt-dir turns placement into a restore).
+    const SimResult r = runConfigs({cfg}, 1).front();
 
     std::printf("workload            %s\n", cfg.workload.c_str());
     std::printf("architecture        %s\n", archName(cfg.arch));
@@ -393,6 +403,10 @@ main(int argc, char **argv)
     }
     std::printf("bus utilization     read %.3f write %.3f\n",
                 r.readBusUtil, r.writeBusUtil);
+    std::printf("wall clock          setup %.2fs%s + measured %.2fs\n",
+                r.setupSeconds,
+                r.restoredFromCheckpoint ? " (checkpoint restore)" : "",
+                r.measureSeconds);
 
     if (cfg.osMc.faults.enabled()) {
         const auto stat = [&](const char *name) {

@@ -13,14 +13,18 @@ Cache::Cache(std::string name, std::size_t size_bytes, unsigned assoc)
     fatalIf(size_bytes % (blockSize * assoc) != 0,
             name_ + ": size must be a multiple of assoc x 64B");
     sets_ = size_bytes / (blockSize * assoc);
-    fatalIf(!isPowerOf2(sets_), name_ + ": set count must be power of 2");
+    setsPow2_ = isPowerOf2(sets_);
+    setMask_ = setsPow2_ ? sets_ - 1 : 0;
     ways_.resize(sets_ * assoc_);
 }
 
 std::size_t
 Cache::setIndex(Addr addr) const
 {
-    return static_cast<std::size_t>(blockNumber(addr)) & (sets_ - 1);
+    // Power-of-two set counts (every standard geometry) index with a
+    // mask; odd geometries take the general modulo path.
+    const auto blk = static_cast<std::size_t>(blockNumber(addr));
+    return setsPow2_ ? (blk & setMask_) : (blk % sets_);
 }
 
 Cache::Way *

@@ -95,6 +95,8 @@ class Cache : public Stated
 
     std::string name_;
     std::size_t sets_;
+    bool setsPow2_ = true;   //!< shift-mask indexing fast path
+    std::size_t setMask_ = 0; //!< sets_ - 1 when setsPow2_
     unsigned assoc_;
     std::vector<Way> ways_; //!< sets_ x assoc_ flattened
     std::uint64_t lruClock_ = 0;

@@ -24,7 +24,10 @@ CteCache::CteCache(std::size_t size_bytes, unsigned pages_per_block,
                 ") must divide the block count (" +
                 std::to_string(blocks) + ")");
     sets_ = blocks / assoc;
-    fatalIf(!isPowerOf2(sets_), "CTE cache sets must be a power of two");
+    blockPow2_ = isPowerOf2(pages_per_block);
+    blockShift_ = blockPow2_ ? floorLog2(pages_per_block) : 0;
+    setsPow2_ = isPowerOf2(sets_);
+    setMask_ = setsPow2_ ? sets_ - 1 : 0;
     ways_.resize(blocks);
 }
 
@@ -32,7 +35,7 @@ bool
 CteCache::lookup(Ppn ppn)
 {
     const std::uint64_t tag = blockOf(ppn);
-    Way *base = &ways_[(tag & (sets_ - 1)) * assoc_];
+    Way *base = &ways_[setIndexOf(tag) * assoc_];
     for (unsigned w = 0; w < assoc_; ++w) {
         if (base[w].valid && base[w].tag == tag) {
             base[w].lru = ++lruClock_;
@@ -48,7 +51,7 @@ bool
 CteCache::probe(Ppn ppn) const
 {
     const std::uint64_t tag = blockOf(ppn);
-    const Way *base = &ways_[(tag & (sets_ - 1)) * assoc_];
+    const Way *base = &ways_[setIndexOf(tag) * assoc_];
     for (unsigned w = 0; w < assoc_; ++w)
         if (base[w].valid && base[w].tag == tag)
             return true;
@@ -59,7 +62,7 @@ void
 CteCache::insert(Ppn ppn)
 {
     const std::uint64_t tag = blockOf(ppn);
-    Way *base = &ways_[(tag & (sets_ - 1)) * assoc_];
+    Way *base = &ways_[setIndexOf(tag) * assoc_];
     Way *victim = &base[0];
     for (unsigned w = 0; w < assoc_; ++w) {
         if (base[w].valid && base[w].tag == tag) {
@@ -82,7 +85,7 @@ void
 CteCache::invalidate(Ppn ppn)
 {
     const std::uint64_t tag = blockOf(ppn);
-    Way *base = &ways_[(tag & (sets_ - 1)) * assoc_];
+    Way *base = &ways_[setIndexOf(tag) * assoc_];
     for (unsigned w = 0; w < assoc_; ++w)
         if (base[w].valid && base[w].tag == tag)
             base[w].valid = false;

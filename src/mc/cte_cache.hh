@@ -61,10 +61,27 @@ class CteCache : public Stated
         std::uint64_t lru = 0;
     };
 
-    std::uint64_t blockOf(Ppn ppn) const { return ppn / pagesPerBlock_; }
+    /** CTE block covering `ppn` (shift when the geometry allows). */
+    std::uint64_t
+    blockOf(Ppn ppn) const
+    {
+        return blockPow2_ ? (ppn >> blockShift_) : (ppn / pagesPerBlock_);
+    }
+
+    /** Set holding `block` (mask for power-of-two set counts). */
+    std::size_t
+    setIndexOf(std::uint64_t block) const
+    {
+        return static_cast<std::size_t>(
+            setsPow2_ ? (block & setMask_) : (block % sets_));
+    }
 
     unsigned pagesPerBlock_;
+    bool blockPow2_ = true;
+    unsigned blockShift_ = 0;
     std::size_t sets_;
+    bool setsPow2_ = true;
+    std::uint64_t setMask_ = 0;
     unsigned assoc_;
     std::vector<Way> ways_;
     std::uint64_t lruClock_ = 0;

@@ -32,6 +32,20 @@ class SimRunner
     explicit SimRunner(unsigned jobs = 0);
 
     /**
+     * Process-wide setup/measured wall-clock totals across every run
+     * dispatched through SimRunner (the BenchReport phase split).
+     */
+    struct PhaseTotals
+    {
+        double setupSeconds = 0.0;
+        double measureSeconds = 0.0;
+        std::uint64_t runs = 0;
+        std::uint64_t restoredRuns = 0;
+    };
+    static PhaseTotals phaseTotals();
+    static void resetPhaseTotals(); //!< tests
+
+    /**
      * TMCC_JOBS if set (rejects non-numeric or nonpositive values with
      * a clear fatal error), else hardware_concurrency, else 1.
      */

@@ -1,6 +1,7 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <unordered_map>
 
@@ -59,21 +60,41 @@ archName(Arch arch)
     return "?";
 }
 
-System::System(const SimConfig &cfg) : cfg_(cfg)
+System::System(const SimConfig &cfg,
+               std::shared_ptr<const SetupCheckpoint> restore)
+    : cfg_(cfg), restore_(std::move(restore))
 {
     cpuPeriod_ = nsToTicks(1.0 / cfg.cpuGhz);
 
     buildWorkloads();
+    hierarchy_ = std::make_unique<Hierarchy>(cfg.hierarchy, cfg.cores);
+    dram_ = std::make_unique<DramSystem>(cfg.dram, cfg.interleave);
+    if (restore_ != nullptr)
+        restoreConstruct();
+    else
+        coldConstruct();
+    buildMcAndCores();
+}
 
-    // Physical memory: footprint + page tables + allocator slack.  With
-    // hardware compression the OS may boot with more physical pages
-    // than DRAM (§V-A5); the MC maps them onto DRAM.
-    std::uint64_t footprint_pages = 0;
+std::unordered_map<Addr, const WlRegion *>
+System::regionMap() const
+{
     // Regions may be shared across cores; dedupe by base address.
     std::unordered_map<Addr, const WlRegion *> regions;
     for (const auto &wl : workloads_)
         for (const auto &r : wl->regions())
             regions.emplace(r.base, &r);
+    return regions;
+}
+
+void
+System::coldConstruct()
+{
+    // Physical memory: footprint + page tables + allocator slack.  With
+    // hardware compression the OS may boot with more physical pages
+    // than DRAM (§V-A5); the MC maps them onto DRAM.
+    std::uint64_t footprint_pages = 0;
+    const auto regions = regionMap();
     for (const auto &[base, r] : regions)
         footprint_pages += r->bytes / pageSize;
     footprintBytes_ = footprint_pages * pageSize;
@@ -92,8 +113,6 @@ System::System(const SimConfig &cfg) : cfg_(cfg)
             std::make_unique<PhysMem>(footprint_pages * 5 / 4 + 8192);
         pageTable_ = std::make_unique<PageTable>(*physMem_);
     }
-    hierarchy_ = std::make_unique<Hierarchy>(cfg.hierarchy, cfg.cores);
-    dram_ = std::make_unique<DramSystem>(cfg.dram, cfg.interleave);
 
     mapAddressSpace();
 
@@ -104,7 +123,9 @@ System::System(const SimConfig &cfg) : cfg_(cfg)
         PteFlags hf;
         hf.accessed = true;
         hf.dirty = true;
-        for (Ppn gppn = 1; gppn < guestPhysMem_->allocatedPages() + 1;
+        // Bound by the bump-allocator high-water mark, not the
+        // allocation count: huge-page alignment leaves holes below it.
+        for (Ppn gppn = 1; gppn < guestPhysMem_->highWaterFrame();
              ++gppn) {
             const Ppn hppn = physMem_->allocFrame();
             hostTable_->map(gppn, hppn, hf);
@@ -121,11 +142,8 @@ System::System(const SimConfig &cfg) : cfg_(cfg)
     }
 
     // Estimate Compresso's DRAM usage from the profiles to support the
-    // iso-savings configuration (Fig. 17).
-    std::uint64_t compresso_usage = 0;
-    std::uint64_t ml2_cost_total = 0;
-    std::uint64_t incompressible_pages = 0;
-    std::uint64_t compressible_pages = 0;
+    // iso-savings configuration (Fig. 17).  All four sums are
+    // page-order independent, so they checkpoint as plain totals.
     for (const auto &[base, r] : regions) {
         const std::uint64_t pages = r->bytes / pageSize;
         for (std::uint64_t i = 0; i < pages; ++i) {
@@ -137,21 +155,51 @@ System::System(const SimConfig &cfg) : cfg_(cfg)
             const PageProfile &prof = profiles_.profile(frame);
             const std::uint64_t chunks =
                 std::max<std::uint64_t>(1, (prof.blockBytes + 511) / 512);
-            compresso_usage += chunks * 512;
+            estimates_.compressoUsage += chunks * 512;
             // ML2 cost of this page: its sub-chunk class size, or a
             // full frame if it cannot compress at all.
             const unsigned cls =
                 Ml2FreeLists::classFor(prof.deflateBytes);
             if (prof.deflateIncompressible() ||
                 cls >= subChunkClasses.size()) {
-                ++incompressible_pages;
+                ++estimates_.incompressiblePages;
             } else {
-                ml2_cost_total += subChunkClasses[cls].bytes;
-                ++compressible_pages;
+                estimates_.ml2CostTotal += subChunkClasses[cls].bytes;
+                ++estimates_.compressiblePages;
             }
         }
     }
+}
 
+void
+System::restoreConstruct()
+{
+    const SetupCheckpoint &ck = *restore_;
+    panicIf(ck.key != SetupCheckpoint::keyFor(cfg_),
+            "setup checkpoint key does not match this config");
+    footprintBytes_ = ck.footprintBytes;
+    if (cfg_.nestedPaging) {
+        guestPhysMem_ = std::make_unique<PhysMem>(ck.guestPhysMem);
+        physMem_ = std::make_unique<PhysMem>(ck.physMem);
+        pageTable_ =
+            std::make_unique<PageTable>(*guestPhysMem_, ck.pageTable);
+        hostTable_ =
+            std::make_unique<PageTable>(*physMem_, ck.hostTable);
+    } else {
+        physMem_ = std::make_unique<PhysMem>(ck.physMem);
+        pageTable_ =
+            std::make_unique<PageTable>(*physMem_, ck.pageTable);
+    }
+    profiles_.restore(ck.profiles);
+    estimates_.compressoUsage = ck.compressoUsage;
+    estimates_.ml2CostTotal = ck.ml2CostTotal;
+    estimates_.incompressiblePages = ck.incompressiblePages;
+    estimates_.compressiblePages = ck.compressiblePages;
+}
+
+void
+System::buildMcAndCores()
+{
     // Build the selected MC architecture.
     switch (cfg_.arch) {
       case Arch::NoCompression: {
@@ -180,27 +228,30 @@ System::System(const SimConfig &cfg) : cfg_(cfg)
             cfg_.dramBudgetFraction > 0.0
                 ? static_cast<std::uint64_t>(cfg_.dramBudgetFraction *
                                              footprintBytes_)
-                : compresso_usage;
+                : estimates_.compressoUsage;
         // Usage decomposes as (I + ml1)*4K + (Fc - ml1)*avgMl2Cost,
         // where I pages are incompressible (pinned to ML1) and Fc are
         // compressible; solve for the compressible ML1 share.
         const double avg_ml2 =
-            compressible_pages
-                ? static_cast<double>(ml2_cost_total) /
-                      static_cast<double>(compressible_pages)
+            estimates_.compressiblePages
+                ? static_cast<double>(estimates_.ml2CostTotal) /
+                      static_cast<double>(estimates_.compressiblePages)
                 : static_cast<double>(pageSize);
         double ml1_pages =
             (static_cast<double>(target_usage) -
-             static_cast<double>(incompressible_pages) * pageSize -
-             static_cast<double>(compressible_pages) * avg_ml2) /
+             static_cast<double>(estimates_.incompressiblePages) *
+                 pageSize -
+             static_cast<double>(estimates_.compressiblePages) *
+                 avg_ml2) /
             (static_cast<double>(pageSize) - avg_ml2);
-        ml1_pages = std::clamp(ml1_pages, 0.0,
-                               static_cast<double>(compressible_pages));
+        ml1_pages = std::clamp(
+            ml1_pages, 0.0,
+            static_cast<double>(estimates_.compressiblePages));
         // The seeded frame pool must fund ML1 pages AND the chunks ML2
         // carves out of the ML1 free list, i.e. the whole target usage,
         // plus page tables and the free-list floor (kept free).
         oc.ml1TargetPages = static_cast<std::uint64_t>(ml1_pages) +
-                            incompressible_pages +
+                            estimates_.incompressiblePages +
                             physMem_->pageTablePages();
         oc.dramBudgetBytes = target_usage +
                              physMem_->pageTablePages() * pageSize +
@@ -253,12 +304,7 @@ System::mapAddressSpace()
     };
 
     Rng rng(cfg_.seed ^ 0xabcd);
-    std::unordered_map<Addr, const WlRegion *> regions;
-    for (const auto &wl : workloads_)
-        for (const auto &r : wl->regions())
-            regions.emplace(r.base, &r);
-
-    for (const auto &[base, r] : regions) {
+    for (const auto &[base, r] : regionMap()) {
         const unsigned mix_id = mix_for(r->content);
         regionMix_[base] = mix_id;
         const std::uint64_t pages = r->bytes / pageSize;
@@ -268,14 +314,19 @@ System::mapAddressSpace()
             for (std::uint64_t h = 0; h < huge_pages; ++h) {
                 const Vpn vpn_base = pageNumber(r->base) +
                                      h * (hugePageSize / pageSize);
-                const Ppn ppn_base = physMem_->allocHugeFrame();
+                PhysMem &pm =
+                    cfg_.nestedPaging ? *guestPhysMem_ : *physMem_;
+                const Ppn ppn_base = pm.allocHugeFrame();
                 PteFlags f;
                 f.accessed = true;
                 f.dirty = true;
                 pageTable_->mapHuge(vpn_base, ppn_base, f);
-                for (std::uint64_t i = 0;
-                     i < hugePageSize / pageSize; ++i)
-                    profiles_.assignPage(ppn_base + i, mix_id);
+                // Nested mode: host frames do not exist yet; profiles
+                // attach to host frames after the host mapping.
+                if (!cfg_.nestedPaging)
+                    for (std::uint64_t i = 0;
+                         i < hugePageSize / pageSize; ++i)
+                        profiles_.assignPage(ppn_base + i, mix_id);
             }
             continue;
         }
@@ -300,7 +351,7 @@ System::mapAddressSpace()
 }
 
 void
-System::warmPlacement()
+System::warmPlacement(CaptureScratch *capture)
 {
     // Touch-count run: the stand-in for gem5's KVM fast forward.  The
     // counts order pages hottest-first for initial ML1/ML2 placement.
@@ -312,7 +363,19 @@ System::warmPlacement()
         }
     }
 
-    if (osMc_ == nullptr && compressoMc_ == nullptr)
+    // This is the checkpoint boundary: the workload streams have played
+    // their placement window and everything after is arch-dependent.
+    if (capture != nullptr) {
+        capture->workloadStates.reserve(workloads_.size());
+        for (const auto &wl : workloads_) {
+            ByteWriter w;
+            wl->saveState(w);
+            capture->workloadStates.push_back(w.take());
+        }
+    }
+
+    if (osMc_ == nullptr && compressoMc_ == nullptr &&
+        capture == nullptr)
         return;
 
     // Page-table pages are the hottest of all (every walk touches
@@ -328,43 +391,79 @@ System::warmPlacement()
     std::sort(order.begin(), order.end(),
               [](const auto &a, const auto &b) { return a.first > b.first; });
 
+    // Resolve the placement sequences up front (walks are read-only,
+    // so this reorders nothing): the touched pages hottest-first, then
+    // the full region scan — remaining (untouched) pages are the
+    // coldest.  These resolved sequences are exactly what a checkpoint
+    // restore replays.
+    std::vector<Ppn> touched_frames;
+    touched_frames.reserve(order.size());
+    for (const auto &[count, vpn] : order) {
+        const WalkResult w = pageTable_->walk(vpn << pageShift);
+        if (w.valid)
+            touched_frames.push_back(dataFrame(w.ppn));
+    }
+    std::vector<Ppn> region_frames;
+    for (const auto &[base, r] : regionMap()) {
+        for (std::uint64_t i = 0; i < r->bytes / pageSize; ++i) {
+            const WalkResult w =
+                pageTable_->walk(r->base + i * pageSize);
+            if (w.valid)
+                region_frames.push_back(dataFrame(w.ppn));
+        }
+    }
+
     if (osMc_ != nullptr) {
         for (Ppn pt : pt_pages)
             osMc_->placePage(pt);
-        for (const auto &[count, vpn] : order) {
-            const WalkResult w = pageTable_->walk(vpn << pageShift);
-            if (w.valid)
-                osMc_->placePage(dataFrame(w.ppn));
-        }
-        // Remaining (untouched) pages are the coldest.
-        std::unordered_map<Addr, const WlRegion *> regions;
-        for (const auto &wl : workloads_)
-            for (const auto &r : wl->regions())
-                regions.emplace(r.base, &r);
-        for (const auto &[base, r] : regions) {
-            for (std::uint64_t i = 0; i < r->bytes / pageSize; ++i) {
-                const WalkResult w =
-                    pageTable_->walk(r->base + i * pageSize);
-                if (w.valid)
-                    osMc_->placePage(dataFrame(w.ppn));
-            }
-        }
+        for (Ppn f : touched_frames)
+            osMc_->placePage(f);
+        for (Ppn f : region_frames)
+            osMc_->placePage(f);
     }
     if (compressoMc_ != nullptr) {
         for (Ppn pt : pt_pages)
             compressoMc_->registerPage(pt);
-        std::unordered_map<Addr, const WlRegion *> regions;
-        for (const auto &wl : workloads_)
-            for (const auto &r : wl->regions())
-                regions.emplace(r.base, &r);
-        for (const auto &[base, r] : regions) {
-            for (std::uint64_t i = 0; i < r->bytes / pageSize; ++i) {
-                const WalkResult w =
-                    pageTable_->walk(r->base + i * pageSize);
-                if (w.valid)
-                    compressoMc_->registerPage(dataFrame(w.ppn));
-            }
-        }
+        for (Ppn f : region_frames)
+            compressoMc_->registerPage(f);
+    }
+
+    if (capture != nullptr) {
+        capture->touchedFrames = std::move(touched_frames);
+        capture->regionFrames = std::move(region_frames);
+    }
+}
+
+void
+System::replayPlacement()
+{
+    const SetupCheckpoint &ck = *restore_;
+    panicIf(ck.workloadStates.size() != workloads_.size(),
+            "checkpoint core count does not match this config");
+    for (std::size_t c = 0; c < workloads_.size(); ++c) {
+        ByteReader r(ck.workloadStates[c]);
+        const Status st = workloads_[c]->loadState(r);
+        panicIf(!st.ok(), "checkpoint workload state rejected: " +
+                              st.toString());
+    }
+    // Same placement sequence as the cold path: PT pages (allocation
+    // order, preserved by PhysMemState), touched pages hottest-first,
+    // then the region scan.  placePage/registerPage dedupe repeats
+    // exactly as they did when the sequences were recorded.
+    if (osMc_ != nullptr) {
+        physMem_->forEachPtPage(
+            [&](Ppn ppn, const PtPage &) { osMc_->placePage(ppn); });
+        for (Ppn f : ck.touchedFrames)
+            osMc_->placePage(f);
+        for (Ppn f : ck.regionFrames)
+            osMc_->placePage(f);
+    }
+    if (compressoMc_ != nullptr) {
+        physMem_->forEachPtPage([&](Ppn ppn, const PtPage &) {
+            compressoMc_->registerPage(ppn);
+        });
+        for (Ppn f : ck.regionFrames)
+            compressoMc_->registerPage(f);
     }
 }
 
@@ -732,17 +831,80 @@ System::snapshotEpoch(Tick now)
     prevEpochAccesses_ = result_.accesses;
 }
 
+void
+System::setup(bool capture)
+{
+    panicIf(setupDone_, "System::setup() ran twice");
+    panicIf(capture && restore_ != nullptr,
+            "cannot capture a checkpoint from a restored System");
+    setupDone_ = true;
+    const auto wall0 = std::chrono::steady_clock::now();
+
+    Tracer *tracer = Tracer::active();
+    if (tracer != nullptr && tracePid_ == 0) {
+        tracePid_ = tracer->allocTrack();
+        tracer->processName(tracePid_,
+                            std::string(archName(cfg_.arch)) + ":" +
+                                cfg_.workload);
+    }
+    Tracer::PidScope pid_scope(tracePid_);
+
+    if (restore_ != nullptr) {
+        replayPlacement();
+    } else {
+        CaptureScratch scratch;
+        warmPlacement(capture ? &scratch : nullptr);
+        if (capture) {
+            auto ck = std::make_shared<SetupCheckpoint>();
+            ck->key = SetupCheckpoint::keyFor(cfg_);
+            ck->footprintBytes = footprintBytes_;
+            ck->nested = cfg_.nestedPaging;
+            ck->physMem = physMem_->snapshot();
+            ck->pageTable = pageTable_->snapshot();
+            if (cfg_.nestedPaging) {
+                ck->guestPhysMem = guestPhysMem_->snapshot();
+                ck->hostTable = hostTable_->snapshot();
+            }
+            ck->profiles = profiles_.snapshot();
+            ck->compressoUsage = estimates_.compressoUsage;
+            ck->ml2CostTotal = estimates_.ml2CostTotal;
+            ck->incompressiblePages = estimates_.incompressiblePages;
+            ck->compressiblePages = estimates_.compressiblePages;
+            ck->touchedFrames = std::move(scratch.touchedFrames);
+            ck->regionFrames = std::move(scratch.regionFrames);
+            ck->workloadStates = std::move(scratch.workloadStates);
+            captured_ = std::move(ck);
+        }
+    }
+
+    setupSeconds_ = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall0)
+                        .count();
+}
+
+std::shared_ptr<const SetupCheckpoint>
+System::captureCheckpoint() const
+{
+    panicIf(captured_ == nullptr,
+            "captureCheckpoint() without setup(capture=true)");
+    return captured_;
+}
+
 SimResult
 System::run()
 {
-    Tracer *tracer = Tracer::active();
-    Tracer::PidScope pid_scope(tracer ? tracer->allocTrack() : 0);
-    if (tracer != nullptr)
-        tracer->processName(Tracer::currentPid(),
-                            std::string(archName(cfg_.arch)) + ":" +
-                                cfg_.workload);
+    if (!setupDone_)
+        setup();
+    return measure();
+}
 
-    warmPlacement();
+SimResult
+System::measure()
+{
+    if (!setupDone_)
+        setup();
+    const auto wall0 = std::chrono::steady_clock::now();
+    Tracer::PidScope pid_scope(tracePid_);
 
     // Cache/TLB/ML warm-up window.
     for (unsigned c = 0; c < cfg_.cores; ++c)
@@ -818,6 +980,15 @@ System::run()
 
     // Raw component counters plus sys.* pipeline counters.
     dumpAllStats(result_.stats);
+
+    // Phase bookkeeping (wall-clock only; never part of the StatDump,
+    // so bit-identity comparisons are unaffected).
+    result_.setupSeconds = setupSeconds_;
+    result_.measureSeconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 wall0)
+                                 .count();
+    result_.restoredFromCheckpoint = restore_ != nullptr;
 
     return result_;
 }

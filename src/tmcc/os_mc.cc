@@ -28,17 +28,20 @@ OsInspiredMc::OsInspiredMc(DramSystem &dram, const PageInfoProvider &info,
     // Seed ML1 with the DRAM budget worth of 4KB frames.
     ml1Free_.seed(0, cfg.dramBudgetBytes / pageSize);
     nextExtraFrame_ = cfg.dramBudgetBytes / pageSize;
+
+    // Size the dense per-page tables for the whole physical pool up
+    // front so the hot path never resizes.
+    cteTable_.resize(phys_mem.totalPages());
+    ml2Location_.resize(phys_mem.totalPages());
 }
 
 PageCte &
 OsInspiredMc::cte(Ppn ppn)
 {
-    auto it = cteTable_.find(ppn);
-    if (it == cteTable_.end()) {
+    ensureTables(ppn);
+    if (!cteTable_[ppn].valid)
         placePage(ppn);
-        it = cteTable_.find(ppn);
-    }
-    return it->second;
+    return cteTable_[ppn];
 }
 
 Addr
@@ -56,7 +59,8 @@ OsInspiredMc::ml1BlockAddr(const PageCte &c, Addr paddr) const
 void
 OsInspiredMc::placePage(Ppn ppn)
 {
-    if (cteTable_.count(ppn))
+    ensureTables(ppn);
+    if (cteTable_[ppn].valid)
         return;
 
     PageCte c;
@@ -87,7 +91,7 @@ OsInspiredMc::placePage(Ppn ppn)
             c.level = PageLevel::ML2;
             c.ml2Addr = sc.dramAddr;
             c.dramFrame = sc.dramAddr >> pageShift;
-            ml2Location_[ppn] = sc;
+            ml2Location_[ppn] = {sc, true};
         } else {
             // No class fits (or DRAM exhausted): keep uncompressed,
             // evicting already-placed cold pages if ML1 ran dry.
@@ -98,7 +102,7 @@ OsInspiredMc::placePage(Ppn ppn)
             incompressibleRetained_.inc();
         }
     }
-    cteTable_.emplace(ppn, c);
+    cteTable_[ppn] = c;
 }
 
 McReadResponse
@@ -309,10 +313,10 @@ OsInspiredMc::migrateToMl1(Ppn ppn, PageCte &c, Tick start)
     migrationsIn_.inc();
 
     // Free the ML2 sub-chunk and take a fresh ML1 frame.
-    auto loc = ml2Location_.find(ppn);
-    panicIf(loc == ml2Location_.end(), "ML2 page without a sub-chunk");
-    ml2Free_.free(loc->second);
-    ml2Location_.erase(loc);
+    panicIf(ppn >= ml2Location_.size() || !ml2Location_[ppn].valid,
+            "ML2 page without a sub-chunk");
+    ml2Free_.free(ml2Location_[ppn].sc);
+    ml2Location_[ppn].valid = false;
 
     const DramFrame frame = popMl1Frame(start);
     c.level = PageLevel::ML1;
@@ -372,9 +376,9 @@ OsInspiredMc::maintainFreeList(Tick when)
 OsInspiredMc::EvictOutcome
 OsInspiredMc::evictToMl2(Ppn ppn, Tick when)
 {
-    auto it = cteTable_.find(ppn);
-    panicIf(it == cteTable_.end(), "evicting unplaced page");
-    PageCte &c = it->second;
+    panicIf(ppn >= cteTable_.size() || !cteTable_[ppn].valid,
+            "evicting unplaced page");
+    PageCte &c = cteTable_[ppn];
     panicIf(c.level != PageLevel::ML1, "evicting non-ML1 page");
 
     const PageProfile &prof = info_.profile(ppn);
@@ -412,7 +416,7 @@ OsInspiredMc::evictToMl2(Ppn ppn, Tick when)
     c.level = PageLevel::ML2;
     c.ml2Addr = sc.dramAddr;
     c.dramFrame = sc.dramAddr >> pageShift;
-    ml2Location_[ppn] = sc;
+    ml2Location_[ppn] = {sc, true};
     dram_.write(cteDramAddr(ppn), done);
     cteCache_.insert(ppn);
     return EvictOutcome::Evicted;
@@ -479,10 +483,11 @@ OsInspiredMc::ptbView(Addr ptb_addr)
             continue;
         if (fresh) {
             // First compression of this PTB: embed current CTEs.
-            auto ce = cteTable_.find(view.ppns[i]);
-            if (ce != cteTable_.end()) {
+            const Ppn data_ppn = view.ppns[i];
+            if (data_ppn < cteTable_.size() &&
+                cteTable_[data_ppn].valid) {
                 shadow.hasCte[i] = true;
-                shadow.cte[i] = ce->second.truncated(
+                shadow.cte[i] = cteTable_[data_ppn].truncated(
                     codec_.truncatedCteBits());
             }
         }

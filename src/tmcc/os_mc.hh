@@ -28,6 +28,7 @@
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "compress/deflate_timing.hh"
 #include "fault/fault_injector.hh"
@@ -196,8 +197,27 @@ class OsInspiredMc : public MemController
     Ml2FreeLists ml2Free_;
     RecencyList recency_;
 
-    std::unordered_map<Ppn, PageCte> cteTable_;
-    std::unordered_map<Ppn, SubChunk> ml2Location_;
+    /** Grow the Ppn-indexed tables to cover `ppn`. */
+    void ensureTables(Ppn ppn)
+    {
+        if (ppn >= cteTable_.size()) {
+            cteTable_.resize(ppn + 1);
+            ml2Location_.resize(ppn + 1);
+        }
+    }
+
+    // Dense Ppn-indexed page metadata.  Physical page numbers are
+    // compact (PhysMem hands out frames from a bounded pool), so the
+    // measured-loop lookups on every read/writeback are a direct index
+    // instead of a hash probe.  Presence lives in PageCte::valid /
+    // Ml2Slot::valid.
+    std::vector<PageCte> cteTable_;
+    struct Ml2Slot
+    {
+        SubChunk sc;
+        bool valid = false;
+    };
+    std::vector<Ml2Slot> ml2Location_;
 
     /** Shadow of embedded CTE values stored in compressed PTBs. */
     struct PtbShadow

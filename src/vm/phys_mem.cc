@@ -1,5 +1,7 @@
 #include "vm/phys_mem.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace tmcc
@@ -8,6 +10,24 @@ namespace tmcc
 PhysMem::PhysMem(std::uint64_t total_pages) : totalPages_(total_pages)
 {
     fatalIf(total_pages < 8, "physical memory unreasonably small");
+}
+
+PhysMem::PhysMem(const PhysMemState &state) : PhysMem(state.totalPages)
+{
+    panicIf(state.ptOrder.size() != state.ptPages.size(),
+            "PhysMemState pt vectors disagree");
+    nextFrame_ = state.nextFrame;
+    freeList_ = state.freeList;
+    for (std::size_t i = 0; i < state.ptOrder.size(); ++i) {
+        const Ppn ppn = state.ptOrder[i];
+        panicIf(ppn >= totalPages_, "PhysMemState PT page out of range");
+        if (ppn >= ptStore_.size())
+            ptStore_.resize(ppn + 1);
+        ptStore_[ppn] = std::make_unique<PtPage>(state.ptPages[i]);
+        ptOrder_.push_back(ppn);
+    }
+    allocated_.inc(state.allocated);
+    freed_.inc(state.freed);
 }
 
 Ppn
@@ -43,7 +63,10 @@ void
 PhysMem::freeFrame(Ppn ppn)
 {
     freed_.inc();
-    ptPages_.erase(ppn);
+    if (isPageTablePage(ppn)) {
+        ptStore_[ppn].reset();
+        ptOrder_.erase(std::find(ptOrder_.begin(), ptOrder_.end(), ppn));
+    }
     freeList_.push_back(ppn);
 }
 
@@ -51,24 +74,26 @@ Ppn
 PhysMem::allocPageTablePage()
 {
     const Ppn ppn = allocFrame();
-    ptPages_[ppn] = PtPage{}; // zero-filled: all entries not-present
+    if (ppn >= ptStore_.size())
+        ptStore_.resize(ppn + 1);
+    // Zero-filled: all entries not-present.
+    ptStore_[ppn] = std::make_unique<PtPage>();
+    ptOrder_.push_back(ppn);
     return ppn;
 }
 
 PtPage &
 PhysMem::ptPage(Ppn ppn)
 {
-    auto it = ptPages_.find(ppn);
-    panicIf(it == ptPages_.end(), "not a page-table page");
-    return it->second;
+    panicIf(!isPageTablePage(ppn), "not a page-table page");
+    return *ptStore_[ppn];
 }
 
 const PtPage &
 PhysMem::ptPage(Ppn ppn) const
 {
-    auto it = ptPages_.find(ppn);
-    panicIf(it == ptPages_.end(), "not a page-table page");
-    return it->second;
+    panicIf(!isPageTablePage(ppn), "not a page-table page");
+    return *ptStore_[ppn];
 }
 
 std::uint64_t
@@ -87,13 +112,29 @@ PhysMem::writeQword(Addr paddr, std::uint64_t value)
     ptPage(ppn)[idx] = value;
 }
 
+PhysMemState
+PhysMem::snapshot() const
+{
+    PhysMemState st;
+    st.totalPages = totalPages_;
+    st.nextFrame = nextFrame_;
+    st.freeList = freeList_;
+    st.ptOrder = ptOrder_;
+    st.ptPages.reserve(ptOrder_.size());
+    for (Ppn ppn : ptOrder_)
+        st.ptPages.push_back(*ptStore_[ppn]);
+    st.allocated = allocated_.value();
+    st.freed = freed_.value();
+    return st;
+}
+
 void
 PhysMem::dumpStats(StatDump &dump, const std::string &prefix) const
 {
     dump.set(prefix + ".total_pages", totalPages_);
     dump.set(prefix + ".allocated", allocated_.value());
     dump.set(prefix + ".freed", freed_.value());
-    dump.set(prefix + ".page_table_pages", ptPages_.size());
+    dump.set(prefix + ".page_table_pages", ptOrder_.size());
 }
 
 } // namespace tmcc

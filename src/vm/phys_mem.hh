@@ -9,6 +9,12 @@
  * Under hardware memory compression the OS boots with more physical
  * pages than DRAM bytes (the paper assumes up to 4x, §V-A5/6); the MC's
  * CTE layer maps this physical space onto DRAM.
+ *
+ * Page-table pages live in a dense vector indexed by Ppn (frames are
+ * allocated densely from 1) rather than a hash map: the page-walk hot
+ * path becomes a bounds check + direct index, and iteration follows
+ * allocation order, which keeps setup-phase placement deterministic and
+ * checkpointable.
  */
 
 #ifndef TMCC_VM_PHYS_MEM_HH
@@ -16,7 +22,7 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "common/stats.hh"
@@ -29,11 +35,29 @@ namespace tmcc
 /** One backing page-table page (512 PTEs). */
 using PtPage = std::array<std::uint64_t, ptesPerTable>;
 
+/**
+ * Snapshot of a PhysMem for setup-phase checkpoints: the allocator
+ * position plus every page-table page's contents in allocation order.
+ */
+struct PhysMemState
+{
+    std::uint64_t totalPages = 0;
+    std::uint64_t nextFrame = 1;
+    std::vector<Ppn> freeList;
+    std::vector<Ppn> ptOrder;     //!< PT pages in allocation order
+    std::vector<PtPage> ptPages;  //!< parallel to ptOrder
+    std::uint64_t allocated = 0;
+    std::uint64_t freed = 0;
+};
+
 /** Physical frame allocator + page-table page store. */
 class PhysMem : public Stated
 {
   public:
     explicit PhysMem(std::uint64_t total_pages);
+
+    /** Rebuild a PhysMem exactly as captured by snapshot(). */
+    explicit PhysMem(const PhysMemState &state);
 
     /** Allocate one physical frame; fatal on exhaustion. */
     Ppn allocFrame();
@@ -46,12 +70,13 @@ class PhysMem : public Stated
     /** Allocate a frame and register it as a page-table page. */
     Ppn allocPageTablePage();
 
-    bool isPageTablePage(Ppn ppn) const
+    bool
+    isPageTablePage(Ppn ppn) const
     {
-        return ptPages_.count(ppn) != 0;
+        return ppn < ptStore_.size() && ptStore_[ppn] != nullptr;
     }
 
-    /** Backing store of a page-table page (creates on first use). */
+    /** Backing store of a page-table page (must be registered). */
     PtPage &ptPage(Ppn ppn);
     const PtPage &ptPage(Ppn ppn) const;
 
@@ -61,16 +86,23 @@ class PhysMem : public Stated
 
     std::uint64_t totalPages() const { return totalPages_; }
     std::uint64_t allocatedPages() const { return allocated_.value(); }
-    std::uint64_t pageTablePages() const { return ptPages_.size(); }
 
-    /** Iterate all registered page-table pages. */
+    /** One past the highest frame the bump allocator has handed out
+     * (alignment holes from huge allocations included). */
+    std::uint64_t highWaterFrame() const { return nextFrame_; }
+    std::uint64_t pageTablePages() const { return ptOrder_.size(); }
+
+    /** Iterate all registered page-table pages in allocation order. */
     template <typename Fn>
     void
     forEachPtPage(Fn &&fn) const
     {
-        for (const auto &[ppn, page] : ptPages_)
-            fn(ppn, page);
+        for (Ppn ppn : ptOrder_)
+            fn(ppn, *ptStore_[ppn]);
     }
+
+    /** Capture the full allocator + PT-page state. */
+    PhysMemState snapshot() const;
 
     void dumpStats(StatDump &dump,
                    const std::string &prefix) const override;
@@ -79,7 +111,9 @@ class PhysMem : public Stated
     std::uint64_t totalPages_;
     std::uint64_t nextFrame_ = 1; //!< frame 0 reserved
     std::vector<Ppn> freeList_;
-    std::unordered_map<Ppn, PtPage> ptPages_;
+    /** Indexed by Ppn; null where the frame is not a PT page. */
+    std::vector<std::unique_ptr<PtPage>> ptStore_;
+    std::vector<Ppn> ptOrder_; //!< registration order
 
     Counter allocated_, freed_;
 };

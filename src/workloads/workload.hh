@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serial.hh"
 #include "common/types.hh"
 #include "workloads/content.hh"
 
@@ -53,6 +54,18 @@ class Workload
 
     /** Produce the next access. */
     virtual MemAccess next() = 0;
+
+    /**
+     * Serialize the engine's mutable position — RNG streams, cursors,
+     * pending queues — for setup-phase checkpoints.  Region layout and
+     * other constructor-derived state is not saved: loadState() must be
+     * applied to an engine built with identical constructor arguments,
+     * after which its access stream continues bit-identically.
+     */
+    virtual void saveState(ByteWriter &w) const = 0;
+
+    /** Restore a saveState() snapshot; fails on malformed input. */
+    virtual Status loadState(ByteReader &r) = 0;
 
     std::uint64_t
     footprintBytes() const
