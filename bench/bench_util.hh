@@ -32,6 +32,7 @@
 #include "common/log.hh"
 #include "sim/checkpoint.hh"
 #include "sim/runner.hh"
+#include "sim/shard_runner.hh"
 #include "sim/system.hh"
 
 namespace tmcc::bench
@@ -174,6 +175,24 @@ class BenchReport
         std::fprintf(f, "  \"ckpt_rejected\": %llu,\n",
                      static_cast<unsigned long long>(
                          ckpt.rejectedFiles));
+        // Multi-process sweep supervision counters (all zero unless
+        // this process drove a sharded sweep via ShardRunner).
+        const ShardRunner::Totals shardTotals = ShardRunner::totals();
+        std::fprintf(f, "  \"sweeps\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         shardTotals.sweeps));
+        std::fprintf(f, "  \"shard_runs\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         shardTotals.shardRuns));
+        std::fprintf(f, "  \"shard_retries\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         shardTotals.retries));
+        std::fprintf(f, "  \"shard_failures\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         shardTotals.failedShards));
+        std::fprintf(f, "  \"resumed_shards\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         shardTotals.resumedShards));
         std::fprintf(f, "  \"metrics\": {");
         for (std::size_t i = 0; i < metrics_.size(); ++i) {
             // Keys pass through jsonEscape (workload names can carry

@@ -34,6 +34,19 @@
  *                         in parallel, and print one row per workload
  *   --jobs N              worker threads for --sweep (default:
  *                         TMCC_JOBS or all cores)
+ *   --shards N            run --sweep through the fault-tolerant
+ *                         multi-process executor with N shards / worker
+ *                         processes (env: TMCC_SHARDS; 0 = in-process;
+ *                         see docs/SWEEP.md)
+ *   --sweep-dir DIR       sweep directory for the manifest and shard
+ *                         files; reuse it to resume an interrupted
+ *                         sweep (default: tmcc-sweep-<gridkey8>)
+ *   --shard-timeout SEC   per-attempt wall-clock watchdog; a worker
+ *                         exceeding it is SIGKILLed and the shard
+ *                         retried (default: none)
+ *   --shard-attempts N    attempt cap per shard before it is marked
+ *                         failed in the manifest (default: 3)
+ *   --shard-spec FILE     internal: run as a sweep shard worker
  *   --ckpt-dir DIR        persist setup checkpoints to DIR and restore
  *                         from them on later runs (env: TMCC_CKPT_DIR;
  *                         TMCC_CKPT=0 disables checkpointing entirely)
@@ -42,6 +55,7 @@
  * A recorded trace replays as a workload: --workload trace:FILE
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,12 +63,17 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.hh"
 #include "common/json.hh"
 #include "common/trace.hh"
 #include "sim/checkpoint.hh"
 #include "sim/runner.hh"
+#include "sim/shard_runner.hh"
+#include "sim/sweep_manifest.hh"
 #include "sim/system.hh"
 #include "workloads/trace.hh"
+
+#include <unistd.h>
 
 using namespace tmcc;
 
@@ -115,6 +134,66 @@ parsePositiveCount(const char *s, const char *what)
         std::exit(1);
     }
     return static_cast<std::uint64_t>(v);
+}
+
+std::uint64_t
+parseNonNegativeCount(const char *s, const char *what)
+{
+    char *end = nullptr;
+    const long long v = std::strtoll(s, &end, 10);
+    if (s[0] == '\0' || *end != '\0' || v < 0) {
+        std::fprintf(stderr, "%s must be a non-negative integer, got "
+                             "\"%s\"\n",
+                     what, s);
+        std::exit(1);
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
+/** Strict [0, 1] rate for the --fault-* flags: std::atof would turn
+ * garbage into a silent 0.0 (faults off), which is the worst possible
+ * failure mode for a fault-injection campaign. */
+double
+parseRate(const char *s, const char *what)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (s[0] == '\0' || *end != '\0' || !std::isfinite(v) || v < 0.0 ||
+        v > 1.0) {
+        std::fprintf(stderr, "%s must be a rate in [0, 1], got "
+                             "\"%s\"\n",
+                     what, s);
+        std::exit(1);
+    }
+    return v;
+}
+
+double
+parsePositiveSeconds(const char *s, const char *what)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (s[0] == '\0' || *end != '\0' || !std::isfinite(v) || v <= 0.0) {
+        std::fprintf(stderr, "%s must be a positive number of seconds, "
+                             "got \"%s\"\n",
+                     what, s);
+        std::exit(1);
+    }
+    return v;
+}
+
+/** The path workers re-exec: /proc/self/exe when resolvable (robust
+ * against a relative argv[0] + chdir), else argv[0]. */
+std::string
+selfExePath(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
 }
 
 /** Epoch time series as JSON: one entry per run, one row per epoch. */
@@ -179,6 +258,15 @@ main(int argc, char **argv)
     std::string sweep;
     unsigned jobs = 0;
 
+    // Sharded-sweep supervisor knobs (docs/SWEEP.md).
+    unsigned shards = 0;
+    std::string sweep_dir;
+    double shard_timeout = 0.0;
+    unsigned shard_attempts = 3;
+    if (const char *env = std::getenv("TMCC_SHARDS"); env && *env)
+        shards = static_cast<unsigned>(
+            parseNonNegativeCount(env, "TMCC_SHARDS"));
+
     // Observability knobs: environment supplies the defaults, the
     // command line overrides (validated identically either way).
     std::string trace_path;
@@ -225,14 +313,17 @@ main(int argc, char **argv)
         } else if (arg == "--seed") {
             cfg.seed = static_cast<std::uint64_t>(std::atoll(value()));
         } else if (arg == "--fault-ml2") {
-            cfg.osMc.faults.ml2BitFlipRate = std::atof(value());
+            cfg.osMc.faults.ml2BitFlipRate =
+                parseRate(value(), "--fault-ml2");
         } else if (arg == "--fault-cte") {
-            cfg.osMc.faults.cteBitFlipRate = std::atof(value());
+            cfg.osMc.faults.cteBitFlipRate =
+                parseRate(value(), "--fault-cte");
         } else if (arg == "--fault-ptb") {
-            cfg.osMc.faults.ptbBitFlipRate = std::atof(value());
+            cfg.osMc.faults.ptbBitFlipRate =
+                parseRate(value(), "--fault-ptb");
         } else if (arg == "--fault-seed") {
             cfg.osMc.faults.seed =
-                static_cast<std::uint64_t>(std::atoll(value()));
+                parseNonNegativeCount(value(), "--fault-seed");
         } else if (arg == "--stats") {
             dump_all = true;
         } else if (arg == "--trace") {
@@ -263,6 +354,21 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--sweep") {
             sweep = value();
+        } else if (arg == "--shards") {
+            shards = static_cast<unsigned>(
+                parseNonNegativeCount(value(), "--shards"));
+        } else if (arg == "--sweep-dir") {
+            sweep_dir = value();
+        } else if (arg == "--shard-timeout") {
+            shard_timeout =
+                parsePositiveSeconds(value(), "--shard-timeout");
+        } else if (arg == "--shard-attempts") {
+            shard_attempts = static_cast<unsigned>(
+                parsePositiveCount(value(), "--shard-attempts"));
+        } else if (arg == "--shard-spec") {
+            // Sweep worker mode: run the shard and publish its result
+            // file; the supervisor interprets our exit status.
+            return ShardRunner::workerMain(value());
         } else if (arg == "--ckpt-dir") {
             CheckpointStore::global().setDiskDir(value());
         } else if (arg.rfind("--ckpt-dir=", 0) == 0) {
@@ -325,31 +431,103 @@ main(int argc, char **argv)
             preset_scale(c);
             configs.push_back(c);
         }
-        SimRunner runner(jobs);
-        std::printf("sweeping %zu workloads (%s) on %u threads, arch "
-                    "%s\n",
-                    configs.size(), sweep.c_str(), runner.jobs(),
-                    archName(cfg.arch));
-        const std::vector<SimResult> results = runner.run(configs);
+
+        // One merged BENCH_sweep_<set>.json whichever executor runs
+        // the grid, so sharded and in-process sweeps are byte-for-byte
+        // comparable (the sweep-smoke CI job diffs exactly this).
+        bench::BenchReport report("sweep_" + sweep);
+        std::vector<SimResult> results;
+        std::vector<bool> valid(configs.size(), true);
+        bool sweep_ok = true;
+
+        if (shards > 0) {
+            ShardOptions so;
+            so.shards = shards;
+            so.workerJobs = jobs ? jobs : 1;
+            so.timeoutSeconds = shard_timeout;
+            so.maxAttempts = shard_attempts;
+            so.workerPath = selfExePath(argv[0]);
+            so.sweepDir =
+                !sweep_dir.empty()
+                    ? sweep_dir
+                    : "tmcc-sweep-" + sweepGridKey(configs).substr(0, 8);
+            std::printf("sweeping %zu workloads (%s) across %u worker "
+                        "processes, arch %s, sweep dir %s\n",
+                        configs.size(), sweep.c_str(), so.shards,
+                        archName(cfg.arch), so.sweepDir.c_str());
+            ShardRunner runner(so);
+            SweepOutcome outcome = runner.run(configs);
+            results = std::move(outcome.results);
+            valid = outcome.resultValid;
+            sweep_ok = outcome.ok();
+            std::printf("[sweep] %u/%zu shards done (%u resumed, %u "
+                        "retries, %u failed)\n",
+                        outcome.completedShards, outcome.shards.size(),
+                        outcome.resumedShards, outcome.retries,
+                        outcome.failedShards);
+            for (const auto &shard : outcome.shards)
+                if (shard.state == ShardState::Failed)
+                    std::fprintf(stderr,
+                                 "[sweep] shard %u FAILED after %u "
+                                 "attempts: %s\n",
+                                 shard.id, shard.attempts,
+                                 shard.lastError.c_str());
+        } else {
+            SimRunner runner(jobs);
+            std::printf("sweeping %zu workloads (%s) on %u threads, "
+                        "arch %s\n",
+                        configs.size(), sweep.c_str(), runner.jobs(),
+                        archName(cfg.arch));
+            try {
+                results = runner.run(configs);
+            } catch (const std::exception &e) {
+                // A failed run must fail the sweep visibly: CI and the
+                // sweep supervisor key off the exit status, not logs.
+                std::fprintf(stderr, "sweep failed: %s\n", e.what());
+                flush_trace();
+                return 1;
+            }
+        }
+
         std::printf("%-14s %10s %10s %10s %10s\n", "workload",
                     "acc/us", "ratio", "l3lat_ns", "bus_util");
         for (std::size_t i = 0; i < names.size(); ++i) {
+            if (!valid[i]) {
+                std::printf("%-14s %10s\n", names[i].c_str(),
+                            "FAILED");
+                continue;
+            }
             const SimResult &r = results[i];
             std::printf("%-14s %10.1f %10.2f %10.1f %10.3f\n",
                         names[i].c_str(), r.accessesPerNs() * 1000.0,
                         r.compressionRatio(), r.avgL3MissLatencyNs,
                         r.readBusUtil + r.writeBusUtil);
+            report.metric(names[i] + ".acc_per_us",
+                          r.accessesPerNs() * 1000.0);
+            report.metric(names[i] + ".ratio", r.compressionRatio());
+            report.metric(names[i] + ".l3lat_ns", r.avgL3MissLatencyNs);
+            report.metric(names[i] + ".bus_util",
+                          r.readBusUtil + r.writeBusUtil);
         }
         if (!stats_out.empty()) {
+            std::vector<std::string> ok_names;
             std::vector<const SimResult *> ptrs;
-            for (const SimResult &r : results)
-                ptrs.push_back(&r);
-            writeEpochStats(stats_out, names, ptrs);
+            for (std::size_t i = 0; i < results.size(); ++i) {
+                if (!valid[i])
+                    continue;
+                ok_names.push_back(names[i]);
+                ptrs.push_back(&results[i]);
+            }
+            writeEpochStats(stats_out, ok_names, ptrs);
             std::printf("epoch stats written to %s\n",
                         stats_out.c_str());
         }
         flush_trace();
-        return 0;
+        if (!sweep_ok)
+            std::fprintf(stderr,
+                         "sweep finished with failed shards; partial "
+                         "results merged, exiting nonzero\n");
+        return sweep_ok ? 0 : 1;
     }
 
     preset_scale(cfg);

@@ -5,8 +5,8 @@
 #include <cstdlib>
 #include <filesystem>
 
-#include "common/crc32.hh"
 #include "common/log.hh"
+#include "common/versioned_file.hh"
 
 namespace tmcc
 {
@@ -16,7 +16,6 @@ namespace
 
 // "TMCCCKPT": setup-checkpoint container magic.
 constexpr char fileMagic[8] = {'T', 'M', 'C', 'C', 'C', 'K', 'P', 'T'};
-constexpr std::size_t headerBytes = 8 + 4 + 4 + 8;
 
 /** FNV-1a, for stable checkpoint file names (key verified inside). */
 std::uint64_t
@@ -277,74 +276,22 @@ SetupCheckpoint::saveFile(const std::string &path) const
 {
     ByteWriter payload;
     serialize(payload);
-    const std::vector<std::uint8_t> &body = payload.buffer();
-
-    ByteWriter header;
-    header.raw(fileMagic, sizeof(fileMagic));
-    header.u32(formatVersion);
-    header.u32(crc32(body.data(), body.size()));
-    header.u64(body.size());
-
-    // Write-temp-then-rename: a concurrent reader either sees the old
-    // complete file or the new complete file, never a torn one.
-    const std::string tmp = path + ".tmp";
-    FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (f == nullptr)
-        return Status::internal("cannot create " + tmp);
-    const bool wrote =
-        std::fwrite(header.buffer().data(), 1, header.buffer().size(),
-                    f) == header.buffer().size() &&
-        std::fwrite(body.data(), 1, body.size(), f) == body.size();
-    const bool closed = std::fclose(f) == 0;
-    if (!wrote || !closed) {
-        std::remove(tmp.c_str());
-        return Status::internal("short write to " + tmp);
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return Status::internal("cannot rename " + tmp);
-    }
-    return Status::okStatus();
+    // The shared versioned-file writer publishes via a uniquely named
+    // temp file + fsync + rename, so concurrent writers from multiple
+    // sweep worker processes never interleave into a torn file.
+    return writeVersionedFile(path, fileMagic, formatVersion,
+                              payload.buffer());
 }
 
 StatusOr<std::shared_ptr<const SetupCheckpoint>>
 SetupCheckpoint::loadFile(const std::string &path)
 {
-    FILE *f = std::fopen(path.c_str(), "rb");
-    if (f == nullptr)
-        return Status::internal("cannot open " + path);
-    std::vector<std::uint8_t> data;
-    std::uint8_t buf[1 << 16];
-    std::size_t n;
-    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
-        data.insert(data.end(), buf, buf + n);
-    std::fclose(f);
-
-    if (data.size() < headerBytes)
-        return Status::truncated(path + ": shorter than the header");
-    ByteReader header(data.data(), headerBytes);
-    char magic[sizeof(fileMagic)];
-    header.raw(magic, sizeof(magic));
-    if (std::memcmp(magic, fileMagic, sizeof(fileMagic)) != 0)
-        return Status::corruption(path + ": bad magic");
-    const std::uint32_t version = header.u32();
-    if (version != formatVersion)
-        return Status::corruption(
-            path + ": checkpoint format version mismatch (file v" +
-            std::to_string(version) + ", expected v" +
-            std::to_string(formatVersion) + ")");
-    const std::uint32_t want_crc = header.u32();
-    const std::uint64_t payload_size = header.u64();
-    if (payload_size != data.size() - headerBytes)
-        return Status::truncated(path + ": payload size mismatch");
-    const std::uint32_t got_crc =
-        crc32(data.data() + headerBytes, payload_size);
-    if (got_crc != want_crc)
-        return Status::checksumMismatch(path + ": payload CRC mismatch");
-
+    TMCC_ASSIGN_OR_RETURN(
+        const std::vector<std::uint8_t> payload,
+        readVersionedFile(path, fileMagic, formatVersion));
     auto ckpt = std::make_shared<SetupCheckpoint>();
-    ByteReader payload(data.data() + headerBytes, payload_size);
-    TMCC_RETURN_IF_ERROR(ckpt->deserialize(payload));
+    ByteReader reader(payload.data(), payload.size());
+    TMCC_RETURN_IF_ERROR(ckpt->deserialize(reader));
     return std::shared_ptr<const SetupCheckpoint>(std::move(ckpt));
 }
 

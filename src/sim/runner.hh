@@ -46,6 +46,13 @@ class SimRunner
     static void resetPhaseTotals(); //!< tests
 
     /**
+     * Fold a run executed in another process (a sweep shard worker)
+     * into this process's phase totals, so sharded sweeps report the
+     * same setup/measure split and run counts as in-process ones.
+     */
+    static void recordExternalRun(const SimResult &result);
+
+    /**
      * TMCC_JOBS if set (rejects non-numeric or nonpositive values with
      * a clear fatal error), else hardware_concurrency, else 1.
      */

@@ -1,0 +1,512 @@
+#include "sim/shard_runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "sim/runner.hh"
+
+namespace tmcc
+{
+
+namespace
+{
+
+std::atomic<std::uint64_t> sweepsTotal{0};
+std::atomic<std::uint64_t> shardRunsTotal{0};
+std::atomic<std::uint64_t> retriesTotal{0};
+std::atomic<std::uint64_t> failedShardsTotal{0};
+std::atomic<std::uint64_t> resumedShardsTotal{0};
+
+std::string
+shardFile(const std::string &dir, std::uint32_t id, const char *ext)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "/shard-%03u.%s", id, ext);
+    return dir + buf;
+}
+
+std::string
+manifestPath(const std::string &dir)
+{
+    return dir + "/MANIFEST.tmccsweep";
+}
+
+/**
+ * Whether a "<shard>@<attempt|*>" failure-injection hook (see
+ * shard_runner.hh) fires for this shard attempt.
+ */
+bool
+testHookFires(const char *env_name, std::uint32_t shard,
+              std::uint32_t attempt)
+{
+    const char *v = std::getenv(env_name);
+    if (!v || !*v)
+        return false;
+    const char *at = std::strchr(v, '@');
+    fatalIf(at == nullptr,
+            std::string(env_name) + " wants <shard>@<attempt|*>, got \"" +
+                v + "\"");
+    char *end = nullptr;
+    const unsigned long s = std::strtoul(v, &end, 10);
+    fatalIf(end != at, std::string(env_name) + " has a bad shard id");
+    if (s != shard)
+        return false;
+    if (std::strcmp(at + 1, "*") == 0)
+        return true;
+    const unsigned long a = std::strtoul(at + 1, &end, 10);
+    fatalIf(*end != '\0' || end == at + 1,
+            std::string(env_name) + " has a bad attempt number");
+    return a == attempt;
+}
+
+double
+monotonicSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Describe how a waitpid status ended. */
+std::string
+exitDescription(int status)
+{
+    if (WIFEXITED(status))
+        return "exit status " + std::to_string(WEXITSTATUS(status));
+    if (WIFSIGNALED(status))
+        return std::string("killed by signal ") +
+               std::to_string(WTERMSIG(status)) + " (" +
+               strsignal(WTERMSIG(status)) + ")";
+    return "unknown wait status " + std::to_string(status);
+}
+
+/** The supervisor's in-memory view of one shard. */
+struct ShardTask
+{
+    SweepManifest::Shard *manifest = nullptr;
+    bool done = false;
+    bool failed = false;
+    pid_t pid = -1;          //!< running worker, -1 when idle
+    double readyAt = 0.0;    //!< backoff gate for the next launch
+    double deadline = 0.0;   //!< watchdog deadline (0 = none)
+    bool timedOut = false;   //!< this attempt was killed by the watchdog
+};
+
+} // namespace
+
+ShardRunner::ShardRunner(ShardOptions opts) : opts_(std::move(opts))
+{
+    fatalIf(opts_.shards == 0, "ShardOptions::shards must be positive");
+    fatalIf(opts_.maxAttempts == 0,
+            "ShardOptions::maxAttempts must be positive");
+    fatalIf(opts_.workerPath.empty(),
+            "ShardOptions::workerPath must name the worker binary");
+    fatalIf(opts_.sweepDir.empty(),
+            "ShardOptions::sweepDir must name the sweep directory");
+}
+
+ShardRunner::Totals
+ShardRunner::totals()
+{
+    Totals t;
+    t.sweeps = sweepsTotal.load();
+    t.shardRuns = shardRunsTotal.load();
+    t.retries = retriesTotal.load();
+    t.failedShards = failedShardsTotal.load();
+    t.resumedShards = resumedShardsTotal.load();
+    return t;
+}
+
+void
+ShardRunner::resetTotals()
+{
+    sweepsTotal = 0;
+    shardRunsTotal = 0;
+    retriesTotal = 0;
+    failedShardsTotal = 0;
+    resumedShardsTotal = 0;
+}
+
+SweepOutcome
+ShardRunner::run(const std::vector<SimConfig> &grid)
+{
+    fatalIf(grid.empty(), "sharded sweep needs a non-empty grid");
+    sweepsTotal.fetch_add(1);
+
+    std::error_code ec;
+    std::filesystem::create_directories(opts_.sweepDir, ec);
+    fatalIf(!std::filesystem::is_directory(opts_.sweepDir, ec),
+            "cannot create sweep directory " + opts_.sweepDir);
+
+    const std::string key = sweepGridKey(grid);
+    const std::string mpath = manifestPath(opts_.sweepDir);
+
+    // Load or create the manifest.  A manifest for a different grid
+    // means the directory belongs to another sweep — refuse rather than
+    // silently mixing result sets; a corrupt manifest restarts the
+    // sweep from the (still CRC-verified) shard result files.
+    SweepManifest manifest;
+    bool have_manifest = false;
+    if (std::filesystem::exists(mpath, ec)) {
+        auto loaded = SweepManifest::load(mpath);
+        if (loaded.ok()) {
+            manifest = std::move(loaded).value();
+            fatalIf(manifest.gridKey != key,
+                    "sweep directory " + opts_.sweepDir +
+                        " holds a different sweep (manifest grid " +
+                        manifest.gridKey + ", this grid " + key +
+                        "); use a fresh --sweep-dir");
+            fatalIf(manifest.totalConfigs != grid.size(),
+                    "sweep manifest config count mismatch");
+            have_manifest = true;
+        } else {
+            warn("sweep manifest rejected, starting over: " +
+                 loaded.status().toString());
+        }
+    }
+    if (!have_manifest) {
+        manifest.gridKey = key;
+        manifest.totalConfigs = grid.size();
+        const unsigned n_shards = static_cast<unsigned>(
+            std::min<std::size_t>(opts_.shards, grid.size()));
+        manifest.shards.assign(n_shards, SweepManifest::Shard{});
+        for (unsigned s = 0; s < n_shards; ++s)
+            manifest.shards[s].id = s;
+        // Round-robin partition: adjacent grid entries land on
+        // different shards, balancing heterogeneous-cost grids.
+        for (std::size_t i = 0; i < grid.size(); ++i)
+            manifest.shards[i % n_shards].configIndices.push_back(i);
+    }
+
+    SweepOutcome out;
+    out.results.resize(grid.size());
+    out.resultValid.assign(grid.size(), false);
+
+    const auto save_manifest = [&] {
+        const Status st = manifest.save(mpath);
+        if (!st.ok())
+            warn("cannot save sweep manifest: " + st.toString());
+    };
+
+    const auto merge = [&](const ShardResultFile &file) {
+        for (std::size_t i = 0; i < file.configIndices.size(); ++i) {
+            const std::uint64_t idx = file.configIndices[i];
+            fatalIf(idx >= grid.size(),
+                    "shard result index beyond the grid");
+            out.results[idx] = file.results[i];
+            out.resultValid[idx] = true;
+            SimRunner::recordExternalRun(file.results[i]);
+        }
+    };
+
+    /**
+     * A shard marked Done must still have a valid result file whose
+     * key and indices match the manifest; anything else re-runs it.
+     */
+    const auto try_resume = [&](SweepManifest::Shard &shard) -> bool {
+        auto loaded =
+            ShardResultFile::load(shardFile(opts_.sweepDir, shard.id,
+                                            "result"));
+        if (!loaded.ok()) {
+            warn("shard " + std::to_string(shard.id) +
+                 " result rejected on resume, re-running: " +
+                 loaded.status().toString());
+            return false;
+        }
+        const ShardResultFile &file = loaded.value();
+        if (file.gridKey != key ||
+            file.configIndices != shard.configIndices) {
+            warn("shard " + std::to_string(shard.id) +
+                 " result does not match the manifest, re-running");
+            return false;
+        }
+        merge(file);
+        return true;
+    };
+
+    std::vector<ShardTask> tasks(manifest.shards.size());
+    unsigned unfinished = 0;
+    for (std::size_t s = 0; s < manifest.shards.size(); ++s) {
+        tasks[s].manifest = &manifest.shards[s];
+        SweepManifest::Shard &shard = manifest.shards[s];
+        if (shard.state == ShardState::Done && try_resume(shard)) {
+            tasks[s].done = true;
+            ++out.resumedShards;
+            resumedShardsTotal.fetch_add(1);
+            ++out.completedShards;
+            continue;
+        }
+        // Missing/invalid results, interrupted (Pending) and Failed
+        // shards all re-run with a fresh attempt budget.
+        shard.state = ShardState::Pending;
+        shard.attempts = 0;
+        shard.lastError.clear();
+        ++unfinished;
+    }
+    save_manifest();
+
+    if (opts_.verbose && out.resumedShards > 0)
+        std::printf("[sweep] resumed %u/%zu shards from %s\n",
+                    out.resumedShards, tasks.size(),
+                    opts_.sweepDir.c_str());
+
+    const auto launch = [&](std::size_t s) {
+        ShardTask &task = tasks[s];
+        SweepManifest::Shard &shard = *task.manifest;
+        ++shard.attempts;
+
+        ShardSpec spec;
+        spec.gridKey = key;
+        spec.shardId = shard.id;
+        spec.attempt = shard.attempts;
+        spec.workerJobs = opts_.workerJobs;
+        spec.resultPath = shardFile(opts_.sweepDir, shard.id, "result");
+        spec.configIndices = shard.configIndices;
+        for (std::uint64_t idx : shard.configIndices)
+            spec.configs.push_back(grid[idx]);
+        const std::string spath =
+            shardFile(opts_.sweepDir, shard.id, "spec");
+        fatalIf(!spec.save(spath).ok(),
+                "cannot write shard spec " + spath);
+
+        const pid_t pid = ::fork();
+        fatalIf(pid < 0, "fork() failed for shard " +
+                             std::to_string(shard.id));
+        if (pid == 0) {
+            ::execl(opts_.workerPath.c_str(), opts_.workerPath.c_str(),
+                    "--shard-spec", spath.c_str(),
+                    static_cast<char *>(nullptr));
+            // Exec failure: report via a recognizable exit code; the
+            // supervisor will retry and eventually mark the shard
+            // failed with this status in the manifest.
+            std::fprintf(stderr, "exec %s failed: %s\n",
+                         opts_.workerPath.c_str(),
+                         std::strerror(errno));
+            ::_exit(127);
+        }
+        task.pid = pid;
+        task.timedOut = false;
+        task.deadline = opts_.timeoutSeconds > 0.0
+                            ? monotonicSeconds() + opts_.timeoutSeconds
+                            : 0.0;
+        shardRunsTotal.fetch_add(1);
+        if (opts_.verbose)
+            std::printf("[sweep] shard %u attempt %u/%u: worker pid %d "
+                        "(%zu configs)\n",
+                        shard.id, shard.attempts, opts_.maxAttempts,
+                        static_cast<int>(pid),
+                        shard.configIndices.size());
+    };
+
+    const auto fail_attempt = [&](std::size_t s,
+                                  const std::string &why) {
+        ShardTask &task = tasks[s];
+        SweepManifest::Shard &shard = *task.manifest;
+        task.pid = -1;
+        shard.lastError = why;
+        if (shard.attempts >= opts_.maxAttempts) {
+            shard.state = ShardState::Failed;
+            task.failed = true;
+            --unfinished;
+            ++out.failedShards;
+            failedShardsTotal.fetch_add(1);
+            warn("shard " + std::to_string(shard.id) +
+                 " failed permanently after " +
+                 std::to_string(shard.attempts) + " attempts: " + why);
+        } else {
+            const double delay = std::min(
+                opts_.backoffSeconds *
+                    std::pow(2.0, static_cast<double>(shard.attempts) -
+                                      1.0),
+                opts_.backoffCapSeconds);
+            task.readyAt = monotonicSeconds() + delay;
+            ++out.retries;
+            retriesTotal.fetch_add(1);
+            if (opts_.verbose)
+                std::printf("[sweep] shard %u attempt %u failed (%s), "
+                            "retrying in %.2fs\n",
+                            shard.id, shard.attempts, why.c_str(),
+                            delay);
+        }
+        save_manifest();
+    };
+
+    const auto complete_attempt = [&](std::size_t s) {
+        ShardTask &task = tasks[s];
+        SweepManifest::Shard &shard = *task.manifest;
+        auto loaded = ShardResultFile::load(
+            shardFile(opts_.sweepDir, shard.id, "result"));
+        if (!loaded.ok()) {
+            fail_attempt(s, "result file rejected: " +
+                                loaded.status().toString());
+            return;
+        }
+        const ShardResultFile &file = loaded.value();
+        if (file.gridKey != key ||
+            file.configIndices != shard.configIndices) {
+            fail_attempt(s, "result file does not match the shard");
+            return;
+        }
+        merge(file);
+        task.pid = -1;
+        task.done = true;
+        shard.state = ShardState::Done;
+        shard.lastError.clear();
+        --unfinished;
+        ++out.completedShards;
+        save_manifest();
+        if (opts_.verbose)
+            std::printf("[sweep] shard %u done (%zu configs)\n",
+                        shard.id, shard.configIndices.size());
+    };
+
+    // Supervision loop: launch ready shards up to the concurrency cap,
+    // reap exits, and enforce the watchdog.
+    while (unfinished > 0) {
+        const double now = monotonicSeconds();
+        unsigned running = 0;
+        for (const ShardTask &t : tasks)
+            running += t.pid >= 0 ? 1 : 0;
+
+        for (std::size_t s = 0;
+             s < tasks.size() && running < opts_.shards; ++s) {
+            ShardTask &t = tasks[s];
+            if (t.done || t.failed || t.pid >= 0 || t.readyAt > now)
+                continue;
+            launch(s);
+            ++running;
+        }
+
+        bool progressed = false;
+        for (std::size_t s = 0; s < tasks.size(); ++s) {
+            ShardTask &t = tasks[s];
+            if (t.pid < 0)
+                continue;
+
+            int status = 0;
+            const pid_t r = ::waitpid(t.pid, &status, WNOHANG);
+            if (r == t.pid) {
+                progressed = true;
+                if (t.timedOut)
+                    fail_attempt(s, "timed out after " +
+                                        std::to_string(
+                                            opts_.timeoutSeconds) +
+                                        "s (killed)");
+                else if (WIFEXITED(status) && WEXITSTATUS(status) == 0)
+                    complete_attempt(s);
+                else
+                    fail_attempt(s, exitDescription(status));
+                continue;
+            }
+            fatalIf(r < 0, "waitpid failed for shard " +
+                               std::to_string(t.manifest->id));
+
+            if (t.deadline > 0.0 && monotonicSeconds() > t.deadline &&
+                !t.timedOut) {
+                // Watchdog: SIGKILL the worker; the exit is reaped on a
+                // later iteration and recorded as a timeout.
+                t.timedOut = true;
+                ::kill(t.pid, SIGKILL);
+                if (opts_.verbose)
+                    std::printf("[sweep] shard %u exceeded %.1fs, "
+                                "killing worker %d\n",
+                                t.manifest->id, opts_.timeoutSeconds,
+                                static_cast<int>(t.pid));
+            }
+        }
+
+        if (!progressed && unfinished > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+    }
+
+    out.shards = manifest.shards;
+    return out;
+}
+
+int
+ShardRunner::workerMain(const std::string &specPath)
+{
+    auto loaded = ShardSpec::load(specPath);
+    if (!loaded.ok()) {
+        std::fprintf(stderr, "shard worker: %s\n",
+                     loaded.status().toString().c_str());
+        return 3;
+    }
+    const ShardSpec &spec = loaded.value();
+
+    const bool kill_hook =
+        testHookFires("TMCC_SHARD_TEST_KILL", spec.shardId,
+                      spec.attempt);
+    const bool hang_hook =
+        testHookFires("TMCC_SHARD_TEST_HANG", spec.shardId,
+                      spec.attempt);
+    const bool corrupt_hook =
+        testHookFires("TMCC_SHARD_TEST_CORRUPT", spec.shardId,
+                      spec.attempt);
+
+    SimRunner runner(spec.workerJobs ? spec.workerJobs : 1);
+    ShardResultFile file;
+    file.gridKey = spec.gridKey;
+    file.shardId = spec.shardId;
+    file.configIndices = spec.configIndices;
+    if (kill_hook || hang_hook) {
+        // Config-at-a-time so the fault lands mid-shard: after real
+        // work has been done but before anything is published.
+        file.results.reserve(spec.configs.size());
+        for (std::size_t i = 0; i < spec.configs.size(); ++i) {
+            file.results.push_back(
+                runner.run({spec.configs[i]}).front());
+            if (i == 0 && kill_hook) {
+                // Simulate a crash/OOM-kill: die without publishing,
+                // exactly like an external SIGKILL.
+                ::raise(SIGKILL);
+            }
+            if (i == 0 && hang_hook) {
+                // Simulate a wedged worker for the watchdog to reap.
+                for (;;)
+                    std::this_thread::sleep_for(
+                        std::chrono::seconds(3600));
+            }
+        }
+    } else {
+        file.results = runner.run(spec.configs);
+    }
+
+    const Status st = file.save(spec.resultPath);
+    if (!st.ok()) {
+        std::fprintf(stderr, "shard worker: cannot publish %s: %s\n",
+                     spec.resultPath.c_str(), st.toString().c_str());
+        return 4;
+    }
+
+    if (corrupt_hook) {
+        // Flip one payload byte in place: the file keeps its size but
+        // fails its CRC, exercising the supervisor's rejection path.
+        FILE *f = std::fopen(spec.resultPath.c_str(), "r+b");
+        if (f != nullptr) {
+            std::fseek(f, -1, SEEK_END);
+            const int c = std::fgetc(f);
+            std::fseek(f, -1, SEEK_END);
+            std::fputc(c ^ 0xff, f);
+            std::fclose(f);
+        }
+    }
+    return 0;
+}
+
+} // namespace tmcc

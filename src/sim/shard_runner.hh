@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Process-isolated sweep executor (docs/SWEEP.md): the parent
+ * partitions a SimConfig grid into shards, forks one worker subprocess
+ * per shard (each re-execing the host binary with `--shard-spec FILE`),
+ * and supervises them — per-shard wall-clock timeouts (kill on
+ * timeout), crash detection via exit status/signal, bounded retry with
+ * exponential backoff, and CRC-verified result files merged back into
+ * one result set in original grid order.
+ *
+ * A crashed, hung, or OOM-killed run costs one shard attempt, not the
+ * sweep: finished shards persist on disk, and an interrupted or killed
+ * sweep resumes from its manifest by re-running only missing/failed
+ * shards.  The invariant (enforced by tests/sim/shard_runner_test.cc):
+ * merged aggregate stats are bit-identical to the same grid run
+ * serially through SimRunner, including after an injected worker
+ * SIGKILL mid-sweep.
+ */
+
+#ifndef TMCC_SIM_SHARD_RUNNER_HH
+#define TMCC_SIM_SHARD_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/sim_config.hh"
+#include "sim/sim_result.hh"
+#include "sim/sweep_manifest.hh"
+
+namespace tmcc
+{
+
+/** Supervisor policy for one sharded sweep. */
+struct ShardOptions
+{
+    /**
+     * Shard count for a fresh sweep, and the maximum number of worker
+     * processes alive at once.  A resumed sweep keeps the partition
+     * recorded in its manifest and uses this only as the concurrency
+     * cap.
+     */
+    unsigned shards = 2;
+
+    /** SimRunner threads inside each worker (shards are the primary
+     * parallelism axis, so workers default to serial). */
+    unsigned workerJobs = 1;
+
+    /** Per-attempt wall-clock budget; the supervisor SIGKILLs a worker
+     * that exceeds it.  0 disables the watchdog. */
+    double timeoutSeconds = 0.0;
+
+    /** Attempt cap per shard (first run + retries). */
+    unsigned maxAttempts = 3;
+
+    /** Retry delay: backoffSeconds * 2^(attempt-1), capped below. */
+    double backoffSeconds = 0.25;
+    double backoffCapSeconds = 8.0;
+
+    /** Sweep directory: manifest, shard specs, shard result files. */
+    std::string sweepDir;
+
+    /** Binary to exec for workers; must handle `--shard-spec FILE`
+     * (tmcc_sim does; tests pass their own re-entrant binary). */
+    std::string workerPath;
+
+    /** Progress lines on stdout. */
+    bool verbose = true;
+};
+
+/** Merged outcome of a sharded sweep. */
+struct SweepOutcome
+{
+    /** Results in original grid order; entries of failed shards are
+     * default-constructed (check `resultValid`). */
+    std::vector<SimResult> results;
+    std::vector<bool> resultValid;
+
+    /** Final manifest state of every shard. */
+    std::vector<SweepManifest::Shard> shards;
+
+    unsigned completedShards = 0;
+    unsigned failedShards = 0;  //!< shards that exhausted retries
+    unsigned retries = 0;       //!< failed attempts that were retried
+    unsigned resumedShards = 0; //!< satisfied from a previous sweep
+
+    /** Every shard completed and every result merged. */
+    bool ok() const { return failedShards == 0; }
+};
+
+class ShardRunner
+{
+  public:
+    explicit ShardRunner(ShardOptions opts);
+
+    /**
+     * Run `grid` sharded across worker processes and merge the shard
+     * results.  Creates (or resumes) the sweep directory.  Fatal only
+     * on caller errors (empty grid, unusable sweep dir, a manifest
+     * recorded for a different grid); worker failures degrade into
+     * `failedShards` + manifest records instead.
+     */
+    SweepOutcome run(const std::vector<SimConfig> &grid);
+
+    /**
+     * Worker entry point for `--shard-spec FILE`: load the spec, run
+     * its configs through SimRunner, publish the CRC'd result file
+     * atomically.  Returns the process exit code (0 = published).
+     *
+     * Failure-injection hooks for tests/CI, matched against the spec's
+     * shard id and attempt (value format "<shard>@<attempt>" or
+     * "<shard>@*"):
+     *   TMCC_SHARD_TEST_KILL     raise(SIGKILL) mid-shard
+     *   TMCC_SHARD_TEST_HANG     hang mid-shard until the watchdog
+     *   TMCC_SHARD_TEST_CORRUPT  publish a result file with a bad CRC
+     */
+    static int workerMain(const std::string &specPath);
+
+    /** Process-wide sweep totals (BenchReport's shard-aware fields). */
+    struct Totals
+    {
+        std::uint64_t sweeps = 0;
+        std::uint64_t shardRuns = 0; //!< worker attempts launched
+        std::uint64_t retries = 0;
+        std::uint64_t failedShards = 0;
+        std::uint64_t resumedShards = 0;
+    };
+    static Totals totals();
+    static void resetTotals(); //!< tests
+
+  private:
+    ShardOptions opts_;
+};
+
+} // namespace tmcc
+
+#endif // TMCC_SIM_SHARD_RUNNER_HH

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * ShardRunner supervisor: the multi-process sweep must merge
+ * bit-identically with a serial SimRunner run — including across the
+ * whole failure taxonomy (worker SIGKILL mid-shard, hung worker reaped
+ * by the watchdog, corrupt result file rejected by CRC, retry
+ * exhaustion) — and an interrupted sweep must resume by re-running only
+ * the missing/failed shards.
+ *
+ * This binary is its own worker: main() dispatches `--shard-spec FILE`
+ * to ShardRunner::workerMain before gtest initialization, and the
+ * supervisor under test re-execs /proc/self/exe.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "sim/runner.hh"
+#include "sim/shard_runner.hh"
+#include "sim/sweep_manifest.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+SimConfig
+tinyConfig(Arch arch, const std::string &workload, double scale = 0.02)
+{
+    SimConfig cfg = SimConfig::scaledDefault();
+    cfg.workload = workload;
+    cfg.scale = scale;
+    cfg.arch = arch;
+    cfg.placementAccesses = 10'000;
+    cfg.warmAccesses = 5'000;
+    cfg.measureAccesses = 10'000;
+    return cfg;
+}
+
+/** A small grid mixing workloads and architectures. */
+std::vector<SimConfig>
+grid()
+{
+    return {
+        tinyConfig(Arch::NoCompression, "pageRank"),
+        tinyConfig(Arch::Tmcc, "pageRank"),
+        tinyConfig(Arch::Compresso, "stream"),
+        tinyConfig(Arch::Tmcc, "blackscholes", 0.1),
+    };
+}
+
+/** Serial ground truth, computed once per test binary. */
+const std::vector<SimResult> &
+serialBaseline()
+{
+    static const std::vector<SimResult> results =
+        SimRunner(1).run(grid());
+    return results;
+}
+
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.storeAccesses, b.storeAccesses);
+    EXPECT_EQ(a.elapsed, b.elapsed);
+    EXPECT_EQ(a.tlbMisses, b.tlbMisses);
+    EXPECT_EQ(a.tlbHits, b.tlbHits);
+    EXPECT_EQ(a.llcMisses, b.llcMisses);
+    EXPECT_EQ(a.llcWritebacks, b.llcWritebacks);
+    EXPECT_EQ(a.cteHits, b.cteHits);
+    EXPECT_EQ(a.cteMisses, b.cteMisses);
+    EXPECT_EQ(a.ml2Accesses, b.ml2Accesses);
+    EXPECT_EQ(a.footprintBytes, b.footprintBytes);
+    EXPECT_EQ(a.dramUsedBytes, b.dramUsedBytes);
+    // Bit-identical, not approximately equal: the process boundary
+    // (serialize, publish, CRC, merge) must not perturb a single bit.
+    EXPECT_EQ(a.avgL3MissLatencyNs, b.avgL3MissLatencyNs);
+    EXPECT_EQ(a.readBusUtil, b.readBusUtil);
+    EXPECT_EQ(a.writeBusUtil, b.writeBusUtil);
+    EXPECT_EQ(a.stats.all(), b.stats.all());
+    EXPECT_EQ(a.l3MissLatency.buckets(), b.l3MissLatency.buckets());
+    EXPECT_EQ(a.l3MissLatency.sampleSum(), b.l3MissLatency.sampleSum());
+    EXPECT_EQ(a.pageWalkLatency.buckets(), b.pageWalkLatency.buckets());
+}
+
+class ShardRunnerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ::unsetenv("TMCC_SHARD_TEST_KILL");
+        ::unsetenv("TMCC_SHARD_TEST_HANG");
+        ::unsetenv("TMCC_SHARD_TEST_CORRUPT");
+        dir_ = fs::temp_directory_path() /
+               ("tmcc_shard_runner_test_" + std::to_string(::getpid()) +
+                "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        fs::remove_all(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        ::unsetenv("TMCC_SHARD_TEST_KILL");
+        ::unsetenv("TMCC_SHARD_TEST_HANG");
+        ::unsetenv("TMCC_SHARD_TEST_CORRUPT");
+        fs::remove_all(dir_);
+    }
+
+    /** Fast-retry options targeting this test's sweep directory. */
+    ShardOptions
+    options(unsigned shards = 3) const
+    {
+        ShardOptions o;
+        o.shards = shards;
+        o.workerJobs = 1;
+        o.maxAttempts = 3;
+        o.backoffSeconds = 0.05;
+        o.sweepDir = dir_.string();
+        o.workerPath = "/proc/self/exe";
+        o.verbose = false;
+        return o;
+    }
+
+    fs::path dir_;
+};
+
+void
+expectMergedMatchesSerial(const SweepOutcome &out)
+{
+    const auto &serial = serialBaseline();
+    ASSERT_EQ(out.results.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("config " + std::to_string(i));
+        ASSERT_TRUE(out.resultValid[i]);
+        expectIdentical(serial[i], out.results[i]);
+    }
+}
+
+TEST_F(ShardRunnerTest, MergedResultsBitIdenticalToSerial)
+{
+    SweepOutcome out = ShardRunner(options()).run(grid());
+    EXPECT_TRUE(out.ok());
+    EXPECT_EQ(out.completedShards, 3u);
+    EXPECT_EQ(out.failedShards, 0u);
+    EXPECT_EQ(out.retries, 0u);
+    expectMergedMatchesSerial(out);
+}
+
+TEST_F(ShardRunnerTest, MoreShardsThanConfigsClampsPartition)
+{
+    const std::vector<SimConfig> two = {grid()[0], grid()[1]};
+    SweepOutcome out = ShardRunner(options(8)).run(two);
+    EXPECT_TRUE(out.ok());
+    // Partition clamps to one shard per config.
+    EXPECT_EQ(out.shards.size(), 2u);
+    EXPECT_TRUE(out.resultValid[0]);
+    EXPECT_TRUE(out.resultValid[1]);
+    expectIdentical(serialBaseline()[0], out.results[0]);
+    expectIdentical(serialBaseline()[1], out.results[1]);
+}
+
+TEST_F(ShardRunnerTest, WorkerSigkillMidShardIsRetriedBitIdentically)
+{
+    // Shard 1's first attempt dies by SIGKILL after finishing its
+    // first config (mid-shard, nothing published); the retry runs
+    // clean.
+    ::setenv("TMCC_SHARD_TEST_KILL", "1@1", 1);
+    SweepOutcome out = ShardRunner(options()).run(grid());
+    EXPECT_TRUE(out.ok());
+    EXPECT_EQ(out.retries, 1u);
+    EXPECT_EQ(out.failedShards, 0u);
+    EXPECT_EQ(out.completedShards, 3u);
+    ASSERT_EQ(out.shards.size(), 3u);
+    EXPECT_EQ(out.shards[1].state, ShardState::Done);
+    EXPECT_EQ(out.shards[1].attempts, 2u);
+    expectMergedMatchesSerial(out);
+}
+
+TEST_F(ShardRunnerTest, HungWorkerIsKilledByWatchdogAndRetried)
+{
+    // Shard 0's first attempt wedges forever after its first config;
+    // the watchdog must SIGKILL it and the retry completes.
+    ::setenv("TMCC_SHARD_TEST_HANG", "0@1", 1);
+    ShardOptions o = options();
+    o.timeoutSeconds = 3.0;
+    SweepOutcome out = ShardRunner(o).run(grid());
+    EXPECT_TRUE(out.ok());
+    EXPECT_EQ(out.retries, 1u);
+    ASSERT_EQ(out.shards.size(), 3u);
+    EXPECT_EQ(out.shards[0].state, ShardState::Done);
+    EXPECT_EQ(out.shards[0].attempts, 2u);
+    expectMergedMatchesSerial(out);
+}
+
+TEST_F(ShardRunnerTest, CorruptResultFileIsRejectedAndRetried)
+{
+    // Shard 0's first attempt publishes a result file whose payload
+    // fails its CRC; the supervisor must reject it (not merge garbage)
+    // and retry.
+    ::setenv("TMCC_SHARD_TEST_CORRUPT", "0@1", 1);
+    SweepOutcome out = ShardRunner(options()).run(grid());
+    EXPECT_TRUE(out.ok());
+    EXPECT_EQ(out.retries, 1u);
+    ASSERT_EQ(out.shards.size(), 3u);
+    EXPECT_EQ(out.shards[0].state, ShardState::Done);
+    EXPECT_EQ(out.shards[0].attempts, 2u);
+    expectMergedMatchesSerial(out);
+}
+
+TEST_F(ShardRunnerTest, RetryExhaustionDegradesGracefully)
+{
+    // Shard 1 dies on every attempt: the sweep must finish everything
+    // else, mark shard 1 Failed in the manifest with its attempt count
+    // and last error, and report not-ok.
+    ::setenv("TMCC_SHARD_TEST_KILL", "1@*", 1);
+    ShardOptions o = options();
+    o.maxAttempts = 2;
+    SweepOutcome out = ShardRunner(o).run(grid());
+    EXPECT_FALSE(out.ok());
+    EXPECT_EQ(out.failedShards, 1u);
+    EXPECT_EQ(out.retries, 1u);
+    EXPECT_EQ(out.completedShards, 2u);
+    ASSERT_EQ(out.shards.size(), 3u);
+    EXPECT_EQ(out.shards[1].state, ShardState::Failed);
+    EXPECT_EQ(out.shards[1].attempts, 2u);
+    EXPECT_NE(out.shards[1].lastError.find("signal 9"),
+              std::string::npos);
+
+    // Every config outside the failed shard merged bit-identically;
+    // the failed shard's configs are flagged invalid.
+    const auto &serial = serialBaseline();
+    for (std::size_t i = 0; i < out.results.size(); ++i) {
+        const bool onFailedShard =
+            std::find(out.shards[1].configIndices.begin(),
+                      out.shards[1].configIndices.end(),
+                      i) != out.shards[1].configIndices.end();
+        EXPECT_EQ(out.resultValid[i], !onFailedShard);
+        if (out.resultValid[i])
+            expectIdentical(serial[i], out.results[i]);
+    }
+
+    // The durable manifest agrees with the in-memory outcome.
+    const auto manifest =
+        SweepManifest::load((dir_ / "MANIFEST.tmccsweep").string());
+    ASSERT_TRUE(manifest.ok());
+    EXPECT_EQ(manifest->shards[1].state, ShardState::Failed);
+    EXPECT_EQ(manifest->shards[1].attempts, 2u);
+}
+
+TEST_F(ShardRunnerTest, ResumeRerunsOnlyMissingShards)
+{
+    // First pass: shard 2 exhausts one attempt and is marked Failed.
+    ::setenv("TMCC_SHARD_TEST_KILL", "2@*", 1);
+    ShardOptions o = options();
+    o.maxAttempts = 1;
+    SweepOutcome first = ShardRunner(o).run(grid());
+    EXPECT_FALSE(first.ok());
+    EXPECT_EQ(first.completedShards, 2u);
+
+    // Second pass in the same sweep dir, hook removed: the two Done
+    // shards resume from their result files (no re-run), only the
+    // failed shard gets a fresh attempt budget.
+    ::unsetenv("TMCC_SHARD_TEST_KILL");
+    SweepOutcome second = ShardRunner(options()).run(grid());
+    EXPECT_TRUE(second.ok());
+    EXPECT_EQ(second.resumedShards, 2u);
+    EXPECT_EQ(second.completedShards, 3u);
+    EXPECT_EQ(second.shards[2].attempts, 1u);
+    expectMergedMatchesSerial(second);
+}
+
+TEST_F(ShardRunnerTest, ResumeRejectsTamperedResultFile)
+{
+    // Complete a sweep, then damage one published result: resume must
+    // re-run that shard rather than merge the damaged file.
+    SweepOutcome first = ShardRunner(options()).run(grid());
+    ASSERT_TRUE(first.ok());
+
+    const std::string victim = (dir_ / "shard-001.result").string();
+    FILE *f = std::fopen(victim.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, -3, SEEK_END);
+    const int c = std::fgetc(f);
+    std::fseek(f, -1, SEEK_CUR);
+    std::fputc(c ^ 0xff, f);
+    std::fclose(f);
+
+    SweepOutcome second = ShardRunner(options()).run(grid());
+    EXPECT_TRUE(second.ok());
+    EXPECT_EQ(second.resumedShards, 2u); // shard 1 re-ran
+    EXPECT_EQ(second.shards[1].attempts, 1u);
+    expectMergedMatchesSerial(second);
+}
+
+using ShardRunnerDeathTest = ShardRunnerTest;
+
+TEST_F(ShardRunnerDeathTest, SweepDirOwnedByOtherGridIsFatal)
+{
+    SweepOutcome first = ShardRunner(options()).run(grid());
+    ASSERT_TRUE(first.ok());
+
+    std::vector<SimConfig> other = grid();
+    other[0].seed ^= 0x5a5a;
+    EXPECT_DEATH(ShardRunner(options()).run(other),
+                 "different sweep");
+}
+
+} // namespace
+} // namespace tmcc
+
+int
+main(int argc, char **argv)
+{
+    // Worker re-entry: the supervisor under test re-execs this binary
+    // with `--shard-spec FILE`, which must not fall into gtest.
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--shard-spec") == 0)
+            return tmcc::ShardRunner::workerMain(argv[i + 1]);
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
