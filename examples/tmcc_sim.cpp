@@ -26,6 +26,16 @@
  *                         trace of the run (env: TMCC_TRACE)
  *   --stats-interval N    snapshot epoch statistics every N measured
  *                         accesses (env: TMCC_STATS_INTERVAL)
+ *   --kernel MODE         measured-loop implementation: scalar|batch
+ *                         (default batch; scalar is the bit-identical
+ *                         reference oracle; env: TMCC_KERNEL)
+ *   --sample K:W[:WARM]   SMARTS-style interval sampling: fast-forward
+ *                         functionally between K evenly spaced detailed
+ *                         windows of W accesses/core (each preceded by
+ *                         WARM accesses/core of detailed warm-up,
+ *                         default W); headline metrics are reported as
+ *                         mean +/- 95% CI over the windows
+ *                         (env: TMCC_SAMPLE)
  *   --stats-out FILE      write the epoch time series as JSON
  *   --record FILE N       record N accesses of the workload to FILE
  *                         (no simulation) and exit
@@ -253,6 +263,11 @@ int
 main(int argc, char **argv)
 {
     SimConfig cfg = SimConfig::scaledDefault();
+    // The CLI defaults to the batched kernel: it is bit-identical to
+    // the scalar oracle (tests/sim/kernel_identity_test.cc) and much
+    // faster.  The library default stays Scalar so programmatic users
+    // opt in explicitly.
+    cfg.kernel = KernelMode::Batch;
     bool dump_all = false;
     bool scale_set = false;
     std::string sweep;
@@ -277,6 +292,10 @@ main(int argc, char **argv)
         env && *env)
         cfg.statsInterval =
             parsePositiveCount(env, "TMCC_STATS_INTERVAL");
+    if (const char *env = std::getenv("TMCC_KERNEL"); env && *env)
+        cfg.kernel = parseKernelMode("TMCC_KERNEL", env);
+    if (const char *env = std::getenv("TMCC_SAMPLE"); env && *env)
+        parseSampleSpec("TMCC_SAMPLE", env, cfg);
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -337,6 +356,16 @@ main(int argc, char **argv)
             cfg.statsInterval = parsePositiveCount(
                 arg.c_str() + std::strlen("--stats-interval="),
                 "--stats-interval");
+        } else if (arg == "--kernel") {
+            cfg.kernel = parseKernelMode("--kernel", value());
+        } else if (arg.rfind("--kernel=", 0) == 0) {
+            cfg.kernel = parseKernelMode(
+                "--kernel", arg.substr(std::strlen("--kernel=")));
+        } else if (arg == "--sample") {
+            parseSampleSpec("--sample", value(), cfg);
+        } else if (arg.rfind("--sample=", 0) == 0) {
+            parseSampleSpec("--sample",
+                            arg.substr(std::strlen("--sample=")), cfg);
         } else if (arg == "--stats-out") {
             stats_out = value();
         } else if (arg.rfind("--stats-out=", 0) == 0) {
@@ -599,6 +628,21 @@ main(int argc, char **argv)
                     "rejects %lu\n",
                     stat("mc.cte_mismatch"),
                     stat("mc.ptb_decode_rejects"));
+    }
+
+    if (r.sample.windows > 0) {
+        std::printf("sampling            %llu windows x %llu accesses "
+                    "(+%llu warm-up) per core, %llu fast-forwarded\n",
+                    static_cast<unsigned long long>(r.sample.windows),
+                    static_cast<unsigned long long>(
+                        r.sample.windowAccesses),
+                    static_cast<unsigned long long>(
+                        r.sample.warmupAccesses),
+                    static_cast<unsigned long long>(
+                        r.sample.ffAccesses));
+        for (const SampleMetric &m : r.sample.metrics)
+            std::printf("  %-24s %12.5g +/- %.5g (95%% CI)\n",
+                        m.name.c_str(), m.mean, m.ci95);
     }
 
     if (!r.epochs.empty()) {

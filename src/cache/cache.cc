@@ -15,135 +15,9 @@ Cache::Cache(std::string name, std::size_t size_bytes, unsigned assoc)
     sets_ = size_bytes / (blockSize * assoc);
     setsPow2_ = isPowerOf2(sets_);
     setMask_ = setsPow2_ ? sets_ - 1 : 0;
-    ways_.resize(sets_ * assoc_);
-}
-
-std::size_t
-Cache::setIndex(Addr addr) const
-{
-    // Power-of-two set counts (every standard geometry) index with a
-    // mask; odd geometries take the general modulo path.
-    const auto blk = static_cast<std::size_t>(blockNumber(addr));
-    return setsPow2_ ? (blk & setMask_) : (blk % sets_);
-}
-
-Cache::Way *
-Cache::find(Addr addr)
-{
-    const Addr tag = blockAlign(addr);
-    Way *base = &ways_[setIndex(addr) * assoc_];
-    for (unsigned w = 0; w < assoc_; ++w)
-        if (base[w].valid && base[w].tag == tag)
-            return &base[w];
-    return nullptr;
-}
-
-const Cache::Way *
-Cache::find(Addr addr) const
-{
-    return const_cast<Cache *>(this)->find(addr);
-}
-
-bool
-Cache::access(Addr addr, bool is_write)
-{
-    Way *w = find(addr);
-    if (w == nullptr) {
-        misses_.inc();
-        return false;
-    }
-    hits_.inc();
-    w->lru = ++lruClock_;
-    w->dirty |= is_write;
-    return true;
-}
-
-bool
-Cache::probe(Addr addr) const
-{
-    return find(addr) != nullptr;
-}
-
-std::optional<CacheLine>
-Cache::insert(const CacheLine &line)
-{
-    const Addr tag = blockAlign(line.addr);
-
-    // Refresh in place if already resident.
-    if (Way *w = find(tag); w != nullptr) {
-        w->lru = ++lruClock_;
-        w->dirty |= line.dirty;
-        w->compressed = line.compressed;
-        return std::nullopt;
-    }
-
-    Way *base = &ways_[setIndex(tag) * assoc_];
-    Way *victim = &base[0];
-    for (unsigned i = 1; i < assoc_; ++i) {
-        if (!base[i].valid) {
-            victim = &base[i];
-            break;
-        }
-        if (base[i].lru < victim->lru && victim->valid)
-            victim = &base[i];
-    }
-
-    std::optional<CacheLine> evicted;
-    if (victim->valid) {
-        evictions_.inc();
-        if (victim->dirty)
-            dirtyEvictions_.inc();
-        evicted = CacheLine{victim->tag, victim->dirty,
-                            victim->compressed};
-    }
-    victim->tag = tag;
-    victim->valid = true;
-    victim->dirty = line.dirty;
-    victim->compressed = line.compressed;
-    victim->lru = ++lruClock_;
-    return evicted;
-}
-
-std::optional<CacheLine>
-Cache::extract(Addr addr)
-{
-    Way *w = find(addr);
-    if (w == nullptr)
-        return std::nullopt;
-    CacheLine line{w->tag, w->dirty, w->compressed};
-    w->valid = false;
-    w->dirty = false;
-    return line;
-}
-
-void
-Cache::invalidate(Addr addr)
-{
-    if (Way *w = find(addr); w != nullptr) {
-        w->valid = false;
-        w->dirty = false;
-    }
-}
-
-bool
-Cache::isCompressed(Addr addr) const
-{
-    const Way *w = find(addr);
-    return w != nullptr && w->compressed;
-}
-
-void
-Cache::setCompressed(Addr addr, bool compressed)
-{
-    if (Way *w = find(addr); w != nullptr)
-        w->compressed = compressed;
-}
-
-void
-Cache::markDirty(Addr addr)
-{
-    if (Way *w = find(addr); w != nullptr)
-        w->dirty = true;
+    tags_.assign(sets_ * assoc_, invalidAddr);
+    lru_.assign(sets_ * assoc_, 0);
+    flags_.assign(sets_ * assoc_, 0);
 }
 
 void

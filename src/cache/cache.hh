@@ -6,7 +6,11 @@
  * whether the cacheline is compressed").
  *
  * The model is functional (hits/misses/evictions); latency composition
- * is the pipeline's job.
+ * is the pipeline's job.  State is structure-of-arrays (contiguous tag
+ * / LRU / flag arrays) so the tag-probe loop in the measured kernel is
+ * a tight scan over one cache line of metadata per set, and the hot
+ * methods are defined inline here so both the scalar and the batched
+ * access kernels can fold them into their loops.
  */
 
 #ifndef TMCC_CACHE_CACHE_HH
@@ -41,32 +45,190 @@ class Cache : public Stated
      * Look up `addr` (any address; aligned internally).  On hit the LRU
      * state updates and `is_write` sets the dirty bit.  Returns hit.
      */
-    bool access(Addr addr, bool is_write);
+    bool
+    access(Addr addr, bool is_write)
+    {
+        const std::size_t w = find(addr);
+        if (w == npos) {
+            misses_.inc();
+            return false;
+        }
+        hits_.inc();
+        lru_[w] = ++lruClock_;
+        flags_[w] |= is_write ? Dirty : 0;
+        return true;
+    }
 
     /** Hit check without LRU/dirty side effects. */
-    bool probe(Addr addr) const;
+    bool probe(Addr addr) const { return find(addr) != npos; }
 
     /**
      * Insert a line, returning the evicted victim if any.  The victim
      * is returned regardless of dirtiness; the caller decides whether a
      * clean eviction matters (exclusive hierarchies need it).
      */
-    std::optional<CacheLine> insert(const CacheLine &line);
+    std::optional<CacheLine>
+    insert(const CacheLine &line)
+    {
+        const Addr tag = blockAlign(line.addr);
+
+        // One pass over the set: resident-way match plus the two
+        // victim candidates.  Victim order is kept exactly as the
+        // original two-scan version evaluated it (results depend on
+        // it): first invalid way among 1..N-1, else way 0 when
+        // invalid, else the LRU way (stamps unique).
+        const std::size_t base = setIndex(tag) * assoc_;
+        std::size_t match = npos, first_inv = npos, min_idx = base;
+        std::uint64_t min_lru = lru_[base];
+        for (unsigned i = 0; i < assoc_; ++i) {
+            const std::size_t w = base + i;
+            if (tags_[w] == tag) {
+                match = w;
+                break;
+            }
+            if (i == 0)
+                continue;
+            if (tags_[w] == invalidAddr) {
+                if (first_inv == npos)
+                    first_inv = w;
+            } else if (lru_[w] < min_lru) {
+                min_lru = lru_[w];
+                min_idx = w;
+            }
+        }
+
+        // Refresh in place if already resident.
+        if (match != npos) {
+            lru_[match] = ++lruClock_;
+            flags_[match] = static_cast<std::uint8_t>(
+                (flags_[match] & ~Compressed) |
+                (line.dirty ? Dirty : 0) |
+                (line.compressed ? Compressed : 0));
+            return std::nullopt;
+        }
+
+        const std::size_t victim =
+            first_inv != npos
+                ? first_inv
+                : (tags_[base] == invalidAddr ? base : min_idx);
+
+        std::optional<CacheLine> evicted;
+        if (flags_[victim] & Valid) {
+            evictions_.inc();
+            if (flags_[victim] & Dirty)
+                dirtyEvictions_.inc();
+            evicted = CacheLine{tags_[victim],
+                                (flags_[victim] & Dirty) != 0,
+                                (flags_[victim] & Compressed) != 0};
+        }
+        tags_[victim] = tag;
+        flags_[victim] = static_cast<std::uint8_t>(
+            Valid | (line.dirty ? Dirty : 0) |
+            (line.compressed ? Compressed : 0));
+        lru_[victim] = ++lruClock_;
+        return evicted;
+    }
+
+    /**
+     * Functional find-or-replace in a single pass over the set: the
+     * fast-forward path of interval sampling keeps this cache warm
+     * without paying the split access()+insert() bookkeeping.  On hit
+     * the LRU refreshes and the dirty bit accumulates; on miss the
+     * line replaces the victim (free way first, else LRU) and the
+     * evicted line lands in `evicted` (addr == invalidAddr if none).
+     * Returns hit.  Counts hits/misses/evictions like the split path.
+     */
+    bool
+    touch(const CacheLine &line, CacheLine &evicted)
+    {
+        const Addr tag = blockAlign(line.addr);
+        const std::size_t base = setIndex(tag) * assoc_;
+        std::size_t victim = base;
+        std::uint64_t best = tags_[base] == invalidAddr ? 0 : lru_[base];
+        for (unsigned i = 0; i < assoc_; ++i) {
+            const std::size_t w = base + i;
+            if (tags_[w] == tag) {
+                hits_.inc();
+                lru_[w] = ++lruClock_;
+                flags_[w] |= line.dirty ? Dirty : 0;
+                evicted.addr = invalidAddr;
+                return true;
+            }
+            const std::uint64_t score =
+                tags_[w] == invalidAddr ? 0 : lru_[w];
+            if (score < best) {
+                best = score;
+                victim = w;
+            }
+        }
+        misses_.inc();
+        if (tags_[victim] != invalidAddr) {
+            evictions_.inc();
+            if (flags_[victim] & Dirty)
+                dirtyEvictions_.inc();
+            evicted = CacheLine{tags_[victim],
+                                (flags_[victim] & Dirty) != 0,
+                                (flags_[victim] & Compressed) != 0};
+        } else {
+            evicted.addr = invalidAddr;
+        }
+        tags_[victim] = tag;
+        flags_[victim] = static_cast<std::uint8_t>(
+            Valid | (line.dirty ? Dirty : 0) |
+            (line.compressed ? Compressed : 0));
+        lru_[victim] = ++lruClock_;
+        return false;
+    }
 
     /** Remove a line (for exclusive-hierarchy promotion); returns it. */
-    std::optional<CacheLine> extract(Addr addr);
+    std::optional<CacheLine>
+    extract(Addr addr)
+    {
+        const std::size_t w = find(addr);
+        if (w == npos)
+            return std::nullopt;
+        CacheLine line{tags_[w], (flags_[w] & Dirty) != 0,
+                       (flags_[w] & Compressed) != 0};
+        flags_[w] &= static_cast<std::uint8_t>(~(Valid | Dirty));
+        tags_[w] = invalidAddr;
+        return line;
+    }
 
     /** Invalidate without returning (back-invalidation). */
-    void invalidate(Addr addr);
+    void
+    invalidate(Addr addr)
+    {
+        if (const std::size_t w = find(addr); w != npos) {
+            flags_[w] &= static_cast<std::uint8_t>(~(Valid | Dirty));
+            tags_[w] = invalidAddr;
+        }
+    }
 
     /** Read the compressed bit of a resident line. */
-    bool isCompressed(Addr addr) const;
+    bool
+    isCompressed(Addr addr) const
+    {
+        const std::size_t w = find(addr);
+        return w != npos && (flags_[w] & Compressed);
+    }
 
     /** Set the compressed bit of a resident line. */
-    void setCompressed(Addr addr, bool compressed);
+    void
+    setCompressed(Addr addr, bool compressed)
+    {
+        if (const std::size_t w = find(addr); w != npos)
+            flags_[w] = static_cast<std::uint8_t>(
+                compressed ? (flags_[w] | Compressed)
+                           : (flags_[w] & ~Compressed));
+    }
 
     /** Mark a resident line dirty (e.g., lazily updated PTB). */
-    void markDirty(Addr addr);
+    void
+    markDirty(Addr addr)
+    {
+        if (const std::size_t w = find(addr); w != npos)
+            flags_[w] |= Dirty;
+    }
 
     std::size_t sizeBytes() const { return sets_ * assoc_ * blockSize; }
     unsigned associativity() const { return assoc_; }
@@ -80,25 +242,54 @@ class Cache : public Stated
     std::uint64_t misses() const { return misses_.value(); }
 
   private:
-    struct Way
+    static constexpr std::size_t npos = ~static_cast<std::size_t>(0);
+
+    // Way metadata flag bits (flags_ bytes).
+    enum : std::uint8_t
     {
-        Addr tag = invalidAddr;
-        bool valid = false;
-        bool dirty = false;
-        bool compressed = false;
-        std::uint64_t lru = 0;
+        Valid = 1,
+        Dirty = 2,
+        Compressed = 4,
     };
 
-    std::size_t setIndex(Addr addr) const;
-    Way *find(Addr addr);
-    const Way *find(Addr addr) const;
+    std::size_t
+    setIndex(Addr addr) const
+    {
+        // Power-of-two set counts (every standard geometry) index with
+        // a mask; odd geometries take the general modulo path.
+        const auto blk = static_cast<std::size_t>(blockNumber(addr));
+        return setsPow2_ ? (blk & setMask_) : (blk % sets_);
+    }
+
+    /**
+     * Index of the way holding `addr`, or npos.  Invalid ways hold
+     * the invalidAddr tag (never block-aligned, so no real probe can
+     * match it); the scan is then a pure tag compare with no early
+     * exit, which the compiler turns into a handful of vector
+     * compares — this is the single hottest loop in the simulator.
+     */
+    std::size_t
+    find(Addr addr) const
+    {
+        const Addr tag = blockAlign(addr);
+        const std::size_t base = setIndex(addr) * assoc_;
+        std::size_t w = npos;
+        for (unsigned i = 0; i < assoc_; ++i)
+            if (tags_[base + i] == tag)
+                w = base + i;
+        return w;
+    }
 
     std::string name_;
     std::size_t sets_;
     bool setsPow2_ = true;   //!< shift-mask indexing fast path
     std::size_t setMask_ = 0; //!< sets_ - 1 when setsPow2_
     unsigned assoc_;
-    std::vector<Way> ways_; //!< sets_ x assoc_ flattened
+
+    // Structure-of-arrays way metadata, sets_ x assoc_ flattened.
+    std::vector<Addr> tags_;
+    std::vector<std::uint64_t> lru_;
+    std::vector<std::uint8_t> flags_;
     std::uint64_t lruClock_ = 0;
 
     Counter hits_, misses_, evictions_, dirtyEvictions_;

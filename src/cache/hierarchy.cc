@@ -38,143 +38,26 @@ Hierarchy::consumePrefetched(Addr addr)
     return prefetched_.erase(blockAlign(addr)) != 0;
 }
 
-void
-Hierarchy::fillL1(unsigned core, const CacheLine &line)
-{
-    // Software-visible L1 copies are always decompressed (§V-A4).
-    CacheLine l1_line = line;
-    l1_line.compressed = false;
-    const auto victim = l1_[core]->insert(l1_line);
-    if (victim && victim->dirty) {
-        // L2 is inclusive of L1: the victim's data lives in L2; fold
-        // the dirtiness down.
-        l2_[core]->markDirty(victim->addr);
-    }
-}
-
-void
-Hierarchy::fillL2(unsigned core, const CacheLine &line,
-                  std::vector<CacheLine> &writebacks)
-{
-    auto victim = l2_[core]->insert(line);
-    if (!victim)
-        return;
-
-    // Inclusive L2: back-invalidate the L1 copy, folding its dirtiness
-    // into the departing line.
-    const auto l1_copy = l1_[core]->extract(victim->addr);
-    if (l1_copy && l1_copy->dirty)
-        victim->dirty = true;
-
-    // Snoop filter: if another core's L2 still holds the line, the
-    // exclusive L3 must not take a second copy; fold the dirtiness
-    // into the surviving copy instead.
-    for (unsigned other = 0; other < l2_.size(); ++other) {
-        if (other == core)
-            continue;
-        if (l2_[other]->probe(victim->addr)) {
-            if (victim->dirty)
-                l2_[other]->markDirty(victim->addr);
-            return;
-        }
-    }
-
-    // Exclusive L3 receives L2 victims.
-    const auto l3_victim = l3_->insert(*victim);
-    if (l3_victim && l3_victim->dirty)
-        writebacks.push_back(*l3_victim);
-}
-
 AccessOutcome
 Hierarchy::access(unsigned core, Addr addr, bool is_write,
                   bool from_walker)
 {
-    AccessOutcome out;
-    const Addr block = blockAlign(addr);
-
-    if (from_walker)
-        walkerAccesses_.inc();
-    else
-        demandAccesses_.inc();
-
-    if (consumePrefetched(block)) {
-        nextLineL1_[core]->markUseful();
-        nextLineL2_[core]->markUseful();
-    }
-
-    // L1 (skipped by the page walker).
-    if (!from_walker) {
-        const bool l1_hit = l1_[core]->access(block, is_write);
-        if (cfg_.prefetchers) {
-            nextLineL1_[core]->observe(block, !l1_hit, out.prefetches);
-            strideL1_[core]->observe(block, !l1_hit, out.prefetches);
-        }
-        if (l1_hit) {
-            out.level = HitLevel::L1;
-            return out;
-        }
-    }
-
-    // L2.
-    const bool l2_hit = l2_[core]->access(block, is_write && from_walker);
-    if (cfg_.prefetchers && !from_walker) {
-        nextLineL2_[core]->observe(block, !l2_hit, out.prefetches);
-        strideL2_[core]->observe(block, !l2_hit, out.prefetches);
-    }
-    if (l2_hit) {
-        out.level = HitLevel::L2;
-        out.compressedCopy = l2_[core]->isCompressed(block);
-        if (!from_walker)
-            fillL1(core, CacheLine{block, is_write, false});
-        return out;
-    }
-
-    // L3 (exclusive: hits are extracted and promoted to L2/L1).
-    if (auto line = l3_->extract(block); line.has_value()) {
-        out.level = HitLevel::L3;
-        out.compressedCopy = line->compressed;
-        CacheLine promoted = *line;
-        promoted.dirty |= is_write && from_walker;
-        fillL2(core, promoted, out.memWritebacks);
-        if (!from_walker)
-            fillL1(core, CacheLine{block, is_write, false});
-        return out;
-    }
-
-    l3Misses_.inc();
-    out.level = HitLevel::Memory;
-    return out;
+    return accessT<AccessOutcome>(core, addr, is_write, from_walker);
 }
 
 AccessOutcome
 Hierarchy::fill(unsigned core, Addr addr, bool is_write, bool compressed,
                 bool from_walker)
 {
-    AccessOutcome out;
-    out.level = HitLevel::Memory;
-    const Addr block = blockAlign(addr);
-
-    CacheLine line{block, is_write && from_walker, compressed};
-    fillL2(core, line, out.memWritebacks);
-    if (!from_walker)
-        fillL1(core, CacheLine{block, is_write, false});
-    return out;
+    return fillT<AccessOutcome>(core, addr, is_write, compressed,
+                                from_walker);
 }
 
 bool
 Hierarchy::prefetchLookup(unsigned core, Addr addr,
                           std::vector<CacheLine> &out)
 {
-    const Addr block = blockAlign(addr);
-    if (l1_[core]->probe(block) || l2_[core]->probe(block))
-        return false;
-
-    notePrefetched(block);
-    if (auto line = l3_->extract(block); line.has_value()) {
-        fillL2(core, *line, out);
-        return false;
-    }
-    return true; // caller fetches from memory, then calls fill()
+    return prefetchLookupT(core, addr, out);
 }
 
 bool

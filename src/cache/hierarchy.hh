@@ -15,6 +15,14 @@
  * compressed ("when receiving an uncompressed block from L3, if the
  * requester is the page walker, L2 compresses the block before caching
  * it").
+ *
+ * The access/fill/prefetch paths are member templates parameterized on
+ * the outcome/sink type: the public vector-based API (used by the
+ * scalar oracle kernel) instantiates them with AccessOutcome, while the
+ * batched kernel instantiates them with fixed-capacity SmallVec sinks
+ * so the whole path inlines without allocation.  Both instantiations
+ * execute the same statements in the same order, which is what makes
+ * the two kernels bit-identical.
  */
 
 #ifndef TMCC_CACHE_HIERARCHY_HH
@@ -25,6 +33,8 @@
 
 #include "cache/cache.hh"
 #include "cache/prefetcher.hh"
+#include "common/flat_set.hh"
+#include "common/log.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -54,6 +64,35 @@ struct HierarchyConfig
     unsigned strideDegreeL2 = 4;
 };
 
+/**
+ * Fixed-capacity inline vector for the batched kernel's outcome sinks:
+ * no heap traffic on the hot path, and overflowing the static bound is
+ * a simulator bug (the bounds are derived from the maximum writeback /
+ * prefetch fan-out of one access).
+ */
+template <class T, std::size_t N>
+class SmallVec
+{
+  public:
+    void
+    push_back(const T &v)
+    {
+        panicIf(count_ == N, "SmallVec overflow");
+        items_[count_++] = v;
+    }
+
+    void clear() { count_ = 0; }
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    const T *begin() const { return items_; }
+    const T *end() const { return items_ + count_; }
+    const T &operator[](std::size_t i) const { return items_[i]; }
+
+  private:
+    T items_[N];
+    std::size_t count_ = 0;
+};
+
 /** Result of one access or fill. */
 struct AccessOutcome
 {
@@ -67,6 +106,27 @@ struct AccessOutcome
 
     /** Prefetch proposals raised by this access (demand path only). */
     std::vector<Addr> prefetches;
+};
+
+/**
+ * AccessOutcome shape with inline storage for the batched kernel.  One
+ * access spills at most one L3 victim per fill plus the prefetch-fill
+ * spills (bounded well under 4); prefetch proposals are bounded by
+ * next-line (1) + stride degree 2 at L1 and next-line (1) + stride
+ * degree 4 at L2 = 8.
+ */
+struct SmallOutcome
+{
+    HitLevel level = HitLevel::Memory;
+    bool compressedCopy = false;
+    SmallVec<CacheLine, 4> memWritebacks;
+    SmallVec<Addr, 8> prefetches;
+};
+
+/** Writeback sink that drops the lines (functional fast-forward). */
+struct DiscardWb
+{
+    void push_back(const CacheLine &) {}
 };
 
 /** The full multi-core cache hierarchy. */
@@ -100,6 +160,202 @@ class Hierarchy : public Stated
     bool prefetchLookup(unsigned core, Addr addr,
                         std::vector<CacheLine> &out);
 
+    /** access() over any outcome shape (see file header). */
+    template <class Out>
+    Out
+    accessT(unsigned core, Addr addr, bool is_write, bool from_walker)
+    {
+        Out out;
+        const Addr block = blockAlign(addr);
+
+        if (from_walker)
+            walkerAccesses_.inc();
+        else
+            demandAccesses_.inc();
+
+        if (consumePrefetched(block)) {
+            nextLineL1_[core]->markUseful();
+            nextLineL2_[core]->markUseful();
+        }
+
+        // L1 (skipped by the page walker).
+        if (!from_walker) {
+            const bool l1_hit = l1_[core]->access(block, is_write);
+            if (cfg_.prefetchers) {
+                nextLineL1_[core]->observeT(block, !l1_hit,
+                                            out.prefetches);
+                strideL1_[core]->observeT(block, !l1_hit,
+                                          out.prefetches);
+            }
+            if (l1_hit) {
+                out.level = HitLevel::L1;
+                return out;
+            }
+        }
+
+        // L2.
+        const bool l2_hit =
+            l2_[core]->access(block, is_write && from_walker);
+        if (cfg_.prefetchers && !from_walker) {
+            nextLineL2_[core]->observeT(block, !l2_hit, out.prefetches);
+            strideL2_[core]->observeT(block, !l2_hit, out.prefetches);
+        }
+        if (l2_hit) {
+            out.level = HitLevel::L2;
+            out.compressedCopy = l2_[core]->isCompressed(block);
+            if (!from_walker)
+                fillL1(core, CacheLine{block, is_write, false});
+            return out;
+        }
+
+        // L3 (exclusive: hits are extracted and promoted to L2/L1).
+        if (auto line = l3_->extract(block); line.has_value()) {
+            out.level = HitLevel::L3;
+            out.compressedCopy = line->compressed;
+            CacheLine promoted = *line;
+            promoted.dirty |= is_write && from_walker;
+            fillL2T(core, promoted, out.memWritebacks);
+            if (!from_walker)
+                fillL1(core, CacheLine{block, is_write, false});
+            return out;
+        }
+
+        l3Misses_.inc();
+        out.level = HitLevel::Memory;
+        return out;
+    }
+
+    /** fill() over any outcome shape. */
+    template <class Out>
+    Out
+    fillT(unsigned core, Addr addr, bool is_write, bool compressed,
+          bool from_walker)
+    {
+        Out out;
+        out.level = HitLevel::Memory;
+        const Addr block = blockAlign(addr);
+
+        CacheLine line{block, is_write && from_walker, compressed};
+        fillL2T(core, line, out.memWritebacks);
+        if (!from_walker)
+            fillL1(core, CacheLine{block, is_write, false});
+        return out;
+    }
+
+    /** prefetchLookup() over any writeback sink. */
+    template <class Sink>
+    bool
+    prefetchLookupT(unsigned core, Addr addr, Sink &out)
+    {
+        const Addr block = blockAlign(addr);
+        if (l1_[core]->probe(block) || l2_[core]->probe(block))
+            return false;
+
+        notePrefetched(block);
+        if (auto line = l3_->extract(block); line.has_value()) {
+            fillL2T(core, *line, out);
+            return false;
+        }
+        return true; // caller fetches from memory, then calls fill()
+    }
+
+    /**
+     * Timing-free demand probe + fill for functional fast-forward
+     * (interval sampling): updates residency/LRU/dirty state exactly
+     * like a demand access but skips the prefetchers and drops any
+     * writeback (no MC timing to bill it to).  Returns true when the
+     * block had to come from memory, so the caller can functionally
+     * touch the MC's translation/placement state.
+     */
+    bool
+    functionalAccess(unsigned core, Addr addr, bool is_write,
+                     bool from_walker = false)
+    {
+        // SMARTS-style functional warming, mirroring accessT's state
+        // updates level by level (L1 probe + prefetcher observation,
+        // L2 find-or-fill, L3 promotion/spill with back-invalidation
+        // and snooping, L1 fill, then same-page prefetch fills) minus
+        // timing and writeback traffic.  Warming L1 keeps the L2
+        // access stream faithful — L1 hits must not refresh L2 LRU;
+        // warming prefetch fills keeps the L2/L3 replacement pressure
+        // and dirty-line density honest.  Walker fetches enter at L2,
+        // like accessT: keeping PTB/PTE lines resident across
+        // fast-forward is what keeps in-window page-walk latencies
+        // honest.  Returns true when the block (or one of its
+        // prefetch fills) had to come from memory, so the caller can
+        // functionally touch the MC state of the page.
+        const Addr block = blockAlign(addr);
+        if (from_walker)
+            walkerAccesses_.inc();
+        else
+            demandAccesses_.inc();
+
+        if (consumePrefetched(block)) {
+            nextLineL1_[core]->markUseful();
+            nextLineL2_[core]->markUseful();
+        }
+
+        SmallVec<Addr, 8> proposals;
+        bool l1_hit = false;
+        if (!from_walker) {
+            // Probe and fill L1 in one pass (accessT probes first and
+            // fills after the L2/L3 work; fusing reorders only the
+            // fill, which no later step of this access observes).
+            CacheLine l1_evicted;
+            l1_hit = l1_[core]->touch(CacheLine{block, is_write, false},
+                                      l1_evicted);
+            if (l1_evicted.addr != invalidAddr && l1_evicted.dirty)
+                l2_[core]->markDirty(l1_evicted.addr);
+            if (cfg_.prefetchers) {
+                nextLineL1_[core]->observeT(block, !l1_hit, proposals);
+                strideL1_[core]->observeT(block, !l1_hit, proposals);
+            }
+        }
+
+        bool mem_miss = false;
+        if (from_walker || !l1_hit) {
+            CacheLine l2_evicted;
+            // Demand L2 copies gain dirtiness only via L1 victim
+            // fold-down (accessT dirties L2 only for walker writes).
+            const bool l2_hit = l2_[core]->touch(
+                CacheLine{block, is_write && from_walker, false},
+                l2_evicted);
+            if (cfg_.prefetchers && !from_walker) {
+                nextLineL2_[core]->observeT(block, !l2_hit, proposals);
+                strideL2_[core]->observeT(block, !l2_hit, proposals);
+            }
+            if (!l2_hit) {
+                // The L2 fill above doubles as the promotion of any
+                // L3 copy; exclusivity means the L3 copy is
+                // extracted.  Do this before spilling the L2 victim,
+                // which could land in (and evict from) the very same
+                // L3 set.
+                const auto l3_line = l3_->extract(block);
+                if (l3_line) {
+                    // The promoted copy keeps its bits.
+                    if (l3_line->dirty)
+                        l2_[core]->markDirty(block);
+                    if (l3_line->compressed)
+                        l2_[core]->setCompressed(block, true);
+                } else {
+                    l3Misses_.inc();
+                    mem_miss = true;
+                }
+                spillL2VictimF(core, l2_evicted);
+            }
+        }
+
+        // Prefetch proposals: same-page background fills, mirroring
+        // the detailed path's page filter and fill order.
+        for (const Addr pf : proposals) {
+            if (pageNumber(pf) != pageNumber(addr))
+                continue;
+            if (functionalPrefetch(core, pf))
+                mem_miss = true;
+        }
+        return mem_miss;
+    }
+
     /** Probe the compressed bit of the L2 copy (walker fast path). */
     bool l2CompressedCopy(unsigned core, Addr addr) const;
 
@@ -116,12 +372,104 @@ class Hierarchy : public Stated
                    const std::string &prefix) const override;
 
   private:
+    /**
+     * Functional-warming half of fillL2T's victim handling: L1
+     * back-invalidation with dirty fold-down, the snoop filter, and
+     * the spill into the exclusive L3.  L3 victims leave silently —
+     * functional warming does not model writeback traffic.
+     */
+    void
+    spillL2VictimF(unsigned core, CacheLine &victim)
+    {
+        if (victim.addr == invalidAddr)
+            return;
+        const auto l1_copy = l1_[core]->extract(victim.addr);
+        if (l1_copy && l1_copy->dirty)
+            victim.dirty = true;
+        for (unsigned other = 0; other < l2_.size(); ++other) {
+            if (other == core || !l2_[other]->probe(victim.addr))
+                continue;
+            if (victim.dirty)
+                l2_[other]->markDirty(victim.addr);
+            return;
+        }
+        CacheLine spill_evicted;
+        l3_->touch(victim, spill_evicted);
+    }
+
+    /**
+     * Functional-warming mirror of prefetchLookupT plus the detailed
+     * path's memory-fill: already-resident proposals are dropped, L3
+     * hits promote into L2 only, memory fetches fill L2 and L1.
+     * Returns true when the block had to come from memory.
+     */
+    bool
+    functionalPrefetch(unsigned core, Addr addr)
+    {
+        const Addr block = blockAlign(addr);
+        if (l1_[core]->probe(block) || l2_[core]->probe(block))
+            return false;
+        notePrefetched(block);
+        const auto l3_line = l3_->extract(block);
+        CacheLine l2_evicted;
+        l2_[core]->touch(l3_line ? *l3_line
+                                 : CacheLine{block, false, false},
+                         l2_evicted);
+        spillL2VictimF(core, l2_evicted);
+        if (l3_line)
+            return false;
+        fillL1(core, CacheLine{block, false, false});
+        return true;
+    }
+
     /** Insert into L1, folding the victim's dirtiness into L2. */
-    void fillL1(unsigned core, const CacheLine &line);
+    void
+    fillL1(unsigned core, const CacheLine &line)
+    {
+        // Software-visible L1 copies are always decompressed (§V-A4).
+        CacheLine l1_line = line;
+        l1_line.compressed = false;
+        const auto victim = l1_[core]->insert(l1_line);
+        if (victim && victim->dirty) {
+            // L2 is inclusive of L1: the victim's data lives in L2;
+            // fold the dirtiness down.
+            l2_[core]->markDirty(victim->addr);
+        }
+    }
 
     /** Insert into L2; victims spill into L3; L3 victims to memory. */
-    void fillL2(unsigned core, const CacheLine &line,
-                std::vector<CacheLine> &writebacks);
+    template <class Sink>
+    void
+    fillL2T(unsigned core, const CacheLine &line, Sink &writebacks)
+    {
+        auto victim = l2_[core]->insert(line);
+        if (!victim)
+            return;
+
+        // Inclusive L2: back-invalidate the L1 copy, folding its
+        // dirtiness into the departing line.
+        const auto l1_copy = l1_[core]->extract(victim->addr);
+        if (l1_copy && l1_copy->dirty)
+            victim->dirty = true;
+
+        // Snoop filter: if another core's L2 still holds the line, the
+        // exclusive L3 must not take a second copy; fold the dirtiness
+        // into the surviving copy instead.
+        for (unsigned other = 0; other < l2_.size(); ++other) {
+            if (other == core)
+                continue;
+            if (l2_[other]->probe(victim->addr)) {
+                if (victim->dirty)
+                    l2_[other]->markDirty(victim->addr);
+                return;
+            }
+        }
+
+        // Exclusive L3 receives L2 victims.
+        const auto l3_victim = l3_->insert(*victim);
+        if (l3_victim && l3_victim->dirty)
+            writebacks.push_back(*l3_victim);
+    }
 
     void notePrefetched(Addr addr);
     bool consumePrefetched(Addr addr);
@@ -137,7 +485,9 @@ class Hierarchy : public Stated
     std::vector<std::unique_ptr<StridePrefetcher>> strideL2_;
 
     /** Outstanding prefetched blocks awaiting first demand use. */
-    std::unordered_set<Addr> prefetched_;
+    // Block-aligned sentinel keys only; invalidAddr is never
+    // block-aligned, so it is safe as the empty-slot marker.
+    FlatHashSet<Addr, invalidAddr> prefetched_;
 
     Counter demandAccesses_, walkerAccesses_, l3Misses_;
 };

@@ -1,7 +1,5 @@
 #include "cache/prefetcher.hh"
 
-#include <algorithm>
-
 namespace tmcc
 {
 
@@ -10,100 +8,13 @@ NextLinePrefetcher::NextLinePrefetcher(unsigned check_window,
     : checkWindow_(check_window), minAccuracy_(min_accuracy)
 {}
 
-void
-NextLinePrefetcher::observe(Addr addr, bool was_miss,
-                            std::vector<Addr> &out)
-{
-    ++observeCount_;
-
-    // Re-enable after a cool-down window of observations.
-    if (!enabled_) {
-        if (observeCount_ >= offUntilIssueCount_) {
-            enabled_ = true;
-            issuedAtCheck_ = issued_.value();
-            usefulAtCheck_ = useful_.value();
-        } else {
-            return;
-        }
-    }
-
-    if (!was_miss)
-        return;
-    out.push_back(blockAlign(addr) + blockSize);
-    issued_.inc();
-
-    // Periodic accuracy check (automatic turn-off, Table III).
-    const std::uint64_t window_issued = issued_.value() - issuedAtCheck_;
-    if (window_issued >= checkWindow_) {
-        const std::uint64_t window_useful =
-            useful_.value() - usefulAtCheck_;
-        const double accuracy =
-            static_cast<double>(window_useful) /
-            static_cast<double>(window_issued);
-        if (accuracy < minAccuracy_) {
-            enabled_ = false;
-            offUntilIssueCount_ = observeCount_ + 4 * checkWindow_;
-        }
-        issuedAtCheck_ = issued_.value();
-        usefulAtCheck_ = useful_.value();
-    }
-}
-
 StridePrefetcher::StridePrefetcher(unsigned degree, unsigned streams)
-    : degree_(degree), maxStreams_(streams)
+    : degree_(degree),
+      pages_(streams, invalidAddr),
+      lastAddr_(streams, invalidAddr),
+      stride_(streams, 0),
+      confidence_(streams, 0),
+      lastUse_(streams, 0)
 {}
-
-void
-StridePrefetcher::observe(Addr addr, bool was_miss,
-                          std::vector<Addr> &out)
-{
-    const Addr page = pageNumber(addr);
-    const Addr block = blockAlign(addr);
-
-    auto it = streams_.find(page);
-    if (it == streams_.end()) {
-        // Evict the least recently used stream if at capacity.
-        if (streams_.size() >= maxStreams_) {
-            auto lru = streams_.begin();
-            for (auto s = streams_.begin(); s != streams_.end(); ++s)
-                if (s->second.lastUse < lru->second.lastUse)
-                    lru = s;
-            streams_.erase(lru);
-        }
-        Stream s;
-        s.lastAddr = block;
-        s.lastUse = ++useClock_;
-        streams_.emplace(page, s);
-        return;
-    }
-
-    Stream &s = it->second;
-    s.lastUse = ++useClock_;
-    const std::int64_t stride = static_cast<std::int64_t>(block) -
-                                static_cast<std::int64_t>(s.lastAddr);
-    if (stride == 0)
-        return;
-    if (stride == s.stride) {
-        s.confidence = std::min(s.confidence + 1, 4u);
-    } else {
-        s.stride = stride;
-        s.confidence = 1;
-    }
-    s.lastAddr = block;
-
-    // Issue only when the stream advances past the cached frontier
-    // (a demand miss); hits mean the prefetcher is already ahead.
-    if (s.confidence >= 2 && was_miss) {
-        for (unsigned d = 1; d <= degree_; ++d) {
-            const std::int64_t target =
-                static_cast<std::int64_t>(block) +
-                stride * static_cast<std::int64_t>(d);
-            if (target < 0)
-                break;
-            out.push_back(static_cast<Addr>(target));
-            issued_.inc();
-        }
-    }
-}
 
 } // namespace tmcc

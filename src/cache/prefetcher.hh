@@ -7,14 +7,20 @@
  * fill.  Usefulness tracking drives the next-line auto turn-off: when
  * too few prefetched lines are referenced before eviction, the
  * prefetcher disables itself for a window.
+ *
+ * The observe paths are `observeT<Sink>` member templates defined
+ * inline so the measured-loop kernels can append into fixed-capacity
+ * sinks without virtual dispatch; the virtual observe() is a thin
+ * wrapper kept for generic callers.  The stride streams live in flat
+ * arrays (no hashing) — with unique lastUse stamps the LRU victim is
+ * unique, so eviction is bit-identical to the old map-based scan.
  */
 
 #ifndef TMCC_CACHE_PREFETCHER_HH
 #define TMCC_CACHE_PREFETCHER_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/stats.hh"
@@ -68,8 +74,51 @@ class NextLinePrefetcher : public Prefetcher
     NextLinePrefetcher(unsigned check_window = 256,
                        double min_accuracy = 0.20);
 
-    void observe(Addr addr, bool was_miss,
-                 std::vector<Addr> &out) override;
+    template <class Sink>
+    void
+    observeT(Addr addr, bool was_miss, Sink &out)
+    {
+        ++observeCount_;
+
+        // Re-enable after a cool-down window of observations.
+        if (!enabled_) {
+            if (observeCount_ >= offUntilIssueCount_) {
+                enabled_ = true;
+                issuedAtCheck_ = issued_.value();
+                usefulAtCheck_ = useful_.value();
+            } else {
+                return;
+            }
+        }
+
+        if (!was_miss)
+            return;
+        out.push_back(blockAlign(addr) + blockSize);
+        issued_.inc();
+
+        // Periodic accuracy check (automatic turn-off, Table III).
+        const std::uint64_t window_issued =
+            issued_.value() - issuedAtCheck_;
+        if (window_issued >= checkWindow_) {
+            const std::uint64_t window_useful =
+                useful_.value() - usefulAtCheck_;
+            const double accuracy =
+                static_cast<double>(window_useful) /
+                static_cast<double>(window_issued);
+            if (accuracy < minAccuracy_) {
+                enabled_ = false;
+                offUntilIssueCount_ = observeCount_ + 4 * checkWindow_;
+            }
+            issuedAtCheck_ = issued_.value();
+            usefulAtCheck_ = useful_.value();
+        }
+    }
+
+    void
+    observe(Addr addr, bool was_miss, std::vector<Addr> &out) override
+    {
+        observeT(addr, was_miss, out);
+    }
 
     bool enabled() const { return enabled_; }
 
@@ -89,22 +138,97 @@ class StridePrefetcher : public Prefetcher
   public:
     explicit StridePrefetcher(unsigned degree, unsigned streams = 16);
 
-    void observe(Addr addr, bool was_miss,
-                 std::vector<Addr> &out) override;
+    template <class Sink>
+    void
+    observeT(Addr addr, bool was_miss, Sink &out)
+    {
+        const Addr page = pageNumber(addr);
+        const Addr block = blockAlign(addr);
+
+        // One pass: find the stream for `page`, remembering the first
+        // free slot in case it is missing.
+        std::size_t hit = npos, free_slot = npos;
+        for (std::size_t i = 0; i < pages_.size(); ++i) {
+            if (pages_[i] == page) {
+                hit = i;
+                break;
+            }
+            if (pages_[i] == invalidAddr && free_slot == npos)
+                free_slot = i;
+        }
+
+        if (hit == npos) {
+            // Evict the least recently used stream if at capacity.
+            const std::size_t slot =
+                free_slot != npos ? free_slot : lruSlot();
+            pages_[slot] = page;
+            lastAddr_[slot] = block;
+            stride_[slot] = 0;
+            confidence_[slot] = 0;
+            lastUse_[slot] = ++useClock_;
+            return;
+        }
+
+        const std::size_t s = hit;
+        lastUse_[s] = ++useClock_;
+        const std::int64_t stride =
+            static_cast<std::int64_t>(block) -
+            static_cast<std::int64_t>(lastAddr_[s]);
+        if (stride == 0)
+            return;
+        if (stride == stride_[s]) {
+            confidence_[s] = std::min(confidence_[s] + 1, 4u);
+        } else {
+            stride_[s] = stride;
+            confidence_[s] = 1;
+        }
+        lastAddr_[s] = block;
+
+        // Issue only when the stream advances past the cached frontier
+        // (a demand miss); hits mean the prefetcher is already ahead.
+        if (confidence_[s] >= 2 && was_miss) {
+            for (unsigned d = 1; d <= degree_; ++d) {
+                const std::int64_t target =
+                    static_cast<std::int64_t>(block) +
+                    stride * static_cast<std::int64_t>(d);
+                if (target < 0)
+                    break;
+                out.push_back(static_cast<Addr>(target));
+                issued_.inc();
+            }
+        }
+    }
+
+    void
+    observe(Addr addr, bool was_miss, std::vector<Addr> &out) override
+    {
+        observeT(addr, was_miss, out);
+    }
 
   private:
-    struct Stream
+    static constexpr std::size_t npos = ~static_cast<std::size_t>(0);
+
+    /** Occupied slot with the smallest lastUse (stamps are unique). */
+    std::size_t
+    lruSlot() const
     {
-        Addr lastAddr = invalidAddr;
-        std::int64_t stride = 0;
-        unsigned confidence = 0;
-        std::uint64_t lastUse = 0;
-    };
+        std::size_t lru = 0;
+        for (std::size_t i = 1; i < pages_.size(); ++i)
+            if (lastUse_[i] < lastUse_[lru])
+                lru = i;
+        return lru;
+    }
 
     unsigned degree_;
-    unsigned maxStreams_;
     std::uint64_t useClock_ = 0;
-    std::unordered_map<Addr, Stream> streams_; //!< keyed by page number
+
+    // Structure-of-arrays streams; pages_ == invalidAddr marks a free
+    // slot (page numbers are small, never all-ones).
+    std::vector<Addr> pages_;
+    std::vector<Addr> lastAddr_;
+    std::vector<std::int64_t> stride_;
+    std::vector<unsigned> confidence_;
+    std::vector<std::uint64_t> lastUse_;
 };
 
 } // namespace tmcc

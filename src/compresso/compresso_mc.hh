@@ -52,6 +52,14 @@ class CompressoMc : public MemController
     McReadResponse read(const McReadRequest &req) override;
     void writeback(Addr paddr, Tick when, bool line_compressed) override;
 
+    /** Fast-forward: keep CTE-cache residency warm, nothing else. */
+    void
+    functionalTouch(Ppn ppn, bool /*is_write*/, Tick /*now*/) override
+    {
+        if (!cteCache_.lookup(ppn))
+            cteCache_.insert(ppn);
+    }
+
     std::uint64_t dramUsedBytes() const override;
 
     CteCache &cteCache() { return cteCache_; }

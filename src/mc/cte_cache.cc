@@ -28,67 +28,9 @@ CteCache::CteCache(std::size_t size_bytes, unsigned pages_per_block,
     blockShift_ = blockPow2_ ? floorLog2(pages_per_block) : 0;
     setsPow2_ = isPowerOf2(sets_);
     setMask_ = setsPow2_ ? sets_ - 1 : 0;
-    ways_.resize(blocks);
-}
-
-bool
-CteCache::lookup(Ppn ppn)
-{
-    const std::uint64_t tag = blockOf(ppn);
-    Way *base = &ways_[setIndexOf(tag) * assoc_];
-    for (unsigned w = 0; w < assoc_; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
-            base[w].lru = ++lruClock_;
-            hits_.inc();
-            return true;
-        }
-    }
-    misses_.inc();
-    return false;
-}
-
-bool
-CteCache::probe(Ppn ppn) const
-{
-    const std::uint64_t tag = blockOf(ppn);
-    const Way *base = &ways_[setIndexOf(tag) * assoc_];
-    for (unsigned w = 0; w < assoc_; ++w)
-        if (base[w].valid && base[w].tag == tag)
-            return true;
-    return false;
-}
-
-void
-CteCache::insert(Ppn ppn)
-{
-    const std::uint64_t tag = blockOf(ppn);
-    Way *base = &ways_[setIndexOf(tag) * assoc_];
-    Way *victim = &base[0];
-    for (unsigned w = 0; w < assoc_; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
-            base[w].lru = ++lruClock_;
-            return; // already present
-        }
-        if (!base[w].valid) {
-            victim = &base[w];
-            break;
-        }
-        if (base[w].lru < victim->lru)
-            victim = &base[w];
-    }
-    victim->tag = tag;
-    victim->valid = true;
-    victim->lru = ++lruClock_;
-}
-
-void
-CteCache::invalidate(Ppn ppn)
-{
-    const std::uint64_t tag = blockOf(ppn);
-    Way *base = &ways_[setIndexOf(tag) * assoc_];
-    for (unsigned w = 0; w < assoc_; ++w)
-        if (base[w].valid && base[w].tag == tag)
-            base[w].valid = false;
+    tags_.assign(blocks, 0);
+    valid_.assign(blocks, 0);
+    lru_.assign(blocks, 0);
 }
 
 void

@@ -8,6 +8,10 @@
  * The cache is indexed by CTE block number = PPN / entriesPerBlock, so
  * page-level translation gets its 8x reach (and the spatial-locality
  * benefit of §IV) purely from the format, exactly as in the paper.
+ *
+ * Way metadata is structure-of-arrays (contiguous tag / LRU / valid
+ * arrays) with hot methods defined inline so the MC-side lookup in the
+ * measured kernels is a tight set scan.
  */
 
 #ifndef TMCC_MC_CTE_CACHE_HH
@@ -34,16 +38,68 @@ class CteCache : public Stated
              unsigned assoc = 8);
 
     /** Look up the CTE covering `ppn`; updates LRU. */
-    bool lookup(Ppn ppn);
+    bool
+    lookup(Ppn ppn)
+    {
+        const std::uint64_t tag = blockOf(ppn);
+        const std::size_t base = setIndexOf(tag) * assoc_;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (valid_[base + w] && tags_[base + w] == tag) {
+                lru_[base + w] = ++lruClock_;
+                hits_.inc();
+                return true;
+            }
+        }
+        misses_.inc();
+        return false;
+    }
 
     /** Probe without side effects. */
-    bool probe(Ppn ppn) const;
+    bool
+    probe(Ppn ppn) const
+    {
+        const std::uint64_t tag = blockOf(ppn);
+        const std::size_t base = setIndexOf(tag) * assoc_;
+        for (unsigned w = 0; w < assoc_; ++w)
+            if (valid_[base + w] && tags_[base + w] == tag)
+                return true;
+        return false;
+    }
 
     /** Install the block covering `ppn` (after a DRAM CTE fetch). */
-    void insert(Ppn ppn);
+    void
+    insert(Ppn ppn)
+    {
+        const std::uint64_t tag = blockOf(ppn);
+        const std::size_t base = setIndexOf(tag) * assoc_;
+        std::size_t victim = base;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (valid_[base + w] && tags_[base + w] == tag) {
+                lru_[base + w] = ++lruClock_;
+                return; // already present
+            }
+            if (!valid_[base + w]) {
+                victim = base + w;
+                break;
+            }
+            if (lru_[base + w] < lru_[victim])
+                victim = base + w;
+        }
+        tags_[victim] = tag;
+        valid_[victim] = 1;
+        lru_[victim] = ++lruClock_;
+    }
 
     /** Invalidate the block covering `ppn` (CTE rewritten in DRAM). */
-    void invalidate(Ppn ppn);
+    void
+    invalidate(Ppn ppn)
+    {
+        const std::uint64_t tag = blockOf(ppn);
+        const std::size_t base = setIndexOf(tag) * assoc_;
+        for (unsigned w = 0; w < assoc_; ++w)
+            if (valid_[base + w] && tags_[base + w] == tag)
+                valid_[base + w] = 0;
+    }
 
     unsigned pagesPerBlock() const { return pagesPerBlock_; }
 
@@ -54,13 +110,6 @@ class CteCache : public Stated
                    const std::string &prefix) const override;
 
   private:
-    struct Way
-    {
-        std::uint64_t tag = 0;
-        bool valid = false;
-        std::uint64_t lru = 0;
-    };
-
     /** CTE block covering `ppn` (shift when the geometry allows). */
     std::uint64_t
     blockOf(Ppn ppn) const
@@ -83,7 +132,11 @@ class CteCache : public Stated
     bool setsPow2_ = true;
     std::uint64_t setMask_ = 0;
     unsigned assoc_;
-    std::vector<Way> ways_;
+
+    // Structure-of-arrays way metadata, sets_ x assoc_ flattened.
+    std::vector<std::uint64_t> tags_;
+    std::vector<std::uint8_t> valid_;
+    std::vector<std::uint64_t> lru_;
     std::uint64_t lruClock_ = 0;
     Counter hits_, misses_;
 };

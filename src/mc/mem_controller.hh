@@ -71,6 +71,18 @@ class MemController : public Stated
     /** Settle background work (migrations, write drains). */
     virtual void drain(Tick when) { dram_.drainAll(when); }
 
+    /**
+     * Timing-free touch for functional fast-forward (interval
+     * sampling): a demand block in page `ppn` missed the LLC while no
+     * timing is simulated.  Architectures with translation/placement
+     * state keep it warm here — CTE-cache residency, recency, ML2→ML1
+     * migration — without DRAM timing, demand counters or stall
+     * bookkeeping.  Default: stateless architectures need nothing.
+     */
+    virtual void functionalTouch(Ppn /*ppn*/, bool /*is_write*/,
+                                 Tick /*now*/)
+    {}
+
     /** Total DRAM bytes this architecture currently uses for data. */
     virtual std::uint64_t dramUsedBytes() const = 0;
 

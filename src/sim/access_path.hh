@@ -1,0 +1,468 @@
+/**
+ * @file
+ * The simulated access path, written once and instantiated for both
+ * execution kernels.
+ *
+ * AccessEngine<Traits> contains the full per-access pipeline — TLB,
+ * page walk (native or 2D nested), cache hierarchy, MC architecture,
+ * prefetch issue, CTE-buffer maintenance — transliterated from the
+ * original scalar System methods.  The traits select mechanics only,
+ * never semantics:
+ *
+ *   - ScalarTraits: the oracle.  Out-of-line hierarchy calls through
+ *     the public vector-based API and runtime Tracer checks, exactly
+ *     like the historical one-access-at-a-time loop.
+ *   - BatchTraits<Tracing>: the fast kernel.  Hierarchy member
+ *     templates inline with fixed-capacity SmallVec sinks, and the
+ *     tracing hooks compile away entirely when Tracing is false.
+ *
+ * Both instantiations execute the same statements against the same
+ * state in the same order, which is what makes `--kernel=batch`
+ * bit-identical to `--kernel=scalar` by construction (enforced by
+ * tests/sim/kernel_identity_test.cc across all six architectures).
+ *
+ * System::ffStep — the functional fast-forward step used between
+ * sampled windows — also lives here: it is traits-independent and
+ * shared verbatim by both kernels.
+ */
+
+#ifndef TMCC_SIM_ACCESS_PATH_HH
+#define TMCC_SIM_ACCESS_PATH_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "common/trace.hh"
+#include "sim/system.hh"
+
+namespace tmcc
+{
+
+/** The oracle kernel: historical scalar mechanics. */
+struct ScalarTraits
+{
+    static constexpr bool inlineHierarchy = false;
+    static constexpr bool tracing = true;
+    using Outcome = AccessOutcome;
+    using WbSink = std::vector<CacheLine>;
+};
+
+/** The batched kernel: inline hierarchy, fixed sinks. */
+template <bool TracingOn>
+struct BatchTraits
+{
+    static constexpr bool inlineHierarchy = true;
+    static constexpr bool tracing = TracingOn;
+    using Outcome = SmallOutcome;
+    using WbSink = SmallVec<CacheLine, 4>;
+};
+
+template <class Traits>
+struct AccessEngine
+{
+    using Outcome = typename Traits::Outcome;
+    using WbSink = typename Traits::WbSink;
+
+    static void
+    handleMcResponse(System &sys, unsigned core, Addr paddr,
+                     const McReadResponse &resp, bool from_walker,
+                     bool after_tlb_miss, bool measuring)
+    {
+        // Piggybacked correct CTE: refresh the CTE buffer and lazily
+        // patch the PTB in L2 when the stored embedded CTE was stale
+        // (§V-A3).
+        if (resp.hasCorrectCte && sys.osMc_ != nullptr) {
+            const Addr stale_ptb =
+                sys.cteBuffers_[core]->updateOnResponse(
+                    pageNumber(paddr), resp.correctCte);
+            if (stale_ptb != invalidAddr) {
+                sys.osMc_->lazyUpdatePtb(stale_ptb, pageNumber(paddr),
+                                         resp.correctCte);
+                sys.hierarchy_->touchL2Dirty(core, stale_ptb);
+            }
+        }
+
+        if constexpr (Traits::tracing) {
+            if (sys.cfg_.arch != Arch::NoCompression &&
+                !resp.cteCacheHit) {
+                if (Tracer *tr = Tracer::active())
+                    tr->instant("cte_miss", "mc", core,
+                                ticksToNs(resp.complete));
+            }
+        }
+
+        if (!measuring)
+            return;
+        ++sys.result_.llcMisses;
+        if (sys.cfg_.arch != Arch::NoCompression) {
+            if (resp.cteCacheHit)
+                ++sys.result_.cteHits;
+            else
+                ++sys.result_.cteMisses;
+            if (!resp.cteCacheHit && after_tlb_miss)
+                ++sys.result_.cteMissesAfterTlbMiss;
+        }
+        if (resp.hitMl2) {
+            ++sys.result_.ml2Accesses;
+        } else {
+            if (resp.cteCacheHit)
+                ++sys.result_.ml1CteHit;
+            else if (resp.parallelAccess)
+                ++sys.result_.ml1Parallel;
+            else if (resp.embeddedMismatch)
+                ++sys.result_.ml1Mismatch;
+            else
+                ++sys.result_.ml1Serial;
+        }
+        (void)from_walker;
+    }
+
+    static Tick
+    memoryAccess(System &sys, unsigned core, Addr paddr, bool is_write,
+                 bool from_walker, Tick start, bool after_tlb_miss,
+                 bool measuring)
+    {
+        Outcome out;
+        if constexpr (Traits::inlineHierarchy)
+            out = sys.hierarchy_->template accessT<Outcome>(
+                core, paddr, is_write, from_walker);
+        else
+            out = sys.hierarchy_->access(core, paddr, is_write,
+                                         from_walker);
+
+        const Tick l1 = sys.cfg_.l1Cycles * sys.cpuPeriod_;
+        const Tick l2 = sys.cfg_.l2Cycles * sys.cpuPeriod_;
+        const Tick l3 = sys.cfg_.l3Cycles * sys.cpuPeriod_;
+        const Tick noc = nsToTicks(sys.cfg_.nocToMcNs);
+
+        Tick done = start;
+        switch (out.level) {
+          case HitLevel::L1:
+            done = start + l1;
+            break;
+          case HitLevel::L2:
+            done = start + l1 + l2;
+            break;
+          case HitLevel::L3:
+            done = start + l1 + l2 + l3;
+            break;
+          case HitLevel::Memory: {
+            McReadRequest req;
+            req.core = core;
+            req.paddr = paddr;
+            req.when = start + l1 + l2 + l3 + noc;
+            req.fromWalker = from_walker;
+            if (sys.osMc_ != nullptr &&
+                (sys.cfg_.arch == Arch::Tmcc ||
+                 sys.cfg_.arch == Arch::BarebonePlusMl1)) {
+                const CteBuffer::Entry *e =
+                    sys.cteBuffers_[core]->lookup(pageNumber(paddr));
+                if (e != nullptr && e->hasCte) {
+                    req.hasEmbeddedCte = true;
+                    req.embeddedCte = e->cte;
+                }
+            }
+            const McReadResponse resp = sys.mc_->read(req);
+            // Fig. 18 convention: the 53ns no-compression miss latency
+            // is one NoC traversal plus the DRAM access; the return
+            // path is folded into the DRAM/NoC figure.
+            done = resp.complete;
+            const Tick miss_start = start + l1 + l2 + l3;
+            if (measuring) {
+                const double lat_ns = ticksToNs(done - miss_start);
+                sys.l3MissLatency_.sample(lat_ns);
+                sys.result_.l3MissLatency.sample(lat_ns);
+                if (resp.hitMl2)
+                    sys.result_.ml2FaultLatency.sample(lat_ns);
+            }
+            if constexpr (Traits::tracing) {
+                if (Tracer *tr = Tracer::active())
+                    tr->complete("llc_miss", "mem", core,
+                                 ticksToNs(miss_start),
+                                 ticksToNs(done - miss_start));
+            }
+
+            handleMcResponse(sys, core, paddr, resp, from_walker,
+                             after_tlb_miss, measuring);
+
+            Outcome fill;
+            if constexpr (Traits::inlineHierarchy)
+                fill = sys.hierarchy_->template fillT<Outcome>(
+                    core, paddr, is_write, resp.fillCompressedPtb,
+                    from_walker);
+            else
+                fill = sys.hierarchy_->fill(core, paddr, is_write,
+                                            resp.fillCompressedPtb,
+                                            from_walker);
+            for (const CacheLine &wb : fill.memWritebacks) {
+                sys.mc_->writeback(wb.addr, done, wb.compressed);
+                if (measuring)
+                    ++sys.result_.llcWritebacks;
+            }
+            break;
+          }
+        }
+
+        // Writebacks surfaced by promotions/evictions on the hit path.
+        for (const CacheLine &wb : out.memWritebacks) {
+            sys.mc_->writeback(wb.addr, done, wb.compressed);
+            if (measuring)
+                ++sys.result_.llcWritebacks;
+        }
+
+        // Walker fetch of a (possibly compressed) PTB: harvest embedded
+        // CTEs into this core's CTE buffer.
+        if (from_walker)
+            sys.collectPtbCtes(core, blockAlign(paddr));
+
+        // Prefetch proposals: background fills that stay in the page.
+        for (Addr pf : out.prefetches) {
+            if (pageNumber(pf) != pageNumber(paddr))
+                continue;
+            WbSink wbs;
+            bool fetch;
+            if constexpr (Traits::inlineHierarchy)
+                fetch = sys.hierarchy_->prefetchLookupT(core, pf, wbs);
+            else
+                fetch = sys.hierarchy_->prefetchLookup(core, pf, wbs);
+            if (fetch) {
+                McReadRequest req;
+                req.core = core;
+                req.paddr = pf;
+                req.when = start + l1 + l2 + l3 + noc;
+                req.background = true;
+                const McReadResponse resp = sys.mc_->read(req);
+                handleMcResponse(sys, core, pf, resp, false, false,
+                                 false);
+                Outcome fill;
+                if constexpr (Traits::inlineHierarchy)
+                    fill = sys.hierarchy_->template fillT<Outcome>(
+                        core, pf, false, false, false);
+                else
+                    fill = sys.hierarchy_->fill(core, pf, false, false,
+                                                false);
+                for (const CacheLine &wb : fill.memWritebacks)
+                    sys.mc_->writeback(wb.addr, resp.complete,
+                                       wb.compressed);
+            }
+            for (const CacheLine &wb : wbs)
+                sys.mc_->writeback(wb.addr, done, wb.compressed);
+        }
+
+        return done;
+    }
+
+    static Addr
+    hostTranslate(System &sys, unsigned core, Addr gpa, Tick &t,
+                  bool measuring)
+    {
+        // A constituent host walk of the 2D walk (Fig. 12b): fetch the
+        // host PTBs through the hierarchy; host PTBs are real PT pages,
+        // so TMCC's embedded CTEs accelerate these fetches like any
+        // walk.
+        const WalkPlan plan = sys.hostWalkers_[core]->plan(gpa);
+        panicIf(!plan.valid, "host page fault in nested walk");
+        for (const WalkStep &step : plan.fetches)
+            t = memoryAccess(sys, core, step.ptbAddr, false, true, t,
+                             true, measuring);
+        return (plan.ppn << pageShift) | (gpa & (pageSize - 1));
+    }
+
+    static Tick
+    pageWalk(System &sys, unsigned core, Addr vaddr, Tick start,
+             Ppn &ppn, bool measuring)
+    {
+        const WalkPlan plan = sys.walkers_[core]->plan(vaddr);
+        panicIf(!plan.valid,
+                "page fault: unmapped address in workload");
+
+        Tick t = start + sys.cpuPeriod_; // walker dispatch
+        if (sys.cfg_.nestedPaging) {
+            // 2D walk: every guest PTB address is guest-physical and
+            // must itself be host-translated before the fetch.
+            for (const WalkStep &step : plan.fetches) {
+                const Addr host_ptb = hostTranslate(
+                    sys, core, step.ptbAddr, t, measuring);
+                t = memoryAccess(sys, core, host_ptb, false, true, t,
+                                 true, measuring);
+            }
+            // Final guest ppn -> host frame for the data access.
+            const Addr host_data = hostTranslate(
+                sys, core, plan.ppn << pageShift, t, measuring);
+            ppn = pageNumber(host_data);
+            sys.tlbs_[core]->insert(pageNumber(vaddr), ppn);
+            return t;
+        }
+        for (const WalkStep &step : plan.fetches)
+            t = memoryAccess(sys, core, step.ptbAddr, false, true, t,
+                             true, measuring);
+
+        ppn = plan.ppn;
+        if (plan.huge) {
+            const Ppn base =
+                plan.ppn & ~((hugePageSize / pageSize) - 1);
+            sys.tlbs_[core]->insertHuge(
+                pageNumber(vaddr) & ~((hugePageSize / pageSize) - 1),
+                base);
+        } else {
+            sys.tlbs_[core]->insert(pageNumber(vaddr), plan.ppn);
+        }
+        return t;
+    }
+
+    static void
+    step(System &sys, unsigned core, const MemAccess &a, bool measuring)
+    {
+        System::CoreState &cs = sys.cores_[core];
+        Tick t = cs.now + a.thinkCycles * sys.cpuPeriod_;
+
+        Ppn ppn = 0;
+        bool tlb_miss = false;
+        if (!sys.tlbs_[core]->lookup(a.vaddr, ppn)) {
+            tlb_miss = true;
+            if (measuring)
+                ++sys.result_.tlbMisses;
+            const Tick walk_start = t;
+            t = pageWalk(sys, core, a.vaddr, t, ppn, measuring);
+            if (measuring)
+                sys.result_.pageWalkLatency.sample(
+                    ticksToNs(t - walk_start));
+            if constexpr (Traits::tracing) {
+                if (Tracer *tr = Tracer::active())
+                    tr->complete("page_walk", "vm", core,
+                                 ticksToNs(walk_start),
+                                 ticksToNs(t - walk_start));
+            }
+            sys.pageTable_->setAccessedDirty(a.vaddr, a.isWrite);
+        } else if (measuring) {
+            ++sys.result_.tlbHits;
+        }
+
+        const Addr paddr =
+            (ppn << pageShift) | (a.vaddr & (pageSize - 1));
+        const Tick done = memoryAccess(sys, core, paddr, a.isWrite,
+                                       false, t, tlb_miss, measuring);
+
+        // Stores retire through a finite store buffer: the core does
+        // not wait for the fill unless every buffer slot is still in
+        // flight (which throttles open-loop write streams to what the
+        // memory system can absorb).  Loads block (in-order core
+        // model).
+        const Tick l1 = sys.cfg_.l1Cycles * sys.cpuPeriod_;
+        if (a.isWrite) {
+            auto slot = std::min_element(cs.storeSlots.begin(),
+                                         cs.storeSlots.end());
+            const Tick issue = std::max(t, *slot);
+            *slot = std::max(done, issue);
+            cs.now = issue + l1;
+        } else if (done > t + l1) {
+            // OoO overlap: part of the beyond-L1 stall is hidden by
+            // MLP.
+            cs.now = t + l1 +
+                     static_cast<Tick>(
+                         static_cast<double>(done - t - l1) /
+                         sys.cfg_.memOverlapFactor);
+        } else {
+            cs.now = done;
+        }
+        ++cs.accesses;
+        if (measuring) {
+            ++sys.result_.accesses;
+            if (a.isWrite)
+                ++sys.result_.storeAccesses;
+        }
+    }
+};
+
+/**
+ * One functional fast-forward access: translation state (TLB, PWC,
+ * accessed/dirty bits), cache residency and the MC's placement /
+ * CTE-cache state advance; no timing, no latency histograms, no
+ * demand counters, no prefetch issue.  Shared by both kernels so a
+ * sampled run's between-window state is kernel-independent.
+ */
+inline void
+System::ffStep(unsigned core, const MemAccess &a)
+{
+    // MRU block filter: a consecutive same-block run is an L1-hit run
+    // in the detailed model — no state below L1 changes and L1's
+    // relative LRU order is already correct, so only the first access
+    // (and the first write) of the run does any work.  Same block
+    // implies same page, so the TLB's relative LRU order is unchanged
+    // too.
+    FfFilter &filt = ffFilter_[core];
+    const Addr vblock = blockAlign(a.vaddr);
+    if (vblock == filt.vblock) {
+        if (a.isWrite && !filt.dirty) {
+            hierarchy_->l1(core).markDirty(filt.pblock);
+            filt.dirty = true;
+        }
+        return;
+    }
+
+    Ppn ppn = 0;
+    if (!tlbs_[core]->lookup(a.vaddr, ppn)) {
+        const WalkPlan plan = walkers_[core]->plan(a.vaddr);
+        panicIf(!plan.valid,
+                "page fault: unmapped address in workload");
+        // Touch the walk's PTB fetches through the hierarchy (walker
+        // path: enters at L2) so the page-table working set stays
+        // resident across fast-forward, exactly as the detailed walk
+        // keeps it.  Nested mode warms the host-translated addresses
+        // below instead.
+        if (!cfg_.nestedPaging)
+            for (const WalkStep &step : plan.fetches)
+                hierarchy_->functionalAccess(core, step.ptbAddr,
+                                             false, true);
+        if (cfg_.nestedPaging) {
+            // Keep the host PWC and the PTB working set in the caches
+            // as warm as the detailed 2D walk would: plan the host
+            // walk of each guest PTB fetch (touching the host PTBs
+            // and the host-translated guest PTB line), then of the
+            // final guest frame.
+            for (const WalkStep &step : plan.fetches) {
+                const WalkPlan host =
+                    hostWalkers_[core]->plan(step.ptbAddr);
+                panicIf(!host.valid, "host page fault in nested walk");
+                for (const WalkStep &hs : host.fetches)
+                    hierarchy_->functionalAccess(core, hs.ptbAddr,
+                                                 false, true);
+                const Addr host_ptb =
+                    (host.ppn << pageShift) |
+                    (step.ptbAddr & (pageSize - 1));
+                hierarchy_->functionalAccess(core, host_ptb, false,
+                                             true);
+            }
+            const WalkPlan host =
+                hostWalkers_[core]->plan(plan.ppn << pageShift);
+            panicIf(!host.valid, "host page fault in nested walk");
+            for (const WalkStep &hs : host.fetches)
+                hierarchy_->functionalAccess(core, hs.ptbAddr, false,
+                                             true);
+            ppn = host.ppn;
+            tlbs_[core]->insert(pageNumber(a.vaddr), ppn);
+        } else if (plan.huge) {
+            const Ppn base =
+                plan.ppn & ~((hugePageSize / pageSize) - 1);
+            tlbs_[core]->insertHuge(
+                pageNumber(a.vaddr) & ~((hugePageSize / pageSize) - 1),
+                base);
+            ppn = plan.ppn;
+        } else {
+            ppn = plan.ppn;
+            tlbs_[core]->insert(pageNumber(a.vaddr), plan.ppn);
+        }
+        pageTable_->setAccessedDirty(a.vaddr, a.isWrite);
+    }
+    const Addr paddr = (ppn << pageShift) | (a.vaddr & (pageSize - 1));
+    filt.vblock = vblock;
+    filt.pblock = blockAlign(paddr);
+    filt.dirty = a.isWrite;
+    if (hierarchy_->functionalAccess(core, paddr, a.isWrite))
+        mc_->functionalTouch(pageNumber(paddr), a.isWrite,
+                             cores_[core].now);
+}
+
+} // namespace tmcc
+
+#endif // TMCC_SIM_ACCESS_PATH_HH

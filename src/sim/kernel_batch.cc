@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Drivers of the batched kernel (`--kernel=batch`).
+ *
+ * The pipeline itself is AccessEngine<BatchTraits> (sim/access_path.hh)
+ * — the same statements as the scalar oracle, instantiated with inline
+ * hierarchy templates and fixed-capacity sinks.  What this file adds is
+ * the access *supply*: per-core rings refilled in blocks through
+ * Workload::nextBatch, so the measured loop touches the workload
+ * engine's virtual dispatch once per 64 accesses instead of once per
+ * access.
+ *
+ * Stream-position discipline (what keeps batch runs bit-identical to
+ * scalar runs):
+ *   - warm / fast-forward: the per-core access count is known up
+ *     front, so rings refill with exactly min(64, remaining) — never a
+ *     single access beyond what the phase consumes.
+ *   - exact-mode measured loop: the run ends with the loop, so a ring
+ *     may fetch ahead harmlessly (those accesses are simply the ones
+ *     the scalar loop would fetch next if it kept going).
+ *   - sampled windows: accesses beyond the window belong to the next
+ *     fast-forward stretch, so System passes use_ring=false and the
+ *     ring degenerates to refill=1 (fetch exactly one per step).
+ *
+ * Processing always interleaves cores exactly like the scalar driver
+ * (round-robin in warm/FF, min-local-time in the measured loop); the
+ * rings only move the *fetch* earlier within each core's own stream,
+ * which is invisible because workload engines are per-core.
+ */
+
+#include <array>
+#include <vector>
+
+#include "common/trace.hh"
+#include "sim/access_path.hh"
+#include "sim/system.hh"
+
+namespace tmcc
+{
+
+namespace
+{
+constexpr std::size_t ringCap = 64;
+}
+
+template <bool Tracing>
+void
+SystemKernel::warmImpl(System &sys, std::uint64_t per_core)
+{
+    const unsigned cores = sys.cfg_.cores;
+    std::vector<std::array<MemAccess, ringCap>> ring(cores);
+    std::uint64_t issued = 0;
+    while (issued < per_core) {
+        const auto n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(ringCap, per_core - issued));
+        for (unsigned c = 0; c < cores; ++c)
+            sys.workloads_[c]->nextBatch(ring[c].data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            for (unsigned c = 0; c < cores; ++c)
+                AccessEngine<BatchTraits<Tracing>>::step(
+                    sys, c, ring[c][i], false);
+        issued += n;
+    }
+}
+
+template <bool Tracing, bool Epochs>
+void
+SystemKernel::measuredImpl(System &sys, std::uint64_t quota,
+                           std::size_t refill)
+{
+    const unsigned cores = sys.cfg_.cores;
+    struct Ring
+    {
+        std::array<MemAccess, ringCap> buf;
+        std::size_t head = 0, count = 0;
+    };
+    std::vector<Ring> rings(cores);
+
+    // Interleave cores by local time (same policy as the scalar
+    // driver; the interleave depends only on simulated clocks, which
+    // both kernels advance identically).
+    bool running = true;
+    while (running) {
+        unsigned next = 0;
+        for (unsigned c = 1; c < cores; ++c)
+            if (sys.cores_[c].now < sys.cores_[next].now)
+                next = c;
+        Ring &r = rings[next];
+        if (r.head == r.count) {
+            sys.workloads_[next]->nextBatch(r.buf.data(), refill);
+            r.head = 0;
+            r.count = refill;
+        }
+        AccessEngine<BatchTraits<Tracing>>::step(sys, next,
+                                                 r.buf[r.head++], true);
+        if constexpr (Epochs) {
+            if (sys.result_.accesses >= sys.nextEpochAt_) {
+                sys.snapshotEpoch(sys.cores_[next].now);
+                sys.nextEpochAt_ += sys.cfg_.statsInterval;
+            }
+        }
+        running = false;
+        for (unsigned c = 0; c < cores; ++c)
+            if (sys.cores_[c].accesses < quota)
+                running = true;
+    }
+}
+
+void
+SystemKernel::warm(System &sys, std::uint64_t per_core)
+{
+    if (Tracer::active() != nullptr)
+        warmImpl<true>(sys, per_core);
+    else
+        warmImpl<false>(sys, per_core);
+}
+
+void
+SystemKernel::measured(System &sys, std::uint64_t quota, bool use_ring)
+{
+    const std::size_t refill = use_ring ? ringCap : 1;
+    const bool tracing = Tracer::active() != nullptr;
+    const bool epochs = sys.cfg_.statsInterval > 0;
+    if (tracing) {
+        if (epochs)
+            measuredImpl<true, true>(sys, quota, refill);
+        else
+            measuredImpl<true, false>(sys, quota, refill);
+    } else {
+        if (epochs)
+            measuredImpl<false, true>(sys, quota, refill);
+        else
+            measuredImpl<false, false>(sys, quota, refill);
+    }
+}
+
+void
+SystemKernel::fastForward(System &sys, std::uint64_t per_core)
+{
+    const unsigned cores = sys.cfg_.cores;
+    std::vector<std::array<MemAccess, ringCap>> ring(cores);
+    std::uint64_t issued = 0;
+    while (issued < per_core) {
+        const auto n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(ringCap, per_core - issued));
+        for (unsigned c = 0; c < cores; ++c)
+            sys.workloads_[c]->nextBatch(ring[c].data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            for (unsigned c = 0; c < cores; ++c)
+                sys.ffStep(c, ring[c][i]);
+        issued += n;
+    }
+}
+
+} // namespace tmcc

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "cache/hierarchy.hh"
+#include "common/log.hh"
 #include "compresso/compresso_mc.hh"
 #include "dram/dram_config.hh"
 #include "tmcc/os_mc.hh"
@@ -30,6 +31,18 @@ enum class Arch
 };
 
 const char *archName(Arch arch);
+
+/**
+ * Which measured-loop implementation runs the accesses.  Both produce
+ * bit-identical SimResults; `Scalar` is the one-access-at-a-time
+ * oracle, `Batch` runs batch-of-accesses kernels over SoA state with
+ * tracing/epoch hooks compiled out when off.
+ */
+enum class KernelMode : std::uint8_t
+{
+    Scalar = 0,
+    Batch = 1,
+};
 
 /** Full experiment description. */
 struct SimConfig
@@ -97,6 +110,25 @@ struct SimConfig
      */
     std::uint64_t statsInterval = 0;
 
+    /** Measured-loop implementation (`--kernel` / TMCC_KERNEL). */
+    KernelMode kernel = KernelMode::Scalar;
+
+    /**
+     * SMARTS-style interval sampling (`--sample k:w[:warm]`): instead
+     * of simulating every measured access in detail, run
+     * `sampleWindows` detailed windows of `sampleWindowAccesses`
+     * accesses per core, each preceded by `sampleWarmAccesses` of
+     * detailed warm-up, and functionally fast-forward (translation +
+     * ML1/ML2 state updated, no timing) in between.  Headline metrics
+     * are then reported as per-window mean + 95% CI in
+     * SimResult::sample.  sampleWindows == 0 (default) disables
+     * sampling: the run is exact and bit-identical to a build without
+     * the feature.
+     */
+    std::uint64_t sampleWindows = 0;
+    std::uint64_t sampleWindowAccesses = 0;
+    std::uint64_t sampleWarmAccesses = 0;
+
     /**
      * The reach-scaled preset used by the benches: workload footprints
      * are ~1/400 of the paper's, so every capacity-like structure
@@ -111,6 +143,58 @@ struct SimConfig
      */
     static SimConfig scaledDefault();
 };
+
+/**
+ * Strictly parse a `--kernel` / TMCC_KERNEL value.  `flag` names the
+ * source ("--kernel" or "TMCC_KERNEL") for the error message.
+ */
+inline KernelMode
+parseKernelMode(const std::string &flag, const std::string &s)
+{
+    if (s == "scalar")
+        return KernelMode::Scalar;
+    if (s == "batch")
+        return KernelMode::Batch;
+    fatal(flag + " must be \"scalar\" or \"batch\", got \"" + s + "\"");
+}
+
+/**
+ * Strictly parse a `--sample` / TMCC_SAMPLE spec `k:w[:warm]` (all
+ * positive integers; warm defaults to w) into cfg.sampleWindows /
+ * sampleWindowAccesses / sampleWarmAccesses.
+ */
+inline void
+parseSampleSpec(const std::string &flag, const std::string &s,
+                SimConfig &cfg)
+{
+    const std::string usage =
+        flag + " must be k:w[:warm] with positive integers, got \"" + s +
+        "\"";
+    std::uint64_t parts[3] = {0, 0, 0};
+    std::size_t nparts = 0;
+    std::size_t pos = 0;
+    while (true) {
+        fatalIf(nparts == 3, usage);
+        const std::size_t colon = s.find(':', pos);
+        const std::string tok = s.substr(
+            pos, colon == std::string::npos ? std::string::npos
+                                            : colon - pos);
+        fatalIf(tok.empty() ||
+                    tok.find_first_not_of("0123456789") !=
+                        std::string::npos ||
+                    tok.size() > 19,
+                usage);
+        parts[nparts++] = std::stoull(tok);
+        fatalIf(parts[nparts - 1] == 0, usage);
+        if (colon == std::string::npos)
+            break;
+        pos = colon + 1;
+    }
+    fatalIf(nparts < 2, usage);
+    cfg.sampleWindows = parts[0];
+    cfg.sampleWindowAccesses = parts[1];
+    cfg.sampleWarmAccesses = nparts == 3 ? parts[2] : parts[1];
+}
 
 } // namespace tmcc
 

@@ -8,6 +8,7 @@
 #define TMCC_SIM_SIM_RESULT_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/stats.hh"
@@ -15,6 +16,29 @@
 
 namespace tmcc
 {
+
+/** One sampled headline metric: per-window mean and 95% CI radius. */
+struct SampleMetric
+{
+    std::string name;
+    double mean = 0.0;
+    double ci95 = 0.0; //!< half-width; 0 when only one window ran
+};
+
+/**
+ * Interval-sampling summary (SimConfig::sampleWindows > 0): the
+ * per-window mean and Student-t 95% confidence interval of every
+ * headline metric, plus the sampling geometry that produced them.
+ * Empty (windows == 0) for exact runs.
+ */
+struct SampleSummary
+{
+    std::uint64_t windows = 0;         //!< detailed windows measured
+    std::uint64_t windowAccesses = 0;  //!< per-core accesses per window
+    std::uint64_t warmupAccesses = 0;  //!< detailed warm-up per window
+    std::uint64_t ffAccesses = 0;      //!< fast-forwarded accesses/core
+    std::vector<SampleMetric> metrics;
+};
 
 /**
  * One epoch of the measured window (SimConfig::statsInterval > 0):
@@ -119,6 +143,9 @@ struct SimResult
 
     /** Per-epoch time series (empty unless statsInterval > 0). */
     std::vector<EpochStat> epochs;
+
+    /** Interval-sampling CI summary (empty unless sampleWindows > 0). */
+    SampleSummary sample;
 };
 
 } // namespace tmcc

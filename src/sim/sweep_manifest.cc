@@ -228,6 +228,12 @@ serializeSimConfig(ByteWriter &w, const SimConfig &cfg)
     w.u64(cfg.warmAccesses);
     w.u64(cfg.measureAccesses);
     w.u64(cfg.statsInterval);
+
+    // v2: execution kernel + interval-sampling geometry.
+    w.u8(static_cast<std::uint8_t>(cfg.kernel));
+    w.u64(cfg.sampleWindows);
+    w.u64(cfg.sampleWindowAccesses);
+    w.u64(cfg.sampleWarmAccesses);
 }
 
 Status
@@ -326,6 +332,14 @@ deserializeSimConfig(ByteReader &r, SimConfig &cfg)
     cfg.measureAccesses = r.u64();
     cfg.statsInterval = r.u64();
 
+    const std::uint8_t kernel = r.u8();
+    if (kernel > static_cast<std::uint8_t>(KernelMode::Batch))
+        return Status::corruption("SimConfig kernel mode out of range");
+    cfg.kernel = static_cast<KernelMode>(kernel);
+    cfg.sampleWindows = r.u64();
+    cfg.sampleWindowAccesses = r.u64();
+    cfg.sampleWarmAccesses = r.u64();
+
     if (!r.ok())
         return Status::truncated("SimConfig payload too short");
     return Status::okStatus();
@@ -364,6 +378,18 @@ serializeSimResult(ByteWriter &w, const SimResult &res)
     w.u64(res.epochs.size());
     for (const EpochStat &e : res.epochs)
         serializeEpoch(w, e);
+
+    // v2: interval-sampling summary.
+    w.u64(res.sample.windows);
+    w.u64(res.sample.windowAccesses);
+    w.u64(res.sample.warmupAccesses);
+    w.u64(res.sample.ffAccesses);
+    w.u64(res.sample.metrics.size());
+    for (const SampleMetric &m : res.sample.metrics) {
+        w.str(m.name);
+        w.f64(m.mean);
+        w.f64(m.ci95);
+    }
 }
 
 Status
@@ -405,6 +431,22 @@ deserializeSimResult(ByteReader &r, SimResult &res)
         TMCC_RETURN_IF_ERROR(deserializeEpoch(r, e));
         res.epochs.push_back(std::move(e));
     }
+
+    res.sample.windows = r.u64();
+    res.sample.windowAccesses = r.u64();
+    res.sample.warmupAccesses = r.u64();
+    res.sample.ffAccesses = r.u64();
+    const std::uint64_t n_metrics = r.count(8 + 8 + 8);
+    res.sample.metrics.clear();
+    res.sample.metrics.reserve(n_metrics);
+    for (std::uint64_t i = 0; i < n_metrics && r.ok(); ++i) {
+        SampleMetric m;
+        m.name = r.str();
+        m.mean = r.f64();
+        m.ci95 = r.f64();
+        res.sample.metrics.push_back(std::move(m));
+    }
+
     if (!r.ok())
         return Status::truncated("SimResult payload too short");
     return Status::okStatus();

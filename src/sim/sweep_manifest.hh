@@ -52,7 +52,8 @@ std::string sweepGridKey(const std::vector<SimConfig> &grid);
 /** One worker's work order (shard-NNN.spec). */
 struct ShardSpec
 {
-    static constexpr std::uint32_t formatVersion = 1;
+    // v2: SimConfig gained the kernel mode + sampling geometry.
+    static constexpr std::uint32_t formatVersion = 2;
 
     std::string gridKey;
     std::uint32_t shardId = 0;
@@ -69,7 +70,8 @@ struct ShardSpec
 /** One worker's published results (shard-NNN.result). */
 struct ShardResultFile
 {
-    static constexpr std::uint32_t formatVersion = 1;
+    // v2: SimResult gained the interval-sampling summary.
+    static constexpr std::uint32_t formatVersion = 2;
 
     std::string gridKey;
     std::uint32_t shardId = 0;

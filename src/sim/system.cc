@@ -5,8 +5,11 @@
 #include <string>
 #include <unordered_map>
 
+#include <cmath>
+
 #include "common/log.hh"
 #include "common/trace.hh"
+#include "sim/access_path.hh"
 
 namespace tmcc
 {
@@ -268,6 +271,7 @@ System::buildMcAndCores()
     walkers_.clear();
     cteBuffers_.clear();
     cores_.assign(cfg_.cores, CoreState{});
+    ffFilter_.assign(cfg_.cores, FfFilter{});
     for (unsigned c = 0; c < cfg_.cores; ++c) {
         tlbs_.push_back(std::make_unique<Tlb>(cfg_.tlbEntries));
         walkers_.push_back(std::make_unique<Walker>(*pageTable_));
@@ -487,271 +491,65 @@ System::collectPtbCtes(unsigned core, Addr ptb_addr)
 }
 
 void
-System::handleMcResponse(unsigned core, Addr paddr,
-                         const McReadResponse &resp, bool from_walker,
-                         bool after_tlb_miss, bool measuring)
+System::runWarm(std::uint64_t per_core)
 {
-    // Piggybacked correct CTE: refresh the CTE buffer and lazily patch
-    // the PTB in L2 when the stored embedded CTE was stale (§V-A3).
-    if (resp.hasCorrectCte && osMc_ != nullptr) {
-        const Addr stale_ptb = cteBuffers_[core]->updateOnResponse(
-            pageNumber(paddr), resp.correctCte);
-        if (stale_ptb != invalidAddr) {
-            osMc_->lazyUpdatePtb(stale_ptb, pageNumber(paddr),
-                                 resp.correctCte);
-            hierarchy_->touchL2Dirty(core, stale_ptb);
-        }
-    }
-
-    if (cfg_.arch != Arch::NoCompression && !resp.cteCacheHit) {
-        if (Tracer *tr = Tracer::active())
-            tr->instant("cte_miss", "mc", core,
-                        ticksToNs(resp.complete));
-    }
-
-    if (!measuring)
+    if (cfg_.kernel == KernelMode::Batch) {
+        SystemKernel::warm(*this, per_core);
         return;
-    ++result_.llcMisses;
-    if (cfg_.arch != Arch::NoCompression) {
-        if (resp.cteCacheHit)
-            ++result_.cteHits;
-        else
-            ++result_.cteMisses;
-        if (!resp.cteCacheHit && after_tlb_miss)
-            ++result_.cteMissesAfterTlbMiss;
     }
-    if (resp.hitMl2) {
-        ++result_.ml2Accesses;
-    } else {
-        if (resp.cteCacheHit)
-            ++result_.ml1CteHit;
-        else if (resp.parallelAccess)
-            ++result_.ml1Parallel;
-        else if (resp.embeddedMismatch)
-            ++result_.ml1Mismatch;
-        else
-            ++result_.ml1Serial;
-    }
-    (void)from_walker;
-}
-
-Tick
-System::memoryAccess(unsigned core, Addr paddr, bool is_write,
-                     bool from_walker, Tick start, bool after_tlb_miss,
-                     bool measuring)
-{
-    AccessOutcome out =
-        hierarchy_->access(core, paddr, is_write, from_walker);
-
-    const Tick l1 = cfg_.l1Cycles * cpuPeriod_;
-    const Tick l2 = cfg_.l2Cycles * cpuPeriod_;
-    const Tick l3 = cfg_.l3Cycles * cpuPeriod_;
-    const Tick noc = nsToTicks(cfg_.nocToMcNs);
-
-    Tick done = start;
-    switch (out.level) {
-      case HitLevel::L1:
-        done = start + l1;
-        break;
-      case HitLevel::L2:
-        done = start + l1 + l2;
-        break;
-      case HitLevel::L3:
-        done = start + l1 + l2 + l3;
-        break;
-      case HitLevel::Memory: {
-        McReadRequest req;
-        req.core = core;
-        req.paddr = paddr;
-        req.when = start + l1 + l2 + l3 + noc;
-        req.fromWalker = from_walker;
-        if (osMc_ != nullptr &&
-            (cfg_.arch == Arch::Tmcc ||
-             cfg_.arch == Arch::BarebonePlusMl1)) {
-            const CteBuffer::Entry *e =
-                cteBuffers_[core]->lookup(pageNumber(paddr));
-            if (e != nullptr && e->hasCte) {
-                req.hasEmbeddedCte = true;
-                req.embeddedCte = e->cte;
-            }
+    for (std::uint64_t i = 0; i < per_core; ++i) {
+        for (unsigned c = 0; c < cfg_.cores; ++c) {
+            const MemAccess a = workloads_[c]->next();
+            AccessEngine<ScalarTraits>::step(*this, c, a, false);
         }
-        const McReadResponse resp = mc_->read(req);
-        // Fig. 18 convention: the 53ns no-compression miss latency is
-        // one NoC traversal plus the DRAM access; the return path is
-        // folded into the DRAM/NoC figure.
-        done = resp.complete;
-        const Tick miss_start = start + l1 + l2 + l3;
-        if (measuring) {
-            const double lat_ns = ticksToNs(done - miss_start);
-            l3MissLatency_.sample(lat_ns);
-            result_.l3MissLatency.sample(lat_ns);
-            if (resp.hitMl2)
-                result_.ml2FaultLatency.sample(lat_ns);
-        }
-        if (Tracer *tr = Tracer::active())
-            tr->complete("llc_miss", "mem", core,
-                         ticksToNs(miss_start),
-                         ticksToNs(done - miss_start));
-
-        handleMcResponse(core, paddr, resp, from_walker,
-                         after_tlb_miss, measuring);
-
-        const AccessOutcome fill = hierarchy_->fill(
-            core, paddr, is_write, resp.fillCompressedPtb, from_walker);
-        for (const CacheLine &wb : fill.memWritebacks) {
-            mc_->writeback(wb.addr, done, wb.compressed);
-            if (measuring)
-                ++result_.llcWritebacks;
-        }
-        break;
-      }
     }
-
-    // Writebacks surfaced by promotions/evictions on the hit path.
-    for (const CacheLine &wb : out.memWritebacks) {
-        mc_->writeback(wb.addr, done, wb.compressed);
-        if (measuring)
-            ++result_.llcWritebacks;
-    }
-
-    // Walker fetch of a (possibly compressed) PTB: harvest embedded
-    // CTEs into this core's CTE buffer.
-    if (from_walker)
-        collectPtbCtes(core, blockAlign(paddr));
-
-    // Prefetch proposals: background fills that stay within the page.
-    for (Addr pf : out.prefetches) {
-        if (pageNumber(pf) != pageNumber(paddr))
-            continue;
-        std::vector<CacheLine> wbs;
-        if (hierarchy_->prefetchLookup(core, pf, wbs)) {
-            McReadRequest req;
-            req.core = core;
-            req.paddr = pf;
-            req.when = start + l1 + l2 + l3 + noc;
-            req.background = true;
-            const McReadResponse resp = mc_->read(req);
-            handleMcResponse(core, pf, resp, false, false, false);
-            const AccessOutcome fill =
-                hierarchy_->fill(core, pf, false, false, false);
-            for (const CacheLine &wb : fill.memWritebacks)
-                mc_->writeback(wb.addr, resp.complete, wb.compressed);
-        }
-        for (const CacheLine &wb : wbs)
-            mc_->writeback(wb.addr, done, wb.compressed);
-    }
-
-    return done;
-}
-
-Addr
-System::hostTranslate(unsigned core, Addr gpa, Tick &t, bool measuring)
-{
-    // A constituent host walk of the 2D walk (Fig. 12b): fetch the
-    // host PTBs through the hierarchy; host PTBs are real PT pages, so
-    // TMCC's embedded CTEs accelerate these fetches like any walk.
-    const WalkPlan plan = hostWalkers_[core]->plan(gpa);
-    panicIf(!plan.valid, "host page fault in nested walk");
-    for (const WalkStep &step : plan.fetches)
-        t = memoryAccess(core, step.ptbAddr, false, true, t, true,
-                         measuring);
-    return (plan.ppn << pageShift) | (gpa & (pageSize - 1));
-}
-
-Tick
-System::pageWalk(unsigned core, Addr vaddr, Tick start, Ppn &ppn,
-                 bool measuring)
-{
-    const WalkPlan plan = walkers_[core]->plan(vaddr);
-    panicIf(!plan.valid, "page fault: unmapped address in workload");
-
-    Tick t = start + cpuPeriod_; // walker dispatch
-    if (cfg_.nestedPaging) {
-        // 2D walk: every guest PTB address is guest-physical and must
-        // itself be host-translated before the fetch.
-        for (const WalkStep &step : plan.fetches) {
-            const Addr host_ptb =
-                hostTranslate(core, step.ptbAddr, t, measuring);
-            t = memoryAccess(core, host_ptb, false, true, t, true,
-                             measuring);
-        }
-        // Final guest ppn -> host frame for the data access.
-        const Addr host_data =
-            hostTranslate(core, plan.ppn << pageShift, t, measuring);
-        ppn = pageNumber(host_data);
-        tlbs_[core]->insert(pageNumber(vaddr), ppn);
-        return t;
-    }
-    for (const WalkStep &step : plan.fetches)
-        t = memoryAccess(core, step.ptbAddr, false, true, t, true,
-                         measuring);
-
-    ppn = plan.ppn;
-    if (plan.huge) {
-        const Ppn base = plan.ppn & ~((hugePageSize / pageSize) - 1);
-        tlbs_[core]->insertHuge(
-            pageNumber(vaddr) & ~((hugePageSize / pageSize) - 1), base);
-    } else {
-        tlbs_[core]->insert(pageNumber(vaddr), plan.ppn);
-    }
-    return t;
 }
 
 void
-System::step(unsigned core, bool measuring)
+System::runMeasuredLoop(std::uint64_t quota, bool use_ring)
 {
-    CoreState &cs = cores_[core];
-    const MemAccess a = workloads_[core]->next();
-    Tick t = cs.now + a.thinkCycles * cpuPeriod_;
-
-    Ppn ppn = 0;
-    bool tlb_miss = false;
-    if (!tlbs_[core]->lookup(a.vaddr, ppn)) {
-        tlb_miss = true;
-        if (measuring)
-            ++result_.tlbMisses;
-        const Tick walk_start = t;
-        t = pageWalk(core, a.vaddr, t, ppn, measuring);
-        if (measuring)
-            result_.pageWalkLatency.sample(ticksToNs(t - walk_start));
-        if (Tracer *tr = Tracer::active())
-            tr->complete("page_walk", "vm", core,
-                         ticksToNs(walk_start),
-                         ticksToNs(t - walk_start));
-        pageTable_->setAccessedDirty(a.vaddr, a.isWrite);
-    } else if (measuring) {
-        ++result_.tlbHits;
+    if (cfg_.kernel == KernelMode::Batch) {
+        SystemKernel::measured(*this, quota, use_ring);
+        return;
     }
-
-    const Addr paddr = (ppn << pageShift) | (a.vaddr & (pageSize - 1));
-    const Tick done = memoryAccess(core, paddr, a.isWrite, false, t,
-                                   tlb_miss, measuring);
-
-    // Stores retire through a finite store buffer: the core does not
-    // wait for the fill unless every buffer slot is still in flight
-    // (which throttles open-loop write streams to what the memory
-    // system can absorb).  Loads block (in-order core model).
-    const Tick l1 = cfg_.l1Cycles * cpuPeriod_;
-    if (a.isWrite) {
-        auto slot = std::min_element(cs.storeSlots.begin(),
-                                     cs.storeSlots.end());
-        const Tick issue = std::max(t, *slot);
-        *slot = std::max(done, issue);
-        cs.now = issue + l1;
-    } else if (done > t + l1) {
-        // OoO overlap: part of the beyond-L1 stall is hidden by MLP.
-        cs.now = t + l1 +
-                 static_cast<Tick>(
-                     static_cast<double>(done - t - l1) /
-                     cfg_.memOverlapFactor);
-    } else {
-        cs.now = done;
+    // Interleave cores by local time.
+    bool running = true;
+    while (running) {
+        unsigned next = 0;
+        for (unsigned c = 1; c < cfg_.cores; ++c)
+            if (cores_[c].now < cores_[next].now)
+                next = c;
+        const MemAccess a = workloads_[next]->next();
+        AccessEngine<ScalarTraits>::step(*this, next, a, true);
+        if (cfg_.statsInterval > 0 &&
+            result_.accesses >= nextEpochAt_) {
+            snapshotEpoch(cores_[next].now);
+            nextEpochAt_ += cfg_.statsInterval;
+        }
+        running = false;
+        for (unsigned c = 0; c < cfg_.cores; ++c)
+            if (cores_[c].accesses < quota)
+                running = true;
     }
-    ++cs.accesses;
-    if (measuring) {
-        ++result_.accesses;
-        if (a.isWrite)
-            ++result_.storeAccesses;
+}
+
+void
+System::fastForward(std::uint64_t per_core)
+{
+    if (per_core == 0)
+        return;
+    // Detailed windows between fast-forward legs may have evicted the
+    // blocks the MRU filters cache; start every leg cold.
+    ffFilter_.assign(cfg_.cores, FfFilter{});
+    if (cfg_.kernel == KernelMode::Batch) {
+        SystemKernel::fastForward(*this, per_core);
+        return;
+    }
+    for (std::uint64_t i = 0; i < per_core; ++i) {
+        for (unsigned c = 0; c < cfg_.cores; ++c) {
+            const MemAccess a = workloads_[c]->next();
+            ffStep(c, a);
+        }
     }
 }
 
@@ -901,18 +699,50 @@ System::run()
 SimResult
 System::measure()
 {
+    validateRunConfig();
     if (!setupDone_)
         setup();
+    if (cfg_.sampleWindows > 0)
+        return measureSampled();
+    return measureExact();
+}
+
+void
+System::validateRunConfig() const
+{
+    fatalIf(cfg_.sampleWindows == 0 &&
+                (cfg_.sampleWindowAccesses != 0 ||
+                 cfg_.sampleWarmAccesses != 0),
+            "sample window/warm-up sizes set but the sample window "
+            "count is zero");
+    if (cfg_.sampleWindows == 0)
+        return;
+    fatalIf(cfg_.sampleWindowAccesses == 0,
+            "sample window size must be positive");
+    const std::uint64_t per_window =
+        cfg_.sampleWindowAccesses + cfg_.sampleWarmAccesses;
+    fatalIf(cfg_.sampleWindows > cfg_.measureAccesses / per_window,
+            "sampling needs windows x (window + warm-up) accesses <= "
+            "measure accesses (" +
+                std::to_string(cfg_.sampleWindows) + " x " +
+                std::to_string(per_window) + " > " +
+                std::to_string(cfg_.measureAccesses) + ")");
+    fatalIf(cfg_.statsInterval > 0 &&
+                cfg_.statsInterval < cfg_.sampleWindowAccesses,
+            "--stats-interval must be at least the sample window size "
+            "(epochs cannot be finer than the detailed windows)");
+}
+
+SimResult
+System::measureExact()
+{
     const auto wall0 = std::chrono::steady_clock::now();
     Tracer::PidScope pid_scope(tracePid_);
 
     // Cache/TLB/ML warm-up window.
     for (unsigned c = 0; c < cfg_.cores; ++c)
         cores_[c] = CoreState{};
-    std::uint64_t warm_target = cfg_.warmAccesses;
-    for (std::uint64_t i = 0; i < warm_target; ++i)
-        for (unsigned c = 0; c < cfg_.cores; ++c)
-            step(c, false);
+    runWarm(cfg_.warmAccesses);
 
     // Measured window.
     measureStart_ = 0;
@@ -934,24 +764,7 @@ System::measure()
         nextEpochAt_ = cfg_.statsInterval;
     }
 
-    // Interleave cores by local time.
-    bool running = true;
-    while (running) {
-        unsigned next = 0;
-        for (unsigned c = 1; c < cfg_.cores; ++c)
-            if (cores_[c].now < cores_[next].now)
-                next = c;
-        step(next, true);
-        if (cfg_.statsInterval > 0 &&
-            result_.accesses >= nextEpochAt_) {
-            snapshotEpoch(cores_[next].now);
-            nextEpochAt_ += cfg_.statsInterval;
-        }
-        running = false;
-        for (unsigned c = 0; c < cfg_.cores; ++c)
-            if (cores_[c].accesses < cfg_.measureAccesses)
-                running = true;
-    }
+    runMeasuredLoop(cfg_.measureAccesses, true);
 
     Tick end = 0;
     for (unsigned c = 0; c < cfg_.cores; ++c)
@@ -983,6 +796,256 @@ System::measure()
 
     // Phase bookkeeping (wall-clock only; never part of the StatDump,
     // so bit-identity comparisons are unaffected).
+    result_.setupSeconds = setupSeconds_;
+    result_.measureSeconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 wall0)
+                                 .count();
+    result_.restoredFromCheckpoint = restore_ != nullptr;
+
+    return result_;
+}
+
+namespace
+{
+
+/** Raw counter/timing state captured around one detailed window. */
+struct WindowSnap
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t tlbHits = 0, tlbMisses = 0;
+    std::uint64_t llcMisses = 0, llcWritebacks = 0;
+    std::uint64_t cteHits = 0, cteMisses = 0;
+    std::uint64_t ml2Accesses = 0;
+    double l3LatSum = 0.0;
+    std::uint64_t l3LatCount = 0;
+    double walkLatSum = 0.0;
+    std::uint64_t walkLatCount = 0;
+    Tick busReads = 0, busWrites = 0;
+};
+
+/**
+ * Two-sided Student-t critical value at 95% confidence.  Exact table
+ * for small df (the interesting regime: df = windows - 1), the normal
+ * limit beyond 30.
+ */
+double
+tCrit95(std::uint64_t df)
+{
+    static const double table[] = {
+        0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+        2.306,  2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+        2.120,  2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+        2.064,  2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    if (df == 0)
+        return 0.0;
+    if (df <= 30)
+        return table[df];
+    return 1.960;
+}
+
+/** Mean and 95% CI half-width of the per-window observations. */
+SampleMetric
+summarize(const std::string &name, const std::vector<double> &xs)
+{
+    SampleMetric m;
+    m.name = name;
+    const auto n = static_cast<double>(xs.size());
+    if (xs.empty())
+        return m;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    m.mean = sum / n;
+    if (xs.size() < 2)
+        return m;
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - m.mean) * (x - m.mean);
+    const double var = ss / (n - 1.0);
+    m.ci95 = tCrit95(xs.size() - 1) * std::sqrt(var / n);
+    return m;
+}
+
+} // namespace
+
+SimResult
+System::measureSampled()
+{
+    const auto wall0 = std::chrono::steady_clock::now();
+    Tracer::PidScope pid_scope(tracePid_);
+
+    const std::uint64_t k = cfg_.sampleWindows;
+    const std::uint64_t w = cfg_.sampleWindowAccesses;
+    const std::uint64_t dw = cfg_.sampleWarmAccesses;
+    // Stratified intervals: each of the k windows owns an equal slice
+    // of the measure-phase access budget and is measured at its end,
+    // after a functional fast-forward and a short detailed warm-up
+    // re-primes timing state (SMARTS-style detailed warming).
+    const std::uint64_t stratum = cfg_.measureAccesses / k;
+
+    for (unsigned c = 0; c < cfg_.cores; ++c)
+        cores_[c] = CoreState{};
+
+    // Warm-up phase: functional except for the last dw accesses.
+    const std::uint64_t warm_detail = std::min(cfg_.warmAccesses, dw);
+    std::uint64_t ff_total = cfg_.warmAccesses - warm_detail;
+    fastForward(cfg_.warmAccesses - warm_detail);
+    runWarm(warm_detail);
+
+    if (cfg_.statsInterval > 0) {
+        prevEpoch_ = StatDump{};
+        dumpAllStats(prevEpoch_);
+        prevEpochAccesses_ = 0;
+        nextEpochAt_ = cfg_.statsInterval;
+    }
+
+    const auto snap = [this]() {
+        WindowSnap s;
+        s.accesses = result_.accesses;
+        s.tlbHits = result_.tlbHits;
+        s.tlbMisses = result_.tlbMisses;
+        s.llcMisses = result_.llcMisses;
+        s.llcWritebacks = result_.llcWritebacks;
+        s.cteHits = result_.cteHits;
+        s.cteMisses = result_.cteMisses;
+        s.ml2Accesses = result_.ml2Accesses;
+        s.l3LatSum = result_.l3MissLatency.sampleSum();
+        s.l3LatCount = result_.l3MissLatency.count();
+        s.walkLatSum = result_.pageWalkLatency.sampleSum();
+        s.walkLatCount = result_.pageWalkLatency.count();
+        s.busReads = dram_->busBusyReads();
+        s.busWrites = dram_->busBusyWrites();
+        return s;
+    };
+    const auto frac = [](double num, double den) {
+        return den > 0.0 ? num / den : 0.0;
+    };
+
+    std::vector<std::vector<double>> obs(10);
+    Tick elapsed_total = 0;
+    double bus_reads_total = 0.0, bus_writes_total = 0.0;
+    measureStart_ = 0;
+
+    for (std::uint64_t win = 0; win < k; ++win) {
+        const std::uint64_t ff_n = stratum - w - dw;
+        fastForward(ff_n);
+        ff_total += ff_n;
+        runWarm(dw);
+
+        // Align clocks at the window start (as measureExact does for
+        // its single window) so the interleave is well-defined.
+        Tick wstart = 0;
+        for (unsigned c = 0; c < cfg_.cores; ++c)
+            wstart = std::max(wstart, cores_[c].now);
+        for (unsigned c = 0; c < cfg_.cores; ++c) {
+            cores_[c].now = wstart;
+            cores_[c].accesses = 0;
+        }
+        if (win == 0)
+            measureStart_ = wstart;
+
+        const WindowSnap before = snap();
+        runMeasuredLoop(w, false);
+
+        Tick wend = 0;
+        for (unsigned c = 0; c < cfg_.cores; ++c)
+            wend = std::max(wend, cores_[c].now);
+        mc_->drain(wend);
+        const WindowSnap after = snap();
+
+        const Tick welapsed = wend - wstart;
+        elapsed_total += welapsed;
+        const double d_acc =
+            static_cast<double>(after.accesses - before.accesses);
+        const double d_elapsed_ns = ticksToNs(welapsed);
+        const double d_tlb_miss =
+            static_cast<double>(after.tlbMisses - before.tlbMisses);
+        const double d_tlb_hit =
+            static_cast<double>(after.tlbHits - before.tlbHits);
+        const double d_llc_miss =
+            static_cast<double>(after.llcMisses - before.llcMisses);
+        const double d_llc_wb = static_cast<double>(
+            after.llcWritebacks - before.llcWritebacks);
+        const double d_cte_hit =
+            static_cast<double>(after.cteHits - before.cteHits);
+        const double d_cte_miss =
+            static_cast<double>(after.cteMisses - before.cteMisses);
+        const double d_ml2 = static_cast<double>(after.ml2Accesses -
+                                                 before.ml2Accesses);
+        const double d_bus_r =
+            static_cast<double>(after.busReads - before.busReads);
+        const double d_bus_w =
+            static_cast<double>(after.busWrites - before.busWrites);
+        bus_reads_total += d_bus_r;
+        bus_writes_total += d_bus_w;
+
+        obs[0].push_back(frac(d_acc, d_elapsed_ns));
+        obs[1].push_back(frac(d_tlb_miss, d_tlb_hit + d_tlb_miss));
+        obs[2].push_back(frac(1000.0 * d_llc_miss, d_acc));
+        obs[3].push_back(frac(1000.0 * d_llc_wb, d_acc));
+        obs[4].push_back(frac(d_cte_hit, d_cte_hit + d_cte_miss));
+        obs[5].push_back(frac(d_ml2, d_llc_miss + d_llc_wb));
+        obs[6].push_back(
+            frac(after.l3LatSum - before.l3LatSum,
+                 static_cast<double>(after.l3LatCount -
+                                     before.l3LatCount)));
+        obs[7].push_back(
+            frac(after.walkLatSum - before.walkLatSum,
+                 static_cast<double>(after.walkLatCount -
+                                     before.walkLatCount)));
+        obs[8].push_back(
+            frac(d_bus_r, static_cast<double>(welapsed)));
+        obs[9].push_back(
+            frac(d_bus_w, static_cast<double>(welapsed)));
+
+        // Final epoch flush per the exact-mode convention: deltas sum
+        // to the totals over all measured windows.
+        if (win + 1 == k && cfg_.statsInterval > 0 &&
+            result_.accesses > prevEpochAccesses_)
+            snapshotEpoch(wend);
+    }
+
+    result_.elapsed = elapsed_total;
+    result_.footprintBytes = footprintBytes_;
+    result_.dramUsedBytes = mc_->dramUsedBytes();
+    result_.avgL3MissLatencyNs = l3MissLatency_.mean();
+    const Tick window = result_.elapsed * cfg_.cores > 0
+                            ? result_.elapsed
+                            : Tick{1};
+    result_.readBusUtil =
+        bus_reads_total / static_cast<double>(window);
+    result_.writeBusUtil =
+        bus_writes_total / static_cast<double>(window);
+
+    dumpAllStats(result_.stats);
+
+    // CI summary over the k windows for every headline metric.
+    static const char *const names[10] = {
+        "accesses_per_ns",       "tlb_miss_rate",
+        "llc_misses_per_kacc",   "llc_writebacks_per_kacc",
+        "cte_hit_rate",          "ml2_access_rate",
+        "l3_miss_latency_ns",    "page_walk_latency_ns",
+        "read_bus_util",         "write_bus_util",
+    };
+    result_.sample.windows = k;
+    result_.sample.windowAccesses = w;
+    result_.sample.warmupAccesses = dw;
+    result_.sample.ffAccesses = ff_total;
+    result_.sample.metrics.clear();
+    for (unsigned i = 0; i < 10; ++i)
+        result_.sample.metrics.push_back(summarize(names[i], obs[i]));
+
+    // Exported here (not in dumpAllStats, which epochs also call) so
+    // the summary appears once, at end of run.
+    result_.stats.set("sys.sample.windows", k);
+    result_.stats.set("sys.sample.window_accesses", w);
+    for (const SampleMetric &m : result_.sample.metrics) {
+        result_.stats.set("sys.sample." + m.name + ".mean", m.mean);
+        result_.stats.set("sys.sample." + m.name + ".ci95", m.ci95);
+    }
+
     result_.setupSeconds = setupSeconds_;
     result_.measureSeconds = std::chrono::duration<double>(
                                  std::chrono::steady_clock::now() -

@@ -35,6 +35,9 @@
 namespace tmcc
 {
 
+template <class Traits> struct AccessEngine;
+struct SystemKernel;
+
 /** One simulated machine + workload. */
 class System
 {
@@ -124,33 +127,56 @@ class System
     /** Host frame backing a (possibly guest) page number. */
     Ppn dataFrame(Ppn ppn) const;
 
-    /** Process one access from `core`; returns latency charged. */
-    void step(unsigned core, bool measuring);
+    // The per-access pipeline lives in AccessEngine<Traits>
+    // (sim/access_path.hh), instantiated once with scalar mechanics
+    // (the oracle) and once with batched mechanics; SystemKernel
+    // (sim/kernel_batch.cc) holds the batched drivers.  Both need the
+    // private state.
+    template <class Traits> friend struct AccessEngine;
+    friend struct SystemKernel;
+
+    /** Reject invalid --sample / --stats-interval combinations. */
+    void validateRunConfig() const;
+
+    /** Run `per_core` detailed warm-up accesses on every core. */
+    void runWarm(std::uint64_t per_core);
 
     /**
-     * Perform a full cache/memory access for `paddr`.  Returns the
-     * completion tick.  Walker accesses start at L2 and may fill the
-     * core's CTE buffer from compressed PTBs.
+     * The measured loop: interleave cores by local time until every
+     * core has retired `quota` measured accesses, snapshotting epochs
+     * when configured.  `use_ring` lets the batched kernel refill its
+     * access ring in blocks; sampled windows pass false so no access
+     * beyond the window is prefetched from the workload stream.
      */
-    Tick memoryAccess(unsigned core, Addr paddr, bool is_write,
-                      bool from_walker, Tick start, bool after_tlb_miss,
-                      bool measuring);
+    void runMeasuredLoop(std::uint64_t quota, bool use_ring);
 
-    /** TLB miss path: page walk with PTB fetches. */
-    Tick pageWalk(unsigned core, Addr vaddr, Tick start, Ppn &ppn,
-                  bool measuring);
+    /** Functionally fast-forward `per_core` accesses per core. */
+    void fastForward(std::uint64_t per_core);
+
+    /** One functional access (defined in sim/access_path.hh). */
+    void ffStep(unsigned core, const MemAccess &a);
 
     /**
-     * Nested paging: translate a guest-physical address through the
-     * host table, fetching the host PTBs (a constituent host walk of
-     * the 2D walk); returns the host-physical address.
+     * Per-core MRU block filter for the fast-forward path: a run of
+     * consecutive accesses to one block is an L1-hit run in the
+     * detailed model, where it touches no state below L1 and leaves
+     * L1's relative LRU order unchanged — so fast-forward can skip
+     * everything but the first access (and the first write, which
+     * must dirty the L1 copy).  Reset at every fast-forward leg:
+     * detailed windows in between may have evicted the cached block.
      */
-    Addr hostTranslate(unsigned core, Addr gpa, Tick &t,
-                       bool measuring);
+    struct FfFilter
+    {
+        Addr vblock = invalidAddr; //!< virtual block of the last access
+        Addr pblock = invalidAddr; //!< its physical block
+        bool dirty = false;        //!< L1 copy already marked dirty
+    };
 
-    void handleMcResponse(unsigned core, Addr paddr,
-                          const McReadResponse &resp, bool from_walker,
-                          bool after_tlb_miss, bool measuring);
+    /** The exact (non-sampled) measurement: warm + full window. */
+    SimResult measureExact();
+
+    /** SMARTS-style interval sampling: k detailed windows + CI. */
+    SimResult measureSampled();
 
     void collectPtbCtes(unsigned core, Addr ptb_addr);
 
@@ -195,6 +221,7 @@ class System
     std::vector<std::unique_ptr<Walker>> walkers_;
     std::vector<std::unique_ptr<CteBuffer>> cteBuffers_;
     std::vector<CoreState> cores_;
+    std::vector<FfFilter> ffFilter_;
 
     std::uint64_t footprintBytes_ = 0;
     std::unordered_map<Addr, unsigned> regionMix_; //!< base -> mix id
@@ -209,6 +236,26 @@ class System
     StatDump prevEpoch_;
     std::uint64_t prevEpochAccesses_ = 0;
     std::uint64_t nextEpochAt_ = 0;
+};
+
+/**
+ * Drivers of the batched kernel (`--kernel=batch`): ring-buffered
+ * workload fetch feeding AccessEngine<BatchTraits>.  Defined in
+ * sim/kernel_batch.cc; System dispatches here when configured.
+ */
+struct SystemKernel
+{
+    static void warm(System &sys, std::uint64_t per_core);
+    static void measured(System &sys, std::uint64_t quota,
+                         bool use_ring);
+    static void fastForward(System &sys, std::uint64_t per_core);
+
+  private:
+    template <bool Tracing>
+    static void warmImpl(System &sys, std::uint64_t per_core);
+    template <bool Tracing, bool Epochs>
+    static void measuredImpl(System &sys, std::uint64_t quota,
+                             std::size_t refill);
 };
 
 } // namespace tmcc

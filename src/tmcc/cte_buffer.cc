@@ -3,75 +3,19 @@
 namespace tmcc
 {
 
-CteBuffer::CteBuffer(unsigned entries) : entries_(entries) {}
-
-CteBuffer::Entry *
-CteBuffer::find(Ppn ppn)
-{
-    for (auto &e : entries_)
-        if (e.valid && e.ppn == ppn)
-            return &e;
-    return nullptr;
-}
-
-void
-CteBuffer::insert(Ppn ppn, bool has_cte, std::uint64_t cte, Addr ptb_addr)
-{
-    inserts_.inc();
-    Entry *slot = find(ppn);
-    if (slot == nullptr) {
-        slot = &entries_[0];
-        for (auto &e : entries_) {
-            if (!e.valid) {
-                slot = &e;
-                break;
-            }
-            if (e.lru < slot->lru)
-                slot = &e;
-        }
-    }
-    slot->ppn = ppn;
-    slot->hasCte = has_cte;
-    slot->cte = cte;
-    slot->ptbAddr = ptb_addr;
-    slot->valid = true;
-    slot->lru = ++lruClock_;
-}
-
-const CteBuffer::Entry *
-CteBuffer::lookup(Ppn ppn)
-{
-    Entry *e = find(ppn);
-    if (e == nullptr) {
-        misses_.inc();
-        return nullptr;
-    }
-    hits_.inc();
-    e->lru = ++lruClock_;
-    return e;
-}
-
-Addr
-CteBuffer::updateOnResponse(Ppn ppn, std::uint64_t correct_cte)
-{
-    Entry *e = find(ppn);
-    if (e == nullptr)
-        return invalidAddr;
-    const bool stale = !e->hasCte || e->cte != correct_cte;
-    e->hasCte = true;
-    e->cte = correct_cte;
-    if (stale) {
-        staleUpdates_.inc();
-        return e->ptbAddr;
-    }
-    return invalidAddr;
-}
+CteBuffer::CteBuffer(unsigned entries)
+    : ppns_(entries, invalidPpn),
+      hasCte_(entries, 0),
+      cte_(entries, 0),
+      ptbAddr_(entries, invalidAddr),
+      lru_(entries, 0)
+{}
 
 void
 CteBuffer::flush()
 {
-    for (auto &e : entries_)
-        e.valid = false;
+    for (auto &p : ppns_)
+        p = invalidPpn;
 }
 
 void

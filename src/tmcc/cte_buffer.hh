@@ -7,6 +7,12 @@
  * can fetch data and the real CTE from DRAM in parallel.  Responses
  * carry the correct CTE back; a mismatch triggers the lazy PTB update
  * at the recorded PTB physical address.
+ *
+ * The table is fully associative and searched on every LLC-bound
+ * access, so the key scan is the measured loop's hottest loop: keys
+ * live in one contiguous PPN array (invalid entries hold a sentinel no
+ * real PPN can take) with payload arrays alongside, and the hot
+ * methods are defined inline here.
  */
 
 #ifndef TMCC_TMCC_CTE_BUFFER_HH
@@ -38,17 +44,79 @@ class CteBuffer : public Stated
     };
 
     /** Insert one key-value pair from a fetched compressed PTB. */
-    void insert(Ppn ppn, bool has_cte, std::uint64_t cte, Addr ptb_addr);
+    void
+    insert(Ppn ppn, bool has_cte, std::uint64_t cte, Addr ptb_addr)
+    {
+        inserts_.inc();
+        std::size_t slot = find(ppn);
+        if (slot == npos) {
+            // First free slot, else the LRU entry (stamps unique, so
+            // the argmin is unique) — same victim the old fused scan
+            // picked, split so each loop stays vectorizable.
+            for (std::size_t i = 0; i < ppns_.size(); ++i) {
+                if (ppns_[i] == invalidPpn) {
+                    slot = i;
+                    break;
+                }
+            }
+            if (slot == npos) {
+                slot = 0;
+                for (std::size_t i = 1; i < ppns_.size(); ++i)
+                    if (lru_[i] < lru_[slot])
+                        slot = i;
+            }
+        }
+        ppns_[slot] = ppn;
+        hasCte_[slot] = has_cte;
+        cte_[slot] = cte;
+        ptbAddr_[slot] = ptb_addr;
+        lru_[slot] = ++lruClock_;
+    }
 
-    /** Look up by PPN; nullptr on miss. */
-    const Entry *lookup(Ppn ppn);
+    /**
+     * Look up by PPN; nullptr on miss.  The returned pointer aliases a
+     * scratch entry refreshed by the next lookup — read it immediately
+     * (exactly how the pipeline and tests use it).
+     */
+    const Entry *
+    lookup(Ppn ppn)
+    {
+        const std::size_t e = find(ppn);
+        if (e == npos) {
+            misses_.inc();
+            return nullptr;
+        }
+        hits_.inc();
+        lru_[e] = ++lruClock_;
+        scratch_.ppn = ppns_[e];
+        scratch_.hasCte = hasCte_[e] != 0;
+        scratch_.cte = cte_[e];
+        scratch_.ptbAddr = ptbAddr_[e];
+        scratch_.valid = true;
+        scratch_.lru = lru_[e];
+        return &scratch_;
+    }
 
     /**
      * Response handling (§V-A3): store the correct CTE into the entry;
      * returns the PTB address to lazily update if the entry existed and
      * its CTE was missing or mismatched, else invalidAddr.
      */
-    Addr updateOnResponse(Ppn ppn, std::uint64_t correct_cte);
+    Addr
+    updateOnResponse(Ppn ppn, std::uint64_t correct_cte)
+    {
+        const std::size_t e = find(ppn);
+        if (e == npos)
+            return invalidAddr;
+        const bool stale = !hasCte_[e] || cte_[e] != correct_cte;
+        hasCte_[e] = 1;
+        cte_[e] = correct_cte;
+        if (stale) {
+            staleUpdates_.inc();
+            return ptbAddr_[e];
+        }
+        return invalidAddr;
+    }
 
     void flush();
 
@@ -56,9 +124,35 @@ class CteBuffer : public Stated
                    const std::string &prefix) const override;
 
   private:
-    Entry *find(Ppn ppn);
+    static constexpr std::size_t npos = ~static_cast<std::size_t>(0);
 
-    std::vector<Entry> entries_;
+    /** No real PPN is all-ones; marks an invalid slot in ppns_. */
+    static constexpr Ppn invalidPpn = ~static_cast<Ppn>(0);
+
+    /**
+     * Index of the valid entry keyed by `ppn`, or npos.  Keys are
+     * unique, so a no-early-exit scan finds the same slot while
+     * letting the compiler vectorize the 64-entry compare — this scan
+     * runs on every LLC-bound access and eight times per page walk.
+     */
+    std::size_t
+    find(Ppn ppn) const
+    {
+        std::size_t m = npos;
+        for (std::size_t i = 0; i < ppns_.size(); ++i)
+            if (ppns_[i] == ppn)
+                m = i;
+        return m;
+    }
+
+    // Structure-of-arrays entries: the key scan touches only ppns_.
+    std::vector<Ppn> ppns_;
+    std::vector<std::uint8_t> hasCte_;
+    std::vector<std::uint64_t> cte_;
+    std::vector<Addr> ptbAddr_;
+    std::vector<std::uint64_t> lru_;
+    Entry scratch_; //!< backing storage for lookup()'s return
+
     std::uint64_t lruClock_ = 0;
     Counter inserts_, hits_, misses_, staleUpdates_;
 };

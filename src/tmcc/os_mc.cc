@@ -134,6 +134,22 @@ OsInspiredMc::read(const McReadRequest &req)
     return readMl2(req, ppn, c);
 }
 
+void
+OsInspiredMc::functionalTouch(Ppn ppn, bool /*is_write*/, Tick now)
+{
+    // Fast-forward analogue of read(): keep the translation and
+    // placement state hot -- CTE-cache residency, ML1 recency, and the
+    // demand-triggered ML2->ML1 migration -- without DRAM timing,
+    // demand counters or migration-slot stall bookkeeping.
+    PageCte &c = cte(ppn);
+    if (!cteCache_.lookup(ppn))
+        cteCache_.insert(ppn);
+    if (c.level == PageLevel::ML1)
+        recency_.touch(ppn);
+    else
+        migrateToMl1(ppn, c, std::max(now, migCursor_));
+}
+
 McReadResponse
 OsInspiredMc::readMl1(const McReadRequest &req, PageCte &c)
 {

@@ -99,6 +99,7 @@ class OsInspiredMc : public MemController
 
     McReadResponse read(const McReadRequest &req) override;
     void writeback(Addr paddr, Tick when, bool line_compressed) override;
+    void functionalTouch(Ppn ppn, bool is_write, Tick now) override;
 
     std::uint64_t dramUsedBytes() const override;
 

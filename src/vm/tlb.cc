@@ -11,75 +11,10 @@ Tlb::Tlb(unsigned entries, unsigned assoc) : assoc_(assoc)
     fatalIf(entries % assoc != 0, "TLB entries must divide by assoc");
     sets_ = entries / assoc;
     fatalIf(!isPowerOf2(sets_), "TLB set count must be a power of two");
-    entries_.resize(entries);
-}
-
-Tlb::Entry *
-Tlb::find(Vpn vpn, bool huge)
-{
-    const Vpn key =
-        huge ? (vpn & ~((hugePageSize / pageSize) - 1)) : vpn;
-    const std::size_t set = key & (sets_ - 1);
-    Entry *base = &entries_[set * assoc_];
-    for (unsigned w = 0; w < assoc_; ++w) {
-        Entry &e = base[w];
-        if (e.valid && e.huge == huge && e.vpn == key)
-            return &e;
-    }
-    return nullptr;
-}
-
-bool
-Tlb::lookup(Addr vaddr, Ppn &ppn)
-{
-    const Vpn vpn = pageNumber(vaddr);
-
-    if (Entry *e = find(vpn, false); e != nullptr) {
-        e->lru = ++lruClock_;
-        ppn = e->ppn;
-        hits_.inc();
-        return true;
-    }
-    if (Entry *e = find(vpn, true); e != nullptr) {
-        e->lru = ++lruClock_;
-        ppn = e->ppn + (vpn & ((hugePageSize / pageSize) - 1));
-        hits_.inc();
-        return true;
-    }
-    misses_.inc();
-    return false;
-}
-
-void
-Tlb::install(Vpn vpn, Ppn ppn, bool huge)
-{
-    const std::size_t set = vpn & (sets_ - 1);
-    Entry *base = &entries_[set * assoc_];
-    Entry *victim = &base[0];
-    for (unsigned w = 0; w < assoc_; ++w) {
-        Entry &e = base[w];
-        if (e.valid && e.huge == huge && e.vpn == vpn) {
-            victim = &e; // refresh existing
-            break;
-        }
-        if (!e.valid) {
-            victim = &e;
-            break;
-        }
-        if (e.lru < victim->lru)
-            victim = &e;
-    }
-    victim->vpn = vpn;
-    victim->ppn = ppn;
-    victim->valid = true;
-    victim->huge = huge;
-    victim->lru = ++lruClock_;
-}
-
-void
-Tlb::insert(Vpn vpn, Ppn ppn)
-{
-    install(vpn, ppn, false);
+    vpns_.assign(entries, 0);
+    ppns_.assign(entries, 0);
+    lru_.assign(entries, 0);
+    flags_.assign(entries, 0);
 }
 
 void
@@ -93,8 +28,8 @@ Tlb::insertHuge(Vpn vpn_base, Ppn ppn_base)
 void
 Tlb::flush()
 {
-    for (auto &e : entries_)
-        e.valid = false;
+    for (auto &f : flags_)
+        f = 0;
 }
 
 void

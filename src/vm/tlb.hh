@@ -4,6 +4,11 @@
  * single-level TLB enlarged to 2048 entries so the hit rate matches a
  * real two-level design (AMD Zen 3-like total capacity); 2MB huge-page
  * entries are kept in the same structure at their own granularity.
+ *
+ * Entry metadata is structure-of-arrays (contiguous vpn / ppn / lru /
+ * flag arrays) and the lookup/install paths are defined inline so the
+ * measured-loop kernels scan one set as a tight loop over adjacent
+ * words instead of chasing per-entry structs.
  */
 
 #ifndef TMCC_VM_TLB_HH
@@ -25,10 +30,29 @@ class Tlb : public Stated
     Tlb(unsigned entries = 2048, unsigned assoc = 8);
 
     /** Translate; returns true on hit and fills `ppn`. */
-    bool lookup(Addr vaddr, Ppn &ppn);
+    bool
+    lookup(Addr vaddr, Ppn &ppn)
+    {
+        const Vpn vpn = pageNumber(vaddr);
+
+        if (const std::size_t e = find(vpn, false); e != npos) {
+            lru_[e] = ++lruClock_;
+            ppn = ppns_[e];
+            hits_.inc();
+            return true;
+        }
+        if (const std::size_t e = find(vpn, true); e != npos) {
+            lru_[e] = ++lruClock_;
+            ppn = ppns_[e] + (vpn & ((hugePageSize / pageSize) - 1));
+            hits_.inc();
+            return true;
+        }
+        misses_.inc();
+        return false;
+    }
 
     /** Install a 4KB translation. */
-    void insert(Vpn vpn, Ppn ppn);
+    void insert(Vpn vpn, Ppn ppn) { install(vpn, ppn, false); }
 
     /** Install a 2MB translation (vpn/ppn are 4KB numbers, aligned). */
     void insertHuge(Vpn vpn_base, Ppn ppn_base);
@@ -42,21 +66,66 @@ class Tlb : public Stated
                    const std::string &prefix) const override;
 
   private:
-    struct Entry
+    static constexpr std::size_t npos = ~static_cast<std::size_t>(0);
+
+    // Entry metadata flag bits (flags_ bytes).
+    enum : std::uint8_t
     {
-        Vpn vpn = 0;     //!< granularity-aligned virtual page number
-        Ppn ppn = 0;
-        bool valid = false;
-        bool huge = false;
-        std::uint64_t lru = 0;
+        Valid = 1,
+        Huge = 2,
     };
 
-    Entry *find(Vpn vpn, bool huge);
-    void install(Vpn vpn, Ppn ppn, bool huge);
+    /** Index of the entry translating (vpn, huge), or npos. */
+    std::size_t
+    find(Vpn vpn, bool huge) const
+    {
+        const Vpn key =
+            huge ? (vpn & ~((hugePageSize / pageSize) - 1)) : vpn;
+        const std::size_t set = key & (sets_ - 1);
+        const std::size_t base = set * assoc_;
+        const std::uint8_t want =
+            static_cast<std::uint8_t>(Valid | (huge ? Huge : 0));
+        for (unsigned w = 0; w < assoc_; ++w)
+            if (flags_[base + w] == want && vpns_[base + w] == key)
+                return base + w;
+        return npos;
+    }
+
+    void
+    install(Vpn vpn, Ppn ppn, bool huge)
+    {
+        const std::size_t set = vpn & (sets_ - 1);
+        const std::size_t base = set * assoc_;
+        const std::uint8_t want =
+            static_cast<std::uint8_t>(Valid | (huge ? Huge : 0));
+        std::size_t victim = base;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            const std::size_t e = base + w;
+            if (flags_[e] == want && vpns_[e] == vpn) {
+                victim = e; // refresh existing
+                break;
+            }
+            if (!(flags_[e] & Valid)) {
+                victim = e;
+                break;
+            }
+            if (lru_[e] < lru_[victim])
+                victim = e;
+        }
+        vpns_[victim] = vpn;
+        ppns_[victim] = ppn;
+        flags_[victim] = want;
+        lru_[victim] = ++lruClock_;
+    }
 
     unsigned sets_;
     unsigned assoc_;
-    std::vector<Entry> entries_;
+
+    // Structure-of-arrays entry metadata, sets_ x assoc_ flattened.
+    std::vector<Vpn> vpns_;
+    std::vector<Ppn> ppns_;
+    std::vector<std::uint64_t> lru_;
+    std::vector<std::uint8_t> flags_;
     std::uint64_t lruClock_ = 0;
 
     Counter hits_, misses_;

@@ -1,0 +1,90 @@
+#include "common/flat_set.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+using Set = FlatHashSet<Addr, invalidAddr>;
+
+TEST(FlatHashSet, BasicMembership)
+{
+    Set s;
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_FALSE(s.contains(0));
+    EXPECT_TRUE(s.insert(0)); // zero is a legal key
+    EXPECT_TRUE(s.insert(64));
+    EXPECT_FALSE(s.insert(64)); // duplicate
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_TRUE(s.contains(0));
+    EXPECT_TRUE(s.contains(64));
+    EXPECT_FALSE(s.contains(128));
+    EXPECT_TRUE(s.erase(64));
+    EXPECT_FALSE(s.erase(64));
+    EXPECT_FALSE(s.contains(64));
+    EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(FlatHashSet, ClearEmptiesEverything)
+{
+    Set s;
+    for (Addr a = 0; a < 1000; ++a)
+        s.insert(a * 64);
+    EXPECT_EQ(s.size(), 1000u);
+    s.clear();
+    EXPECT_EQ(s.size(), 0u);
+    for (Addr a = 0; a < 1000; ++a)
+        EXPECT_FALSE(s.contains(a * 64));
+    // Reusable after clear.
+    EXPECT_TRUE(s.insert(64));
+    EXPECT_TRUE(s.contains(64));
+}
+
+TEST(FlatHashSet, GrowsPastInitialCapacity)
+{
+    Set s(16);
+    for (Addr a = 0; a < 100'000; ++a)
+        ASSERT_TRUE(s.insert(a * 64));
+    EXPECT_EQ(s.size(), 100'000u);
+    for (Addr a = 0; a < 100'000; ++a)
+        ASSERT_TRUE(s.contains(a * 64));
+    EXPECT_FALSE(s.contains(100'000 * 64));
+}
+
+/** Randomized differential test against std::unordered_set: the same
+ * insert/erase/contains stream must agree operation by operation —
+ * backward-shift deletion is the part worth hammering. */
+TEST(FlatHashSet, MatchesUnorderedSetUnderChurn)
+{
+    Set flat(16);
+    std::unordered_set<Addr> ref;
+    Rng rng(12345);
+    for (int op = 0; op < 200'000; ++op) {
+        // Small key space so probe chains collide and erases shift.
+        const Addr key = (rng.next() % 512) * 64;
+        switch (rng.next() % 3) {
+          case 0:
+            ASSERT_EQ(flat.insert(key), ref.insert(key).second);
+            break;
+          case 1:
+            ASSERT_EQ(flat.erase(key), ref.erase(key) != 0);
+            break;
+          default:
+            ASSERT_EQ(flat.contains(key), ref.count(key) != 0);
+        }
+        ASSERT_EQ(flat.size(), ref.size());
+    }
+    for (Addr a = 0; a < 512; ++a)
+        ASSERT_EQ(flat.contains(a * 64), ref.count(a * 64) != 0);
+}
+
+} // namespace
+} // namespace tmcc

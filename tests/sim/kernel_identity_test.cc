@@ -1,0 +1,271 @@
+/**
+ * @file
+ * The batched kernel's contract: `--kernel=batch` produces a SimResult
+ * byte-identical to the scalar oracle on every architecture, with and
+ * without tracing and epoch stats, under native / nested / huge-page
+ * translation, and in interval-sampling mode.  Plus the strict
+ * validation of the new --kernel / --sample knobs (death tests).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/serial.hh"
+#include "common/trace.hh"
+#include "sim/sweep_manifest.hh"
+#include "sim/system.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+SimConfig
+tinyConfig(Arch arch, const std::string &workload = "pageRank")
+{
+    SimConfig cfg = SimConfig::scaledDefault();
+    cfg.workload = workload;
+    cfg.scale = 0.02;
+    cfg.arch = arch;
+    cfg.placementAccesses = 20'000;
+    cfg.warmAccesses = 10'000;
+    cfg.measureAccesses = 20'000;
+    return cfg;
+}
+
+constexpr Arch allArchs[] = {
+    Arch::NoCompression,    Arch::Compresso,
+    Arch::Barebone,         Arch::BarebonePlusMl1,
+    Arch::BarebonePlusMl2,  Arch::Tmcc,
+};
+
+/**
+ * Canonical byte string of a SimResult with the wall-clock-only fields
+ * zeroed (they legitimately differ run to run and are documented as
+ * excluded from bit-identity comparisons).
+ */
+std::vector<std::uint8_t>
+fingerprint(SimResult res)
+{
+    res.setupSeconds = 0.0;
+    res.measureSeconds = 0.0;
+    res.restoredFromCheckpoint = false;
+    ByteWriter w;
+    serializeSimResult(w, res);
+    return w.take();
+}
+
+SimResult
+runWith(SimConfig cfg, KernelMode kernel)
+{
+    cfg.kernel = kernel;
+    System sys(cfg);
+    return sys.measure();
+}
+
+void
+expectKernelIdentity(const SimConfig &cfg)
+{
+    const SimResult scalar = runWith(cfg, KernelMode::Scalar);
+    const SimResult batch = runWith(cfg, KernelMode::Batch);
+    ASSERT_GT(scalar.accesses, 0u);
+    EXPECT_EQ(fingerprint(scalar), fingerprint(batch));
+}
+
+TEST(KernelIdentity, AllSixArchitectures)
+{
+    for (Arch arch : allArchs) {
+        SCOPED_TRACE(archName(arch));
+        expectKernelIdentity(tinyConfig(arch));
+    }
+}
+
+TEST(KernelIdentity, TmccOnIrregularWorkload)
+{
+    // mcf exercises the embedded-CTE parallel/mismatch paths harder
+    // than the graph workload.
+    expectKernelIdentity(tinyConfig(Arch::Tmcc, "mcf"));
+}
+
+TEST(KernelIdentity, WithEpochStats)
+{
+    for (Arch arch : {Arch::NoCompression, Arch::Tmcc}) {
+        SCOPED_TRACE(archName(arch));
+        SimConfig cfg = tinyConfig(arch);
+        cfg.statsInterval = 5'000;
+        expectKernelIdentity(cfg);
+    }
+}
+
+TEST(KernelIdentity, UnderTracing)
+{
+    // With a Tracer active the batch kernel selects its Tracing=true
+    // instantiation; results must still match the scalar oracle.
+    const std::string dir = ::testing::TempDir();
+    SimConfig cfg = tinyConfig(Arch::Tmcc);
+
+    Tracer scalar_tr(dir + "/kernel_identity_scalar.json");
+    Tracer::setActive(&scalar_tr);
+    const SimResult scalar = runWith(cfg, KernelMode::Scalar);
+    Tracer::setActive(nullptr);
+
+    Tracer batch_tr(dir + "/kernel_identity_batch.json");
+    Tracer::setActive(&batch_tr);
+    const SimResult batch = runWith(cfg, KernelMode::Batch);
+    Tracer::setActive(nullptr);
+
+    EXPECT_EQ(fingerprint(scalar), fingerprint(batch));
+    std::remove((dir + "/kernel_identity_scalar.json").c_str());
+    std::remove((dir + "/kernel_identity_batch.json").c_str());
+}
+
+TEST(KernelIdentity, NestedPaging)
+{
+    SimConfig cfg = tinyConfig(Arch::Tmcc);
+    cfg.nestedPaging = true;
+    expectKernelIdentity(cfg);
+}
+
+TEST(KernelIdentity, HugePages)
+{
+    SimConfig cfg = tinyConfig(Arch::Tmcc);
+    cfg.hugePages = true;
+    expectKernelIdentity(cfg);
+}
+
+SimConfig
+sampledConfig(Arch arch)
+{
+    SimConfig cfg = tinyConfig(arch);
+    cfg.sampleWindows = 4;
+    cfg.sampleWindowAccesses = 2'000;
+    cfg.sampleWarmAccesses = 500;
+    return cfg;
+}
+
+TEST(KernelIdentity, SampledModeMatchesAcrossKernels)
+{
+    // Interval sampling fast-forwards between windows; the functional
+    // path is shared, so batch must still match scalar byte for byte.
+    for (Arch arch : allArchs) {
+        SCOPED_TRACE(archName(arch));
+        expectKernelIdentity(sampledConfig(arch));
+    }
+}
+
+TEST(KernelIdentity, SampledRunProducesCiSummary)
+{
+    const SimResult r = runWith(sampledConfig(Arch::Tmcc),
+                                KernelMode::Batch);
+    EXPECT_EQ(r.sample.windows, 4u);
+    EXPECT_EQ(r.sample.windowAccesses, 2'000u);
+    EXPECT_EQ(r.sample.warmupAccesses, 500u);
+    EXPECT_GT(r.sample.ffAccesses, 0u);
+    ASSERT_EQ(r.sample.metrics.size(), 10u);
+    EXPECT_EQ(r.sample.metrics[0].name, "accesses_per_ns");
+    for (const SampleMetric &m : r.sample.metrics) {
+        SCOPED_TRACE(m.name);
+        EXPECT_GE(m.ci95, 0.0);
+        EXPECT_TRUE(r.stats.has("sys.sample." + m.name + ".mean"));
+        EXPECT_TRUE(r.stats.has("sys.sample." + m.name + ".ci95"));
+    }
+    EXPECT_EQ(r.stats.get("sys.sample.windows"), 4.0);
+    EXPECT_GT(r.sample.metrics[0].mean, 0.0);
+    // Every window measured at least w accesses per core.
+    EXPECT_GE(r.accesses, 4u * 2'000u);
+    EXPECT_GT(r.elapsed, 0u);
+    // Totals accumulate only inside windows, so a sampled run counts
+    // fewer measured accesses than the exact run it approximates.
+    const SimResult exact = runWith(tinyConfig(Arch::Tmcc),
+                                    KernelMode::Batch);
+    EXPECT_LT(r.accesses, exact.accesses);
+}
+
+TEST(KernelIdentity, ExactRunHasEmptySampleSummary)
+{
+    const SimResult r = runWith(tinyConfig(Arch::NoCompression),
+                                KernelMode::Batch);
+    EXPECT_EQ(r.sample.windows, 0u);
+    EXPECT_TRUE(r.sample.metrics.empty());
+    EXPECT_FALSE(r.stats.has("sys.sample.windows"));
+}
+
+// ---- strict validation (death tests) ------------------------------
+
+using KernelValidationDeath = ::testing::Test;
+
+TEST(KernelValidationDeath, RejectsOversubscribedSampling)
+{
+    SimConfig cfg = tinyConfig(Arch::NoCompression);
+    cfg.sampleWindows = 100;
+    cfg.sampleWindowAccesses = 1'000; // 100 x 1000 > 20k measured
+    EXPECT_EXIT({ System(cfg).measure(); },
+                ::testing::ExitedWithCode(1),
+                "windows x \\(window \\+ warm-up\\)");
+}
+
+TEST(KernelValidationDeath, RejectsEpochsFinerThanWindows)
+{
+    SimConfig cfg = sampledConfig(Arch::NoCompression);
+    cfg.statsInterval = 100; // < window size 2000
+    EXPECT_EXIT({ System(cfg).measure(); },
+                ::testing::ExitedWithCode(1),
+                "--stats-interval must be at least the sample window");
+}
+
+TEST(KernelValidationDeath, RejectsSampleSizesWithoutWindowCount)
+{
+    SimConfig cfg = tinyConfig(Arch::NoCompression);
+    cfg.sampleWindowAccesses = 10;
+    EXPECT_EXIT({ System(cfg).measure(); },
+                ::testing::ExitedWithCode(1),
+                "window count is zero");
+}
+
+TEST(KernelValidationDeath, ParseKernelModeRejectsGarbage)
+{
+    EXPECT_EXIT(parseKernelMode("--kernel", "vectorized"),
+                ::testing::ExitedWithCode(1),
+                "--kernel must be \"scalar\" or \"batch\"");
+    EXPECT_EXIT(parseKernelMode("TMCC_KERNEL", ""),
+                ::testing::ExitedWithCode(1),
+                "TMCC_KERNEL must be \"scalar\" or \"batch\"");
+}
+
+TEST(KernelValidationDeath, ParseSampleSpecRejectsGarbage)
+{
+    SimConfig cfg;
+    const char *bad[] = {
+        "",  "5",      "0:100", "5:0",   "5:100:0",
+        "x", "5:x",    "5:100:100:9",    "5:-3",
+        ":", "5:", ":5", "99999999999999999999:5",
+    };
+    for (const char *s : bad) {
+        SCOPED_TRACE(s);
+        EXPECT_EXIT(parseSampleSpec("--sample", s, cfg),
+                    ::testing::ExitedWithCode(1),
+                    "--sample must be k:w\\[:warm\\]");
+    }
+}
+
+TEST(KernelValidation, ParseAcceptsGoodSpecs)
+{
+    SimConfig cfg;
+    parseSampleSpec("--sample", "30:10000", cfg);
+    EXPECT_EQ(cfg.sampleWindows, 30u);
+    EXPECT_EQ(cfg.sampleWindowAccesses, 10'000u);
+    EXPECT_EQ(cfg.sampleWarmAccesses, 10'000u); // defaults to w
+    parseSampleSpec("--sample", "8:500:125", cfg);
+    EXPECT_EQ(cfg.sampleWindows, 8u);
+    EXPECT_EQ(cfg.sampleWindowAccesses, 500u);
+    EXPECT_EQ(cfg.sampleWarmAccesses, 125u);
+    EXPECT_EQ(parseKernelMode("--kernel", "scalar"),
+              KernelMode::Scalar);
+    EXPECT_EQ(parseKernelMode("--kernel", "batch"), KernelMode::Batch);
+}
+
+} // namespace
+} // namespace tmcc

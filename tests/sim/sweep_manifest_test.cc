@@ -92,6 +92,10 @@ fancyConfig()
     cfg.warmAccesses = 222;
     cfg.measureAccesses = 333;
     cfg.statsInterval = 44;
+    cfg.kernel = KernelMode::Batch;
+    cfg.sampleWindows = 5;
+    cfg.sampleWindowAccesses = 50;
+    cfg.sampleWarmAccesses = 10;
     return cfg;
 }
 
@@ -142,6 +146,12 @@ fancyResult()
     e.delta.set("l3.misses", 3.0);
     res.epochs.push_back(e);
     res.epochs.push_back(EpochStat{});
+    res.sample.windows = 5;
+    res.sample.windowAccesses = 50;
+    res.sample.warmupAccesses = 10;
+    res.sample.ffAccesses = 123'456;
+    res.sample.metrics.push_back({"accesses_per_ns", 1.0 / 3.0, 0.01});
+    res.sample.metrics.push_back({"tlb_miss_rate", 0.0625, 0.0});
     return res;
 }
 
@@ -159,6 +169,10 @@ expectConfigEqual(const SimConfig &a, const SimConfig &b)
     EXPECT_EQ(a.arch, b.arch);
     EXPECT_EQ(a.osMc.faults.ml2BitFlipRate, b.osMc.faults.ml2BitFlipRate);
     EXPECT_EQ(a.statsInterval, b.statsInterval);
+    EXPECT_EQ(a.kernel, b.kernel);
+    EXPECT_EQ(a.sampleWindows, b.sampleWindows);
+    EXPECT_EQ(a.sampleWindowAccesses, b.sampleWindowAccesses);
+    EXPECT_EQ(a.sampleWarmAccesses, b.sampleWarmAccesses);
 }
 
 void
@@ -207,6 +221,16 @@ expectResultEqual(const SimResult &a, const SimResult &b)
         EXPECT_EQ(a.epochs[i].cteHitRate, b.epochs[i].cteHitRate);
         EXPECT_EQ(a.epochs[i].dramUsedBytes, b.epochs[i].dramUsedBytes);
         EXPECT_EQ(a.epochs[i].delta.all(), b.epochs[i].delta.all());
+    }
+    EXPECT_EQ(a.sample.windows, b.sample.windows);
+    EXPECT_EQ(a.sample.windowAccesses, b.sample.windowAccesses);
+    EXPECT_EQ(a.sample.warmupAccesses, b.sample.warmupAccesses);
+    EXPECT_EQ(a.sample.ffAccesses, b.sample.ffAccesses);
+    ASSERT_EQ(a.sample.metrics.size(), b.sample.metrics.size());
+    for (std::size_t i = 0; i < a.sample.metrics.size(); ++i) {
+        EXPECT_EQ(a.sample.metrics[i].name, b.sample.metrics[i].name);
+        EXPECT_EQ(a.sample.metrics[i].mean, b.sample.metrics[i].mean);
+        EXPECT_EQ(a.sample.metrics[i].ci95, b.sample.metrics[i].ci95);
     }
 }
 
@@ -408,6 +432,46 @@ TEST_F(SweepManifestTest, FutureFormatVersionIsCorruption)
     ASSERT_FALSE(loaded.ok());
     EXPECT_EQ(loaded.status().code(), StatusCode::Corruption);
     EXPECT_NE(loaded.status().message().find("version mismatch"),
+              std::string::npos);
+}
+
+TEST_F(SweepManifestTest, ConfigRejectsBadKernelByte)
+{
+    SimConfig cfg = fancyConfig();
+    ByteWriter w;
+    serializeSimConfig(w, cfg);
+    // The kernel byte is the first v2 field: 25 bytes (u8 + 3 x u64)
+    // from the end of the config payload.
+    std::vector<std::uint8_t> bytes = w.buffer();
+    bytes[bytes.size() - 25] = 0x7f;
+    ByteReader r(bytes);
+    SimConfig back;
+    const Status s = deserializeSimConfig(r, back);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Corruption);
+    EXPECT_NE(s.message().find("kernel mode"), std::string::npos);
+}
+
+TEST_F(SweepManifestTest, OldFormatVersionIsRejectedClearly)
+{
+    // A v1-era file (before the kernel/sampling fields) must be
+    // rejected by the version gate with a clear message — not parsed
+    // as garbage.
+    ShardResultFile file;
+    file.gridKey = "k";
+    ASSERT_TRUE(file.save(path("f")).ok());
+    FILE *f = std::fopen(path("f").c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 8, SEEK_SET);
+    const std::uint8_t v1[4] = {0x01, 0x00, 0x00, 0x00};
+    std::fwrite(v1, 1, 4, f);
+    std::fclose(f);
+
+    const auto loaded = ShardResultFile::load(path("f"));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::Corruption);
+    EXPECT_NE(loaded.status().message().find(
+                  "format version mismatch (file v1, expected v2)"),
               std::string::npos);
 }
 
