@@ -37,6 +37,7 @@
 #include "sim/checkpoint.hh"
 #include "sim/runner.hh"
 #include "sim/shard_runner.hh"
+#include "sim/sweep_queue.hh"
 #include "sim/system.hh"
 
 namespace tmcc::bench
@@ -207,6 +208,21 @@ class BenchReport
         std::fprintf(f, "  \"resumed_shards\": %llu,\n",
                      static_cast<unsigned long long>(
                          shardTotals.resumedShards));
+        // Lease-based work-queue dispatch counters (all zero unless
+        // this process enqueued a sweep via QueueClient).
+        const QueueClient::Totals queueTotals = QueueClient::totals();
+        std::fprintf(f, "  \"queue_sweeps\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         queueTotals.sweeps));
+        std::fprintf(f, "  \"queue_merged_shards\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         queueTotals.mergedShards));
+        std::fprintf(f, "  \"queue_reclaimed_shards\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         queueTotals.reclaimedShards));
+        std::fprintf(f, "  \"queue_resumed_shards\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         queueTotals.resumedShards));
         std::fprintf(f, "  \"metrics\": {");
         for (std::size_t i = 0; i < metrics_.size(); ++i) {
             // Keys pass through jsonEscape (workload names can carry

@@ -39,15 +39,29 @@
  *   --stats-out FILE      write the epoch time series as JSON
  *   --record FILE N       record N accesses of the workload to FILE
  *                         (no simulation) and exit
- *   --sweep SET           run every workload of SET (large|small|
- *                         bandwidth|all) under the configured arch,
- *                         in parallel, and print one row per workload
+ *   --sweep SET           run every entry of SET (large|small|
+ *                         bandwidth|all under the configured arch, or
+ *                         fig17 = large x {compresso,tmcc}), in
+ *                         parallel, and print one row per entry
  *   --jobs N              worker threads for --sweep (default:
  *                         TMCC_JOBS or all cores)
- *   --shards N            run --sweep through the fault-tolerant
- *                         multi-process executor with N shards / worker
- *                         processes (env: TMCC_SHARDS; 0 = in-process;
- *                         see docs/SWEEP.md)
+ *   --dispatch MODE       how --sweep executes (docs/SWEEP.md):
+ *                           thread  in-process SimRunner (default)
+ *                           fork    fault-tolerant forked worker
+ *                                   processes (the --shards executor)
+ *                           queue   enqueue on a lease-based work
+ *                                   queue served by tmcc_simd daemons
+ *   --shards N            shard count for fork/queue dispatch (env:
+ *                         TMCC_SHARDS; unset/0 with --dispatch=fork|
+ *                         queue defaults to hardware_concurrency
+ *                         clamped to [1,64]; --shards N alone implies
+ *                         --dispatch=fork for back-compat)
+ *   --queue-dir DIR       queue directory for --dispatch=queue (env:
+ *                         TMCC_QUEUE_DIR; default tmcc-queue); shared
+ *                         with the tmcc_simd workers serving it
+ *   --queue-poll SEC      result-poll interval (default 0.5)
+ *   --queue-timeout SEC   give up waiting for workers after SEC
+ *                         (default: wait forever)
  *   --sweep-dir DIR       sweep directory for the manifest and shard
  *                         files; reuse it to resume an interrupted
  *                         sweep (default: tmcc-sweep-<gridkey8>)
@@ -80,6 +94,7 @@
 #include "sim/runner.hh"
 #include "sim/shard_runner.hh"
 #include "sim/sweep_manifest.hh"
+#include "sim/sweep_queue.hh"
 #include "sim/system.hh"
 #include "workloads/trace.hh"
 
@@ -109,27 +124,45 @@ archByName(const std::string &name)
     std::exit(1);
 }
 
-std::vector<std::string>
+/** One row of a sweep: a workload, optionally pinned to an arch (the
+ * cross-arch sets), and the label metrics are reported under. */
+struct SweepEntry
+{
+    std::string label;
+    std::string workload;
+    bool hasArch = false;
+    Arch arch = Arch::Tmcc;
+};
+
+std::vector<SweepEntry>
 sweepSet(const std::string &set)
 {
-    std::vector<std::string> names;
+    std::vector<SweepEntry> entries;
     if (set == "large" || set == "all")
         for (const auto &n : largeWorkloadNames())
-            names.push_back(n);
+            entries.push_back({n, n});
     if (set == "small" || set == "all")
         for (const auto &n : smallWorkloadNames())
-            names.push_back(n);
+            entries.push_back({n, n});
     if (set == "bandwidth" || set == "all")
         for (const auto &n : bandwidthWorkloadNames())
-            names.push_back(n);
-    if (names.empty()) {
+            entries.push_back({n, n});
+    if (set == "fig17")
+        // The paper's headline comparison: every large/irregular
+        // workload under Compresso and TMCC.  Labels carry the arch so
+        // serial and distributed runs report identical metric keys.
+        for (const auto &n : largeWorkloadNames())
+            for (const Arch a : {Arch::Compresso, Arch::Tmcc})
+                entries.push_back(
+                    {n + ":" + archName(a), n, true, a});
+    if (entries.empty()) {
         std::fprintf(stderr,
-                     "--sweep wants large|small|bandwidth|all, got "
-                     "'%s'\n",
+                     "--sweep wants large|small|bandwidth|all|fig17, "
+                     "got '%s'\n",
                      set.c_str());
         std::exit(1);
     }
-    return names;
+    return entries;
 }
 
 std::uint64_t
@@ -275,12 +308,21 @@ main(int argc, char **argv)
 
     // Sharded-sweep supervisor knobs (docs/SWEEP.md).
     unsigned shards = 0;
+    bool shards_flag = false; //!< --shards given on the command line
     std::string sweep_dir;
     double shard_timeout = 0.0;
     unsigned shard_attempts = 3;
     if (const char *env = std::getenv("TMCC_SHARDS"); env && *env)
         shards = static_cast<unsigned>(
             parseNonNegativeCount(env, "TMCC_SHARDS"));
+
+    // Queue-dispatch knobs (docs/SWEEP.md phase 2).
+    std::string dispatch;
+    std::string queue_dir = "tmcc-queue";
+    double queue_poll = 0.5;
+    double queue_timeout = 0.0;
+    if (const char *env = std::getenv("TMCC_QUEUE_DIR"); env && *env)
+        queue_dir = env;
 
     // Observability knobs: environment supplies the defaults, the
     // command line overrides (validated identically either way).
@@ -386,6 +428,20 @@ main(int argc, char **argv)
         } else if (arg == "--shards") {
             shards = static_cast<unsigned>(
                 parseNonNegativeCount(value(), "--shards"));
+            shards_flag = true;
+        } else if (arg == "--dispatch") {
+            dispatch = value();
+        } else if (arg.rfind("--dispatch=", 0) == 0) {
+            dispatch = arg.substr(std::strlen("--dispatch="));
+        } else if (arg == "--queue-dir") {
+            queue_dir = value();
+        } else if (arg.rfind("--queue-dir=", 0) == 0) {
+            queue_dir = arg.substr(std::strlen("--queue-dir="));
+        } else if (arg == "--queue-poll") {
+            queue_poll = parsePositiveSeconds(value(), "--queue-poll");
+        } else if (arg == "--queue-timeout") {
+            queue_timeout =
+                parsePositiveSeconds(value(), "--queue-timeout");
         } else if (arg == "--sweep-dir") {
             sweep_dir = value();
         } else if (arg == "--shard-timeout") {
@@ -451,15 +507,58 @@ main(int argc, char **argv)
                         : "");
     };
 
+    // Resolve the dispatch mode up front so misuse fails fast.
+    enum class Dispatch
+    {
+        Thread,
+        Fork,
+        Queue,
+    };
+    Dispatch dmode = Dispatch::Thread;
+    if (dispatch.empty()) {
+        // Back-compat: --shards N alone has always meant the forked
+        // multi-process executor.
+        dmode = shards > 0 ? Dispatch::Fork : Dispatch::Thread;
+    } else if (dispatch == "thread") {
+        if (shards_flag && shards > 0) {
+            std::fprintf(stderr, "--dispatch=thread does not shard; "
+                                 "drop --shards or pick fork|queue\n");
+            return 1;
+        }
+        dmode = Dispatch::Thread;
+    } else if (dispatch == "fork") {
+        dmode = Dispatch::Fork;
+    } else if (dispatch == "queue") {
+        dmode = Dispatch::Queue;
+    } else {
+        std::fprintf(stderr,
+                     "--dispatch wants thread|fork|queue, got '%s'\n",
+                     dispatch.c_str());
+        return 1;
+    }
+    if (!dispatch.empty() && sweep.empty()) {
+        std::fprintf(stderr, "--dispatch only applies to --sweep\n");
+        return 1;
+    }
+    if ((dmode == Dispatch::Fork || dmode == Dispatch::Queue) &&
+        shards == 0)
+        shards = defaultShardCount();
+
     if (!sweep.empty()) {
-        const std::vector<std::string> names = sweepSet(sweep);
+        const std::vector<SweepEntry> entries = sweepSet(sweep);
+        std::vector<std::string> names;
         std::vector<SimConfig> configs;
-        for (const auto &name : names) {
+        for (const auto &e : entries) {
             SimConfig c = cfg;
-            c.workload = name;
+            c.workload = e.workload;
+            if (e.hasArch)
+                c.arch = e.arch;
             preset_scale(c);
+            names.push_back(e.label);
             configs.push_back(c);
         }
+        const char *arch_label =
+            sweep == "fig17" ? "per-entry" : archName(cfg.arch);
 
         // One merged BENCH_sweep_<set>.json whichever executor runs
         // the grid, so sharded and in-process sweeps are byte-for-byte
@@ -469,7 +568,7 @@ main(int argc, char **argv)
         std::vector<bool> valid(configs.size(), true);
         bool sweep_ok = true;
 
-        if (shards > 0) {
+        if (dmode == Dispatch::Fork) {
             ShardOptions so;
             so.shards = shards;
             so.workerJobs = jobs ? jobs : 1;
@@ -480,10 +579,10 @@ main(int argc, char **argv)
                 !sweep_dir.empty()
                     ? sweep_dir
                     : "tmcc-sweep-" + sweepGridKey(configs).substr(0, 8);
-            std::printf("sweeping %zu workloads (%s) across %u worker "
+            std::printf("sweeping %zu entries (%s) across %u worker "
                         "processes, arch %s, sweep dir %s\n",
                         configs.size(), sweep.c_str(), so.shards,
-                        archName(cfg.arch), so.sweepDir.c_str());
+                        arch_label, so.sweepDir.c_str());
             ShardRunner runner(so);
             SweepOutcome outcome = runner.run(configs);
             results = std::move(outcome.results);
@@ -501,12 +600,39 @@ main(int argc, char **argv)
                                  "attempts: %s\n",
                                  shard.id, shard.attempts,
                                  shard.lastError.c_str());
+        } else if (dmode == Dispatch::Queue) {
+            QueueOptions qo;
+            qo.queueDir = queue_dir;
+            qo.sweepName = sweep_dir; // subdirectory name when set
+            qo.shards = shards;
+            qo.workerJobs = jobs ? jobs : 1;
+            qo.pollSeconds = queue_poll;
+            qo.timeoutSeconds = queue_timeout;
+            std::printf("sweeping %zu entries (%s) via work queue %s "
+                        "(%u shards), arch %s\n",
+                        configs.size(), sweep.c_str(),
+                        queue_dir.c_str(), shards, arch_label);
+            QueueClient client(qo);
+            SweepOutcome outcome = client.run(configs);
+            results = std::move(outcome.results);
+            valid = outcome.resultValid;
+            sweep_ok = outcome.ok();
+            std::printf("[sweep] %u/%zu shards merged (%u resumed, %u "
+                        "reclaimed, %u unfinished)\n",
+                        outcome.completedShards, outcome.shards.size(),
+                        outcome.resumedShards, outcome.retries,
+                        outcome.failedShards);
+            for (const auto &shard : outcome.shards)
+                if (shard.state != ShardState::Done)
+                    std::fprintf(stderr,
+                                 "[sweep] shard %u unfinished: %s\n",
+                                 shard.id, shard.lastError.c_str());
         } else {
             SimRunner runner(jobs);
-            std::printf("sweeping %zu workloads (%s) on %u threads, "
+            std::printf("sweeping %zu entries (%s) on %u threads, "
                         "arch %s\n",
                         configs.size(), sweep.c_str(), runner.jobs(),
-                        archName(cfg.arch));
+                        arch_label);
             try {
                 results = runner.run(configs);
             } catch (const std::exception &e) {

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Compare two directories of BENCH_<name>.json reports.
+
+The harnesses (bench/bench_util.hh) and the sweep CLI write one JSON
+report per run with bit-exact headline metrics (printed with %.17g, so
+doubles round-trip) plus wall-clock and checkpoint/sweep counters.
+This tool diffs the reports two runs produced:
+
+  - headline metrics must match EXACTLY (the simulator is deterministic;
+    any drift is a correctness regression, not noise), unless
+    --allow-metric-drift is given;
+  - wall clock is compared as a trend, and optionally gated with
+    --max-wall-regress FRAC (fail when candidate > baseline * (1+FRAC));
+  - a markdown trend table is printed (or written with --markdown) for
+    CI step summaries.
+
+Reports present in only one directory are listed but not fatal: a warm
+re-run typically regenerates a subset of the baseline's reports.  The
+intersection must be non-empty.
+
+Usage:
+  bench_diff.py BASELINE_DIR CANDIDATE_DIR
+      [--max-wall-regress FRAC] [--markdown FILE] [--allow-metric-drift]
+
+Exit status: 0 on success, 1 on metric mismatch (or wall regression
+beyond the gate), 2 on usage/IO errors.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_reports(directory):
+    """Map bench name -> parsed report for every BENCH_*.json in dir."""
+    if not os.path.isdir(directory):
+        sys.exit("bench_diff: not a directory: %s" % directory)
+    reports = {}
+    for entry in sorted(os.listdir(directory)):
+        if not (entry.startswith("BENCH_") and entry.endswith(".json")):
+            continue
+        path = os.path.join(directory, entry)
+        try:
+            with open(path) as f:
+                report = json.load(f)
+        except (OSError, ValueError) as exc:
+            sys.exit("bench_diff: cannot parse %s: %s" % (path, exc))
+        reports[report.get("bench", entry)] = report
+    return reports
+
+
+def diff_metrics(base, cand):
+    """Return a list of human-readable metric mismatches."""
+    bm, cm = base.get("metrics", {}), cand.get("metrics", {})
+    problems = []
+    for key in sorted(set(bm) | set(cm)):
+        if key not in cm:
+            problems.append("metric %r missing from candidate" % key)
+        elif key not in bm:
+            problems.append("metric %r missing from baseline" % key)
+        elif bm[key] != cm[key]:
+            problems.append(
+                "metric %r differs: baseline %r, candidate %r"
+                % (key, bm[key], cm[key])
+            )
+    return problems
+
+
+def fmt_delta(base_wall, cand_wall):
+    if not base_wall:
+        return "n/a"
+    delta = (cand_wall - base_wall) / base_wall * 100.0
+    return "%+.1f%%" % delta
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two directories of BENCH_*.json reports."
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--max-wall-regress",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="fail when a candidate wall clock exceeds its baseline "
+        "by more than FRAC (e.g. 0.25 = 25%%); default: trend only",
+    )
+    parser.add_argument(
+        "--markdown",
+        metavar="FILE",
+        help="also append the trend table to FILE "
+        "(e.g. $GITHUB_STEP_SUMMARY)",
+    )
+    parser.add_argument(
+        "--allow-metric-drift",
+        action="store_true",
+        help="report metric differences without failing",
+    )
+    args = parser.parse_args()
+    if args.max_wall_regress is not None and args.max_wall_regress < 0:
+        parser.error("--max-wall-regress must be >= 0")
+
+    base_reports = load_reports(args.baseline)
+    cand_reports = load_reports(args.candidate)
+    shared = sorted(set(base_reports) & set(cand_reports))
+    if not shared:
+        sys.exit(
+            "bench_diff: no common BENCH reports between %s and %s"
+            % (args.baseline, args.candidate)
+        )
+
+    rows = []
+    failures = []
+    for name in shared:
+        base, cand = base_reports[name], cand_reports[name]
+        problems = diff_metrics(base, cand)
+        if problems and not args.allow_metric_drift:
+            failures.append("%s: %s" % (name, "; ".join(problems)))
+        base_wall = float(base.get("wall_seconds", 0.0))
+        cand_wall = float(cand.get("wall_seconds", 0.0))
+        if (
+            args.max_wall_regress is not None
+            and base_wall > 0
+            and cand_wall > base_wall * (1.0 + args.max_wall_regress)
+        ):
+            failures.append(
+                "%s: wall clock regressed %.2fs -> %.2fs "
+                "(> %.0f%% tolerance)"
+                % (
+                    name,
+                    base_wall,
+                    cand_wall,
+                    args.max_wall_regress * 100,
+                )
+            )
+        rows.append(
+            {
+                "name": name,
+                "base_wall": base_wall,
+                "cand_wall": cand_wall,
+                "delta": fmt_delta(base_wall, cand_wall),
+                "metrics": len(base.get("metrics", {})),
+                "status": "drift" if problems else "identical",
+            }
+        )
+
+    lines = [
+        "| bench | baseline wall | candidate wall | delta "
+        "| metrics | headline |",
+        "|---|---:|---:|---:|---:|---|",
+    ]
+    for r in rows:
+        lines.append(
+            "| %s | %.2fs | %.2fs | %s | %d | %s |"
+            % (
+                r["name"],
+                r["base_wall"],
+                r["cand_wall"],
+                r["delta"],
+                r["metrics"],
+                r["status"],
+            )
+        )
+    for name in sorted(set(base_reports) - set(cand_reports)):
+        lines.append("| %s | - | - | - | - | baseline only |" % name)
+    for name in sorted(set(cand_reports) - set(base_reports)):
+        lines.append("| %s | - | - | - | - | candidate only |" % name)
+    table = "\n".join(lines)
+
+    print(table)
+    if args.markdown:
+        with open(args.markdown, "a") as f:
+            f.write(table + "\n")
+
+    if failures:
+        for failure in failures:
+            print("FAIL: %s" % failure, file=sys.stderr)
+        return 1
+    print(
+        "bench_diff: %d report(s) compared, headline metrics %s"
+        % (
+            len(shared),
+            "checked (drift allowed)"
+            if args.allow_metric_drift
+            else "identical",
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

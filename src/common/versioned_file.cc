@@ -1,6 +1,7 @@
 #include "common/versioned_file.hh"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
@@ -25,12 +26,12 @@ uniqueTmpPath(const std::string &path)
            std::to_string(tmpSeq.fetch_add(1));
 }
 
-} // namespace
-
-Status
-writeVersionedFile(const std::string &path, const char magic[8],
-                   std::uint32_t version,
-                   const std::vector<std::uint8_t> &payload)
+/** Write header + payload to a unique temp file, synced to storage.
+ * Returns the temp path, or an error (temp file removed). */
+StatusOr<std::string>
+writeSyncedTmp(const std::string &path, const char magic[8],
+               std::uint32_t version,
+               const std::vector<std::uint8_t> &payload)
 {
     ByteWriter header;
     header.raw(magic, 8);
@@ -48,8 +49,8 @@ writeVersionedFile(const std::string &path, const char magic[8],
         std::fwrite(payload.data(), 1, payload.size(), f) ==
             payload.size();
     // Flush user-space buffers and push the bytes to storage before the
-    // rename publishes them: a reader that sees the new name must see
-    // the new content even if this process is killed right after.
+    // rename/link publishes them: a reader that sees the new name must
+    // see the new content even if this process is killed right after.
     const bool synced =
         wrote && std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
     const bool closed = std::fclose(f) == 0;
@@ -57,11 +58,43 @@ writeVersionedFile(const std::string &path, const char magic[8],
         std::remove(tmp.c_str());
         return Status::internal("short write to " + tmp);
     }
+    return tmp;
+}
+
+} // namespace
+
+Status
+writeVersionedFile(const std::string &path, const char magic[8],
+                   std::uint32_t version,
+                   const std::vector<std::uint8_t> &payload)
+{
+    TMCC_ASSIGN_OR_RETURN(const std::string tmp,
+                          writeSyncedTmp(path, magic, version, payload));
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
         return Status::internal("cannot rename " + tmp);
     }
     return Status::okStatus();
+}
+
+Status
+writeVersionedFileExclusive(const std::string &path, const char magic[8],
+                            std::uint32_t version,
+                            const std::vector<std::uint8_t> &payload)
+{
+    TMCC_ASSIGN_OR_RETURN(const std::string tmp,
+                          writeSyncedTmp(path, magic, version, payload));
+    // link(2) is atomic create-if-absent: it never replaces an existing
+    // destination, and unlike open(O_EXCL) it is dependable over NFS.
+    const int rc = ::link(tmp.c_str(), path.c_str());
+    const int link_errno = errno;
+    std::remove(tmp.c_str());
+    if (rc == 0)
+        return Status::okStatus();
+    if (link_errno == EEXIST)
+        return Status::invalidArgument(path + " already exists");
+    return Status::internal("cannot link " + tmp + " to " + path + ": " +
+                            std::strerror(link_errno));
 }
 
 StatusOr<std::vector<std::uint8_t>>

@@ -44,6 +44,23 @@ Status writeVersionedFile(const std::string &path, const char magic[8],
                           const std::vector<std::uint8_t> &payload);
 
 /**
+ * Atomically publish `payload` to `path` ONLY if `path` does not exist
+ * yet (create-if-absent): the payload is written to a unique temp file
+ * and then link(2)'ed to the destination, which fails with EEXIST when
+ * another writer got there first — even across hosts on a shared
+ * filesystem, where O_EXCL alone is unreliable but link() is the
+ * canonical lock primitive.  Returns InvalidArgument("already exists")
+ * when the destination is present; the loser's temp file is removed.
+ *
+ * This is the claim primitive of the sweep work queue
+ * (docs/SWEEP.md): N workers race to create `shard-NNN.claim` and
+ * exactly one wins.
+ */
+Status writeVersionedFileExclusive(
+    const std::string &path, const char magic[8], std::uint32_t version,
+    const std::vector<std::uint8_t> &payload);
+
+/**
  * Read and validate a versioned file; returns the payload bytes.
  * `what` names the artifact in error messages (e.g. "checkpoint").
  */

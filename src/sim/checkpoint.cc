@@ -333,6 +333,15 @@ CheckpointStore::stats() const
 }
 
 void
+CheckpointStore::recordExternal(const Stats &s)
+{
+    memoryHits_.fetch_add(s.memoryHits);
+    diskHits_.fetch_add(s.diskHits);
+    misses_.fetch_add(s.misses);
+    rejectedFiles_.fetch_add(s.rejectedFiles);
+}
+
+void
 CheckpointStore::clear()
 {
     std::lock_guard<std::mutex> lk(mu_);

@@ -129,6 +129,14 @@ class CheckpointStore
     };
     Stats stats() const;
 
+    /**
+     * Fold checkpoint traffic observed in another process (a sweep
+     * shard worker, reported through its ShardResultFile) into this
+     * process's counters, so merged sweep BENCH reports carry
+     * sweep-wide checkpoint hit counts.
+     */
+    void recordExternal(const Stats &s);
+
     /** Drop every entry and reset counters (tests). */
     void clear();
 

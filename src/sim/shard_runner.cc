@@ -17,7 +17,9 @@
 #include <unistd.h>
 
 #include "common/log.hh"
+#include "sim/checkpoint.hh"
 #include "sim/runner.hh"
+#include "sim/sweep_queue.hh"
 
 namespace tmcc
 {
@@ -34,43 +36,13 @@ std::atomic<std::uint64_t> resumedShardsTotal{0};
 std::string
 shardFile(const std::string &dir, std::uint32_t id, const char *ext)
 {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "/shard-%03u.%s", id, ext);
-    return dir + buf;
+    return sweepShardFile(dir, id, ext);
 }
 
 std::string
 manifestPath(const std::string &dir)
 {
     return dir + "/MANIFEST.tmccsweep";
-}
-
-/**
- * Whether a "<shard>@<attempt|*>" failure-injection hook (see
- * shard_runner.hh) fires for this shard attempt.
- */
-bool
-testHookFires(const char *env_name, std::uint32_t shard,
-              std::uint32_t attempt)
-{
-    const char *v = std::getenv(env_name);
-    if (!v || !*v)
-        return false;
-    const char *at = std::strchr(v, '@');
-    fatalIf(at == nullptr,
-            std::string(env_name) + " wants <shard>@<attempt|*>, got \"" +
-                v + "\"");
-    char *end = nullptr;
-    const unsigned long s = std::strtoul(v, &end, 10);
-    fatalIf(end != at, std::string(env_name) + " has a bad shard id");
-    if (s != shard)
-        return false;
-    if (std::strcmp(at + 1, "*") == 0)
-        return true;
-    const unsigned long a = std::strtoul(at + 1, &end, 10);
-    fatalIf(*end != '\0' || end == at + 1,
-            std::string(env_name) + " has a bad attempt number");
-    return a == attempt;
 }
 
 double
@@ -211,6 +183,14 @@ ShardRunner::run(const std::vector<SimConfig> &grid)
             out.resultValid[idx] = true;
             SimRunner::recordExternalRun(file.results[i]);
         }
+        // Fold the worker's checkpoint traffic into this process's
+        // counters (merged BENCH reports carry sweep-wide hit counts).
+        CheckpointStore::Stats ck;
+        ck.memoryHits = file.ckptMemoryHits;
+        ck.diskHits = file.ckptDiskHits;
+        ck.misses = file.ckptMisses;
+        ck.rejectedFiles = file.ckptRejected;
+        CheckpointStore::global().recordExternal(ck);
     };
 
     /**
@@ -449,20 +429,35 @@ ShardRunner::workerMain(const std::string &specPath)
     }
     const ShardSpec &spec = loaded.value();
 
+    // Sweep workers share one disk checkpoint directory per sweep
+    // (<sweep-dir>/ckpt) unless the caller configured one explicitly
+    // (TMCC_CKPT_DIR / --ckpt-dir), so all shards of a sweep restore
+    // each distinct setup from the first worker that built it instead
+    // of every worker rebuilding cold.
+    CheckpointStore &store = CheckpointStore::global();
+    if (store.enabled() && store.diskDir().empty()) {
+        const std::string sweep_dir =
+            std::filesystem::path(specPath).parent_path().string();
+        store.setDiskDir((sweep_dir.empty() ? "." : sweep_dir) +
+                         "/ckpt");
+    }
+    const CheckpointStore::Stats ck_before = store.stats();
+
     const bool kill_hook =
-        testHookFires("TMCC_SHARD_TEST_KILL", spec.shardId,
-                      spec.attempt);
+        sweepTestHookFires("TMCC_SHARD_TEST_KILL", spec.shardId,
+                           spec.attempt);
     const bool hang_hook =
-        testHookFires("TMCC_SHARD_TEST_HANG", spec.shardId,
-                      spec.attempt);
+        sweepTestHookFires("TMCC_SHARD_TEST_HANG", spec.shardId,
+                           spec.attempt);
     const bool corrupt_hook =
-        testHookFires("TMCC_SHARD_TEST_CORRUPT", spec.shardId,
-                      spec.attempt);
+        sweepTestHookFires("TMCC_SHARD_TEST_CORRUPT", spec.shardId,
+                           spec.attempt);
 
     SimRunner runner(spec.workerJobs ? spec.workerJobs : 1);
     ShardResultFile file;
     file.gridKey = spec.gridKey;
     file.shardId = spec.shardId;
+    file.attempt = spec.attempt;
     file.configIndices = spec.configIndices;
     if (kill_hook || hang_hook) {
         // Config-at-a-time so the fault lands mid-shard: after real
@@ -486,6 +481,12 @@ ShardRunner::workerMain(const std::string &specPath)
     } else {
         file.results = runner.run(spec.configs);
     }
+
+    const CheckpointStore::Stats ck_after = store.stats();
+    file.ckptMemoryHits = ck_after.memoryHits - ck_before.memoryHits;
+    file.ckptDiskHits = ck_after.diskHits - ck_before.diskHits;
+    file.ckptMisses = ck_after.misses - ck_before.misses;
+    file.ckptRejected = ck_after.rejectedFiles - ck_before.rejectedFiles;
 
     const Status st = file.save(spec.resultPath);
     if (!st.ok()) {

@@ -518,6 +518,11 @@ ShardResultFile::save(const std::string &path) const
     ByteWriter w;
     w.str(gridKey);
     w.u32(shardId);
+    w.u32(attempt);
+    w.u64(ckptMemoryHits);
+    w.u64(ckptDiskHits);
+    w.u64(ckptMisses);
+    w.u64(ckptRejected);
     serializeIndices(w, configIndices);
     w.u64(results.size());
     for (const SimResult &res : results)
@@ -536,6 +541,14 @@ ShardResultFile::load(const std::string &path)
     ShardResultFile file;
     file.gridKey = r.str();
     file.shardId = r.u32();
+    file.attempt = r.u32();
+    file.ckptMemoryHits = r.u64();
+    file.ckptDiskHits = r.u64();
+    file.ckptMisses = r.u64();
+    file.ckptRejected = r.u64();
+    if (file.attempt == 0)
+        return Status::corruption("ShardResultFile attempt must be "
+                                  "positive");
     TMCC_RETURN_IF_ERROR(deserializeIndices(r, file.configIndices,
                                             "ShardResultFile indices"));
     const std::uint64_t n = r.count(1);

@@ -71,12 +71,22 @@ struct ShardSpec
 struct ShardResultFile
 {
     // v2: SimResult gained the interval-sampling summary.
-    static constexpr std::uint32_t formatVersion = 2;
+    // v3: attempt + the worker's checkpoint-store traffic while
+    //     running the shard, so merged BENCH reports carry sweep-wide
+    //     checkpoint hit counts and lease reclaims are observable.
+    static constexpr std::uint32_t formatVersion = 3;
 
     std::string gridKey;
     std::uint32_t shardId = 0;
+    std::uint32_t attempt = 1; //!< the attempt/claim that published
     std::vector<std::uint64_t> configIndices;
     std::vector<SimResult> results; //!< parallel to configIndices
+
+    // CheckpointStore delta while this shard ran in the worker.
+    std::uint64_t ckptMemoryHits = 0;
+    std::uint64_t ckptDiskHits = 0;
+    std::uint64_t ckptMisses = 0;
+    std::uint64_t ckptRejected = 0;
 
     Status save(const std::string &path) const;
     static StatusOr<ShardResultFile> load(const std::string &path);

@@ -471,7 +471,7 @@ TEST_F(SweepManifestTest, OldFormatVersionIsRejectedClearly)
     ASSERT_FALSE(loaded.ok());
     EXPECT_EQ(loaded.status().code(), StatusCode::Corruption);
     EXPECT_NE(loaded.status().message().find(
-                  "format version mismatch (file v1, expected v2)"),
+                  "format version mismatch (file v1, expected v3)"),
               std::string::npos);
 }
 

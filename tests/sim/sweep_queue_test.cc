@@ -1,0 +1,550 @@
+/**
+ * @file
+ * Lease-based sweep work queue (sim/sweep_queue.hh, sim/sweep_daemon.hh):
+ * the claim/renew/release protocol must hand every shard to exactly one
+ * live worker — across stale-lease reclaim after a worker SIGKILL,
+ * N-way claim races, heartbeat renewal under a slow shard, and corrupt
+ * claim files — and a queue-dispatched sweep must merge bit-identically
+ * with a serial SimRunner run.
+ *
+ * This binary is its own worker daemon: main() dispatches
+ * `--daemon-serve DIR LEASE` to a drain-once SweepDaemon before gtest
+ * initialization, so tests can fork+exec /proc/self/exe as a victim
+ * daemon and SIGKILL it (via TMCC_QUEUE_TEST_KILL) mid-shard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "sim/checkpoint.hh"
+#include "sim/runner.hh"
+#include "sim/sweep_daemon.hh"
+#include "sim/sweep_manifest.hh"
+#include "sim/sweep_queue.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+SimConfig
+tinyConfig(Arch arch, const std::string &workload, double scale = 0.02)
+{
+    SimConfig cfg = SimConfig::scaledDefault();
+    cfg.workload = workload;
+    cfg.scale = scale;
+    cfg.arch = arch;
+    cfg.placementAccesses = 10'000;
+    cfg.warmAccesses = 5'000;
+    cfg.measureAccesses = 10'000;
+    return cfg;
+}
+
+std::vector<SimConfig>
+grid()
+{
+    return {
+        tinyConfig(Arch::NoCompression, "pageRank"),
+        tinyConfig(Arch::Tmcc, "pageRank"),
+        tinyConfig(Arch::Compresso, "stream"),
+        tinyConfig(Arch::Tmcc, "blackscholes", 0.1),
+    };
+}
+
+/** Serial ground truth, computed once per test binary. */
+const std::vector<SimResult> &
+serialBaseline()
+{
+    static const std::vector<SimResult> results =
+        SimRunner(1).run(grid());
+    return results;
+}
+
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.elapsed, b.elapsed);
+    EXPECT_EQ(a.tlbMisses, b.tlbMisses);
+    EXPECT_EQ(a.llcMisses, b.llcMisses);
+    EXPECT_EQ(a.cteHits, b.cteHits);
+    EXPECT_EQ(a.ml2Accesses, b.ml2Accesses);
+    EXPECT_EQ(a.dramUsedBytes, b.dramUsedBytes);
+    // Bit-identical, not approximately equal: the queue round trip
+    // (serialize, publish, CRC, merge) must not perturb a single bit.
+    EXPECT_EQ(a.avgL3MissLatencyNs, b.avgL3MissLatencyNs);
+    EXPECT_EQ(a.readBusUtil, b.readBusUtil);
+    EXPECT_EQ(a.writeBusUtil, b.writeBusUtil);
+    EXPECT_EQ(a.stats.all(), b.stats.all());
+}
+
+class SweepQueueTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ::unsetenv("TMCC_QUEUE_TEST_KILL");
+        QueueClient::resetTotals();
+        dir_ = fs::temp_directory_path() /
+               ("tmcc_sweep_queue_test_" + std::to_string(::getpid()) +
+                "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        ::unsetenv("TMCC_QUEUE_TEST_KILL");
+        fs::remove_all(dir_);
+    }
+
+    std::string
+    queueDir() const
+    {
+        return (dir_ / "queue").string();
+    }
+
+    QueueOptions
+    clientOptions() const
+    {
+        QueueOptions o;
+        o.queueDir = queueDir();
+        o.sweepName = "sweep-under-test";
+        o.shards = 2;
+        o.workerJobs = 1;
+        o.pollSeconds = 0.05;
+        o.timeoutSeconds = 120.0; // never hit; bounds a deadlock
+        o.verbose = false;
+        return o;
+    }
+
+    DaemonOptions
+    daemonOptions(double lease = 5.0) const
+    {
+        DaemonOptions o;
+        o.queueDir = queueDir();
+        o.workerId = "test-daemon";
+        o.jobs = 1;
+        o.leaseSeconds = lease;
+        o.pollSeconds = 0.05;
+        o.once = true;
+        o.defaultCkptDir = false; // keep the global store's disk dir
+        o.verbose = false;
+        return o;
+    }
+
+    fs::path dir_;
+};
+
+// ---------------------------------------------------------------------
+// Claim protocol.
+
+TEST_F(SweepQueueTest, ClaimLifecycle)
+{
+    const std::string dir = dir_.string();
+    ClaimAttempt first = tryClaimShard(dir, "grid-a", 0, "w1", 5.0);
+    ASSERT_TRUE(first.claimed);
+    EXPECT_FALSE(first.reclaimed);
+    EXPECT_EQ(first.claim.attempt, 1u);
+    EXPECT_EQ(first.claim.owner, "w1");
+
+    // A live claim repels other workers, with a reason naming the
+    // holder.
+    ClaimAttempt second = tryClaimShard(dir, "grid-a", 0, "w2", 5.0);
+    EXPECT_FALSE(second.claimed);
+    EXPECT_NE(second.reason.find("held by w1"), std::string::npos);
+
+    // Renewal bumps the heartbeat sequence and keeps ownership.
+    ASSERT_TRUE(renewShardClaim(dir, first.claim).ok());
+    EXPECT_EQ(first.claim.heartbeatSeq, 1u);
+    auto onDisk = ShardClaim::load(sweepShardFile(dir, 0, "claim"));
+    ASSERT_TRUE(onDisk.ok());
+    EXPECT_EQ(onDisk->heartbeatSeq, 1u);
+    EXPECT_EQ(onDisk->owner, "w1");
+
+    // Release drops the file; the next claim starts fresh at attempt 1.
+    releaseShardClaim(dir, first.claim);
+    EXPECT_FALSE(fs::exists(sweepShardFile(dir, 0, "claim")));
+    ClaimAttempt third = tryClaimShard(dir, "grid-a", 0, "w2", 5.0);
+    ASSERT_TRUE(third.claimed);
+    EXPECT_EQ(third.claim.attempt, 1u);
+}
+
+TEST_F(SweepQueueTest, StaleLeaseIsReclaimedWithAttemptBump)
+{
+    const std::string dir = dir_.string();
+    ClaimAttempt dead = tryClaimShard(dir, "grid-a", 3, "dead", 0.2);
+    ASSERT_TRUE(dead.claimed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+
+    // 0.5s > the 0.2s lease: any worker may displace the claim, and
+    // the new claim inherits the attempt count.
+    ClaimAttempt taken = tryClaimShard(dir, "grid-a", 3, "w2", 5.0);
+    ASSERT_TRUE(taken.claimed);
+    EXPECT_TRUE(taken.reclaimed);
+    EXPECT_EQ(taken.claim.attempt, 2u);
+    EXPECT_EQ(taken.claim.owner, "w2");
+}
+
+TEST_F(SweepQueueTest, CorruptClaimFileIsNeverTrusted)
+{
+    const std::string dir = dir_.string();
+    const std::string path = sweepShardFile(dir, 1, "claim");
+    FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a claim file", f);
+    std::fclose(f);
+
+    // Corrupt claims are reclaimed immediately (no lease wait) and the
+    // attempt count resets: a forged/torn attempt is never inherited.
+    ClaimAttempt taken = tryClaimShard(dir, "grid-a", 1, "w1", 5.0);
+    ASSERT_TRUE(taken.claimed);
+    EXPECT_TRUE(taken.reclaimed);
+    EXPECT_EQ(taken.claim.attempt, 1u);
+}
+
+TEST_F(SweepQueueTest, RenewDetectsTheftAfterLeaseExpiry)
+{
+    const std::string dir = dir_.string();
+    ClaimAttempt slow = tryClaimShard(dir, "grid-a", 0, "slow", 0.2);
+    ASSERT_TRUE(slow.claimed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    ClaimAttempt thief = tryClaimShard(dir, "grid-a", 0, "fast", 5.0);
+    ASSERT_TRUE(thief.claimed);
+
+    // The stalled owner's renewal must fail (its lease was reclaimed),
+    // and its release must leave the thief's claim untouched.
+    EXPECT_FALSE(renewShardClaim(dir, slow.claim).ok());
+    releaseShardClaim(dir, slow.claim);
+    auto onDisk = ShardClaim::load(sweepShardFile(dir, 0, "claim"));
+    ASSERT_TRUE(onDisk.ok());
+    EXPECT_EQ(onDisk->owner, "fast");
+}
+
+TEST_F(SweepQueueTest, HeartbeatRenewalKeepsSlowShardClaimed)
+{
+    // A shard running much longer than its lease stays claimed as long
+    // as the heartbeat renews: competitors must be repelled throughout
+    // 3x the lease duration.
+    const std::string dir = dir_.string();
+    ClaimAttempt slow = tryClaimShard(dir, "grid-a", 0, "slow", 0.5);
+    ASSERT_TRUE(slow.claimed);
+    for (int i = 0; i < 12; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(125));
+        ASSERT_TRUE(renewShardClaim(dir, slow.claim).ok());
+        ClaimAttempt rival =
+            tryClaimShard(dir, "grid-a", 0, "rival", 0.5);
+        ASSERT_FALSE(rival.claimed) << "iteration " << i;
+        EXPECT_NE(rival.reason.find("held by slow"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(slow.claim.heartbeatSeq, 12u);
+    releaseShardClaim(dir, slow.claim);
+}
+
+TEST_F(SweepQueueTest, NWayClaimRaceHasExactlyOneWinner)
+{
+    // 8 processes race to exclusive-create the same claim file; the
+    // link(2) protocol guarantees exactly one winner.
+    const std::string dir = dir_.string();
+    constexpr int racers = 8;
+    std::vector<pid_t> pids;
+    for (int i = 0; i < racers; ++i) {
+        const pid_t pid = ::fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            ClaimAttempt a = tryClaimShard(
+                dir, "grid-a", 0, "racer-" + std::to_string(i), 5.0);
+            ::_exit(a.claimed ? 10 : 20);
+        }
+        pids.push_back(pid);
+    }
+    int winners = 0, losers = 0;
+    for (const pid_t pid : pids) {
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        ASSERT_TRUE(WIFEXITED(status));
+        if (WEXITSTATUS(status) == 10)
+            ++winners;
+        else if (WEXITSTATUS(status) == 20)
+            ++losers;
+    }
+    EXPECT_EQ(winners, 1);
+    EXPECT_EQ(losers, racers - 1);
+    EXPECT_TRUE(fs::exists(sweepShardFile(dir, 0, "claim")));
+}
+
+TEST_F(SweepQueueTest, ExclusiveSaveRefusesExistingFile)
+{
+    ShardClaim c;
+    c.gridKey = "grid-a";
+    c.owner = "w1";
+    const std::string path = sweepShardFile(dir_.string(), 7, "claim");
+    ASSERT_TRUE(c.saveExclusive(path).ok());
+    EXPECT_FALSE(c.saveExclusive(path).ok());
+}
+
+TEST_F(SweepQueueTest, QueueRequestRejectsZeroShards)
+{
+    QueueRequest req;
+    req.gridKey = "grid-a";
+    req.shardCount = 0;
+    const std::string path = sweepRequestPath(dir_.string());
+    ASSERT_TRUE(req.save(path).ok());
+    EXPECT_FALSE(QueueRequest::load(path).ok());
+}
+
+TEST_F(SweepQueueTest, TestHookMatchesShardAndAttempt)
+{
+    ::setenv("TMCC_QUEUE_TEST_KILL", "1@2", 1);
+    EXPECT_TRUE(sweepTestHookFires("TMCC_QUEUE_TEST_KILL", 1, 2));
+    EXPECT_FALSE(sweepTestHookFires("TMCC_QUEUE_TEST_KILL", 1, 1));
+    EXPECT_FALSE(sweepTestHookFires("TMCC_QUEUE_TEST_KILL", 0, 2));
+    ::setenv("TMCC_QUEUE_TEST_KILL", "1@*", 1);
+    EXPECT_TRUE(sweepTestHookFires("TMCC_QUEUE_TEST_KILL", 1, 7));
+    ::unsetenv("TMCC_QUEUE_TEST_KILL");
+    EXPECT_FALSE(sweepTestHookFires("TMCC_QUEUE_TEST_KILL", 1, 1));
+}
+
+TEST_F(SweepQueueTest, DefaultShardCountIsClamped)
+{
+    const unsigned n = defaultShardCount();
+    EXPECT_GE(n, 1u);
+    EXPECT_LE(n, 64u);
+}
+
+// ---------------------------------------------------------------------
+// Daemon end to end.
+
+TEST_F(SweepQueueTest, QueueSweepBitIdenticalToSerial)
+{
+    // Client enqueues on one thread; an in-process daemon drains the
+    // queue; the merged outcome must be indistinguishable from serial.
+    QueueClient client(clientOptions());
+    SweepDaemon daemon(daemonOptions());
+    std::thread server([&] {
+        // Poll until the request appears, then drain it.
+        while (daemon.serve() == 0 &&
+               !fs::exists(sweepRequestPath(queueDir() +
+                                            "/sweep-under-test")))
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    });
+    SweepOutcome out = client.run(grid());
+    server.join();
+
+    EXPECT_TRUE(out.ok());
+    EXPECT_EQ(out.completedShards, 2u);
+    EXPECT_EQ(out.failedShards, 0u);
+    const auto &serial = serialBaseline();
+    ASSERT_EQ(out.results.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("config " + std::to_string(i));
+        ASSERT_TRUE(out.resultValid[i]);
+        expectIdentical(serial[i], out.results[i]);
+    }
+    EXPECT_GE(daemon.stats().shardsServed, 2u);
+    EXPECT_EQ(daemon.stats().configsRun, 4u);
+
+    // The client retired the request marker; results stay for resume.
+    EXPECT_FALSE(fs::exists(
+        sweepRequestPath(queueDir() + "/sweep-under-test")));
+
+    // A re-run of the same grid resumes entirely from disk: no daemon
+    // is needed and no shard re-runs.
+    QueueClient again(clientOptions());
+    SweepOutcome resumed = again.run(grid());
+    EXPECT_TRUE(resumed.ok());
+    EXPECT_EQ(resumed.resumedShards, 2u);
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectIdentical(serial[i], resumed.results[i]);
+    EXPECT_EQ(QueueClient::totals().resumedShards, 2u);
+}
+
+TEST_F(SweepQueueTest, SigkilledDaemonIsReclaimedBySurvivor)
+{
+    // A victim daemon (this binary, re-exec'ed) claims shard 0 and is
+    // SIGKILLed by the test hook after its first config — publishing
+    // nothing, leaving a live-looking claim.  A survivor daemon must
+    // wait out the lease, reclaim at attempt 2, and serve the shard;
+    // the merged sweep stays bit-identical.
+    QueueOptions qopts = clientOptions();
+    qopts.shards = 1; // one shard holding all four configs
+    QueueClient client(qopts);
+    const std::string sweepDir = client.enqueue(grid());
+
+    ::setenv("TMCC_QUEUE_TEST_KILL", "0@1", 1);
+    const pid_t victim = ::fork();
+    ASSERT_GE(victim, 0);
+    if (victim == 0) {
+        ::execl("/proc/self/exe", "sweep_queue_test", "--daemon-serve",
+                queueDir().c_str(), "0.5", (char *)nullptr);
+        ::_exit(127); // exec failed
+    }
+    ::unsetenv("TMCC_QUEUE_TEST_KILL");
+
+    int status = 0;
+    ASSERT_EQ(::waitpid(victim, &status, 0), victim);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    EXPECT_EQ(WTERMSIG(status), SIGKILL);
+    EXPECT_FALSE(fs::exists(sweepShardFile(sweepDir, 0, "result")));
+    EXPECT_TRUE(fs::exists(sweepShardFile(sweepDir, 0, "claim")));
+
+    // The survivor's first scans find the orphaned claim still inside
+    // its 0.5s lease; it must keep polling, reclaim once stale, and
+    // serve the shard at attempt 2.
+    SweepDaemon survivor(daemonOptions(/*lease=*/0.5));
+    EXPECT_EQ(survivor.serve(), 1u);
+    EXPECT_EQ(survivor.stats().reclaims, 1u);
+
+    SweepOutcome out = client.run(grid());
+    EXPECT_TRUE(out.ok());
+    EXPECT_EQ(out.retries, 1u); // merged result carries attempt 2
+    ASSERT_EQ(out.shards.size(), 1u);
+    EXPECT_EQ(out.shards[0].attempts, 2u);
+    const auto &serial = serialBaseline();
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("config " + std::to_string(i));
+        ASSERT_TRUE(out.resultValid[i]);
+        expectIdentical(serial[i], out.results[i]);
+    }
+    EXPECT_EQ(QueueClient::totals().reclaimedShards, 1u);
+}
+
+TEST_F(SweepQueueTest, DaemonDefaultsCkptDirIntoSweepDir)
+{
+    // Serving a shard defaults the disk checkpoint dir to
+    // <sweep-dir>/ckpt (unless configured), so every daemon of a sweep
+    // shares warm setups through the sweep directory itself.
+    CheckpointStore &store = CheckpointStore::global();
+    const std::string saved = store.diskDir();
+    store.setDiskDir("");
+    // Drop memoized setups so the daemon's runs miss and must persist
+    // fresh checkpoints into the defaulted directory.
+    store.clear();
+
+    QueueOptions qopts = clientOptions();
+    qopts.shards = 1;
+    QueueClient client(qopts);
+    const std::string sweepDir = client.enqueue(grid());
+
+    DaemonOptions dopts = daemonOptions();
+    dopts.defaultCkptDir = true;
+    SweepDaemon daemon(dopts);
+    EXPECT_EQ(daemon.serve(), 1u);
+    if (store.enabled()) {
+        EXPECT_EQ(store.diskDir(), sweepDir + "/ckpt");
+        EXPECT_TRUE(fs::exists(sweepDir + "/ckpt"));
+    }
+    store.setDiskDir(saved);
+
+    // The published result records the worker's checkpoint traffic
+    // (v3 fields) for sweep-wide BENCH accounting.
+    auto result = ShardResultFile::load(
+        sweepShardFile(sweepDir, 0, "result"));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->attempt, 1u);
+    EXPECT_GT(result->ckptMemoryHits + result->ckptDiskHits +
+                  result->ckptMisses,
+              0u);
+}
+
+// ---------------------------------------------------------------------
+// Strict validation (fatal -> exit(1), death-testable).
+
+using SweepQueueDeathTest = SweepQueueTest;
+
+TEST_F(SweepQueueDeathTest, QueueOptionsValidation)
+{
+    QueueOptions o = clientOptions();
+    o.queueDir.clear();
+    EXPECT_DEATH(o.validate(), "queue directory");
+
+    o = clientOptions();
+    o.pollSeconds = 0.0;
+    EXPECT_DEATH(o.validate(), "poll interval");
+
+    o = clientOptions();
+    o.timeoutSeconds = -1.0;
+    EXPECT_DEATH(o.validate(), "timeout");
+
+    o = clientOptions();
+    o.workerJobs = 0;
+    EXPECT_DEATH(o.validate(), "worker jobs");
+}
+
+TEST_F(SweepQueueDeathTest, DaemonOptionsValidation)
+{
+    DaemonOptions o = daemonOptions();
+    o.queueDir.clear();
+    EXPECT_DEATH(o.validate(), "queue directory");
+
+    o = daemonOptions();
+    o.leaseSeconds = 0.0;
+    EXPECT_DEATH(o.validate(), "lease");
+
+    o = daemonOptions();
+    o.pollSeconds = -2.0;
+    EXPECT_DEATH(o.validate(), "poll interval");
+}
+
+TEST_F(SweepQueueDeathTest, MalformedTestHookIsFatal)
+{
+    ::setenv("TMCC_QUEUE_TEST_KILL", "nonsense", 1);
+    EXPECT_DEATH(sweepTestHookFires("TMCC_QUEUE_TEST_KILL", 0, 1),
+                 "wants <shard>@<attempt");
+}
+
+TEST_F(SweepQueueDeathTest, SweepNameOwnedByOtherGridIsFatal)
+{
+    QueueClient client(clientOptions());
+    client.enqueue(grid());
+    std::vector<SimConfig> other = grid();
+    other[0].seed ^= 0x5a5a;
+    QueueClient second(clientOptions());
+    EXPECT_DEATH(second.enqueue(other), "different sweep");
+}
+
+} // namespace
+} // namespace tmcc
+
+int
+main(int argc, char **argv)
+{
+    // Daemon re-entry: tests fork+exec this binary as a victim worker,
+    // which must not fall into gtest.
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--daemon-serve") == 0) {
+            tmcc::DaemonOptions o;
+            o.queueDir = argv[i + 1];
+            o.leaseSeconds =
+                (i + 2 < argc) ? std::atof(argv[i + 2]) : 0.5;
+            o.pollSeconds = 0.05;
+            o.once = true;
+            o.defaultCkptDir = false;
+            o.verbose = false;
+            o.workerId = "victim";
+            tmcc::SweepDaemon(o).serve();
+            return 0;
+        }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
