@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Multi-tenant memory cloud: the fig17/fig21-style comparison for the
+ * memcloud scenario — one host multiplexing Zipf-popular guest address
+ * spaces with tenant churn and periodic global-pressure storms.
+ *
+ * Two curve families per architecture (barebone / compresso / tmcc):
+ *  - fig17-style headline: throughput and compression ratio per arch,
+ *    tmcc normalized to compresso;
+ *  - fig21-style isolation tail: per-tenant ML2 demand-fault p50/p99
+ *    latency — how much the popular tenants' churn bleeds into the
+ *    unpopular tenants' tail under each MC.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace tmcc;
+using namespace tmcc::bench;
+
+int
+main()
+{
+    BenchReport report("figmt_memcloud");
+    header("Multi-tenant memcloud: throughput and per-tenant fault "
+           "tail per architecture",
+           "scenario of SSV-A3 (memory-cloud hosts); fig17/fig21-style "
+           "curves");
+
+    constexpr Arch archs[] = {Arch::Barebone, Arch::Compresso,
+                              Arch::Tmcc};
+    std::vector<SimConfig> configs;
+    for (const Arch arch : archs)
+        configs.push_back(baseConfig("memcloud", arch));
+    const unsigned tenants = configs.front().tenants;
+    const std::vector<SimResult> results = runAll(configs);
+
+    cols({"acc/us", "ratio", "ml2_faults", "p99_worst_ns"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const std::string arch = archName(archs[i]);
+        const SimResult &r = results[i];
+
+        std::uint64_t faults = 0;
+        double worst_p99 = 0.0;
+        for (const TenantStat &ts : r.tenants) {
+            faults += ts.ml2Faults;
+            worst_p99 = std::max(worst_p99,
+                                 ts.ml2FaultLatency.percentile(0.99));
+        }
+        row(arch, {r.accessesPerNs() * 1000.0, r.compressionRatio(),
+                   static_cast<double>(faults), worst_p99});
+
+        report.metric(arch + ".acc_per_us",
+                      r.accessesPerNs() * 1000.0);
+        report.metric(arch + ".ratio", r.compressionRatio());
+        for (std::size_t t = 0; t < r.tenants.size(); ++t) {
+            const std::string key =
+                arch + ".tenant" + std::to_string(t);
+            report.metric(key + ".accesses",
+                          static_cast<double>(r.tenants[t].accesses));
+            report.metric(
+                key + ".ml2_fault_p50_ns",
+                r.tenants[t].ml2FaultLatency.percentile(0.50));
+            report.metric(
+                key + ".ml2_fault_p99_ns",
+                r.tenants[t].ml2FaultLatency.percentile(0.99));
+        }
+    }
+
+    // Headline: tmcc vs compresso under the multi-tenant stream.
+    const double perf_ratio =
+        results[1].accessesPerNs() > 0
+            ? results[2].accessesPerNs() / results[1].accessesPerNs()
+            : 0.0;
+    report.metric("tmcc_vs_compresso.perf_ratio", perf_ratio);
+    std::printf("tmcc/compresso throughput ratio: %.3f (%u tenants)\n",
+                perf_ratio, tenants);
+    return 0;
+}

@@ -39,10 +39,18 @@
  *   --stats-out FILE      write the epoch time series as JSON
  *   --record FILE N       record N accesses of the workload to FILE
  *                         (no simulation) and exit
+ *   --tenants N           memcloud only: guest address spaces
+ *                         multiplexed on the host (default 6, max 1024)
+ *   --tenant-churn R      memcloud only: per-burst probability the
+ *                         scheduled guest has been replaced (default
+ *                         0.001)
+ *   --tenant-zipf A       memcloud only: tenant popularity Zipf alpha
+ *                         (default 1.1)
  *   --sweep SET           run every entry of SET (large|small|
- *                         bandwidth|all under the configured arch, or
- *                         fig17 = large x {compresso,tmcc}), in
- *                         parallel, and print one row per entry
+ *                         bandwidth|all under the configured arch,
+ *                         fig17 = large x {compresso,tmcc}, or
+ *                         memcloud = memcloud x {barebone,compresso,
+ *                         tmcc}), in parallel, one row per entry
  *   --jobs N              worker threads for --sweep (default:
  *                         TMCC_JOBS or all cores)
  *   --dispatch MODE       how --sweep executes (docs/SWEEP.md):
@@ -155,10 +163,17 @@ sweepSet(const std::string &set)
             for (const Arch a : {Arch::Compresso, Arch::Tmcc})
                 entries.push_back(
                     {n + ":" + archName(a), n, true, a});
+    if (set == "memcloud")
+        // The multi-tenant scenario under each interesting MC: how much
+        // tenant-tail isolation each architecture preserves.
+        for (const Arch a :
+             {Arch::Barebone, Arch::Compresso, Arch::Tmcc})
+            entries.push_back({std::string("memcloud:") + archName(a),
+                               "memcloud", true, a});
     if (entries.empty()) {
         std::fprintf(stderr,
-                     "--sweep wants large|small|bandwidth|all|fig17, "
-                     "got '%s'\n",
+                     "--sweep wants large|small|bandwidth|all|fig17|"
+                     "memcloud, got '%s'\n",
                      set.c_str());
         std::exit(1);
     }
@@ -204,6 +219,22 @@ parseRate(const char *s, const char *what)
     if (s[0] == '\0' || *end != '\0' || !std::isfinite(v) || v < 0.0 ||
         v > 1.0) {
         std::fprintf(stderr, "%s must be a rate in [0, 1], got "
+                             "\"%s\"\n",
+                     what, s);
+        std::exit(1);
+    }
+    return v;
+}
+
+/** Strict positive real for --tenant-zipf: a silently-zero alpha would
+ * trip the workload's fatal check with a worse message. */
+double
+parsePositiveReal(const char *s, const char *what)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (s[0] == '\0' || *end != '\0' || !std::isfinite(v) || v <= 0.0) {
+        std::fprintf(stderr, "%s must be a positive number, got "
                              "\"%s\"\n",
                      what, s);
         std::exit(1);
@@ -304,6 +335,7 @@ main(int argc, char **argv)
     bool dump_all = false;
     bool scale_set = false;
     std::string sweep;
+    std::string tenant_flag; //!< last --tenant* flag seen (validation)
     unsigned jobs = 0;
 
     // Sharded-sweep supervisor knobs (docs/SWEEP.md).
@@ -423,6 +455,24 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(n),
                         cfg.workload.c_str(), path.c_str());
             return 0;
+        } else if (arg == "--tenants") {
+            const std::uint64_t v =
+                parsePositiveCount(value(), "--tenants");
+            if (v > 1024) {
+                std::fprintf(stderr,
+                             "--tenants caps at 1024, got %llu\n",
+                             static_cast<unsigned long long>(v));
+                return 1;
+            }
+            cfg.tenants = static_cast<unsigned>(v);
+            tenant_flag = "--tenants";
+        } else if (arg == "--tenant-churn") {
+            cfg.tenantChurn = parseRate(value(), "--tenant-churn");
+            tenant_flag = "--tenant-churn";
+        } else if (arg == "--tenant-zipf") {
+            cfg.tenantZipf =
+                parsePositiveReal(value(), "--tenant-zipf");
+            tenant_flag = "--tenant-zipf";
         } else if (arg == "--sweep") {
             sweep = value();
         } else if (arg == "--shards") {
@@ -478,6 +528,17 @@ main(int argc, char **argv)
                          arg.c_str());
             return 1;
         }
+    }
+
+    // The tenant knobs only shape the memcloud engine; accepting them
+    // elsewhere would silently do nothing.
+    if (!tenant_flag.empty() && cfg.workload != "memcloud" &&
+        sweep != "memcloud") {
+        std::fprintf(stderr,
+                     "%s only applies to --workload=memcloud or "
+                     "--sweep=memcloud\n",
+                     tenant_flag.c_str());
+        return 1;
     }
 
     auto preset_scale = [&](SimConfig &c) {
@@ -557,8 +618,9 @@ main(int argc, char **argv)
             names.push_back(e.label);
             configs.push_back(c);
         }
-        const char *arch_label =
-            sweep == "fig17" ? "per-entry" : archName(cfg.arch);
+        const char *arch_label = sweep == "fig17" || sweep == "memcloud"
+                                     ? "per-entry"
+                                     : archName(cfg.arch);
 
         // One merged BENCH_sweep_<set>.json whichever executor runs
         // the grid, so sharded and in-process sweeps are byte-for-byte
@@ -663,6 +725,14 @@ main(int argc, char **argv)
             report.metric(names[i] + ".l3lat_ns", r.avgL3MissLatencyNs);
             report.metric(names[i] + ".bus_util",
                           r.readBusUtil + r.writeBusUtil);
+            // Memcloud: the per-tenant fault-latency tail is the whole
+            // point of the sweep — every dispatch mode must merge to
+            // the same per-tenant keys (the bench-smoke CI diffs them).
+            for (std::size_t t = 0; t < r.tenants.size(); ++t)
+                report.metric(names[i] + ".tenant" + std::to_string(t) +
+                                  ".ml2_fault_p99_ns",
+                              r.tenants[t].ml2FaultLatency.percentile(
+                                  0.99));
         }
         if (!stats_out.empty()) {
             std::vector<std::string> ok_names;
@@ -769,6 +839,24 @@ main(int argc, char **argv)
         for (const SampleMetric &m : r.sample.metrics)
             std::printf("  %-24s %12.5g +/- %.5g (95%% CI)\n",
                         m.name.c_str(), m.mean, m.ci95);
+    }
+
+    if (!r.tenants.empty()) {
+        std::printf("tenants             %zu guest address spaces "
+                    "(churn %.4g, zipf %.3g)\n",
+                    r.tenants.size(), cfg.tenantChurn, cfg.tenantZipf);
+        std::printf("  %-8s %12s %12s %10s %12s %12s\n", "tenant",
+                    "accesses", "ml2_faults", "mb", "fault_p50", "fault_p99");
+        for (std::size_t t = 0; t < r.tenants.size(); ++t) {
+            const TenantStat &ts = r.tenants[t];
+            std::printf(
+                "  %-8zu %12llu %12llu %10.1f %10.1fns %10.1fns\n", t,
+                static_cast<unsigned long long>(ts.accesses),
+                static_cast<unsigned long long>(ts.ml2Faults),
+                static_cast<double>(ts.footprintBytes) / (1 << 20),
+                ts.ml2FaultLatency.percentile(0.50),
+                ts.ml2FaultLatency.percentile(0.99));
+        }
     }
 
     if (!r.epochs.empty()) {

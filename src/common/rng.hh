@@ -95,21 +95,27 @@ class Rng
         assert(n > 0);
         if (n == 1)
             return 0;
+        // Both paths draw a continuous x and return floor(x) - 1, so
+        // rank k corresponds to x in [k+1, k+2): x must range over
+        // [1, n+1) or rank n-1 would have measure zero and the last
+        // item could never be drawn (glaring when n is small, e.g. the
+        // memcloud tenant count).
         if (alpha <= 1.001) {
             // Near alpha=1 the rejection sampler degenerates; a
             // log-uniform draw has the same 1/x density shape.
-            const double x = std::pow(static_cast<double>(n), real());
+            const double x =
+                std::pow(static_cast<double>(n) + 1.0, real());
             const auto v = static_cast<std::uint64_t>(x) - 1;
             return v < n ? v : n - 1;
         }
-        // Rejection-inversion sampling (W. Hormann) over [1, n].
+        // Rejection-inversion sampling (W. Hormann) over [1, n+1).
         const double b = std::pow(2.0, alpha - 1.0);
         double x, t;
         do {
             x = std::pow(real(), -1.0 / (alpha - 1.0));
             t = std::pow(1.0 + 1.0 / x, alpha - 1.0);
         } while (real() * x * (t - 1.0) * b > t * (b - 1.0) ||
-                 x > static_cast<double>(n));
+                 x >= static_cast<double>(n) + 1.0);
         return static_cast<std::uint64_t>(x) - 1;
     }
 

@@ -1,5 +1,7 @@
 #include "mc/free_list.hh"
 
+#include <tuple>
+
 #include "common/log.hh"
 
 namespace tmcc
@@ -47,7 +49,22 @@ Ml1FreeList::dumpStats(StatDump &dump, const std::string &prefix) const
 // Ml2FreeLists
 // ---------------------------------------------------------------------
 
-Ml2FreeLists::Ml2FreeLists(Ml1FreeList &ml1) : ml1_(ml1) {}
+Ml2FreeLists::Ml2FreeLists(Ml1FreeList &ml1)
+    : Ml2FreeLists(ml1, std::vector<SubChunkClass>(subChunkClasses.begin(),
+                                                   subChunkClasses.end()))
+{}
+
+Ml2FreeLists::Ml2FreeLists(Ml1FreeList &ml1,
+                           std::vector<SubChunkClass> classes)
+    : ml1_(ml1), classes_(std::move(classes))
+{
+    fatalIf(classes_.empty(), "ML2 needs at least one sub-chunk class");
+    for (const SubChunkClass &c : classes_)
+        fatalIf(c.subChunksN < 1 || c.subChunksN > 64,
+                "sub-chunk class N=" + std::to_string(c.subChunksN) +
+                    " exceeds the 64-bit slot mask");
+    freeSlots_.resize(classes_.size());
+}
 
 unsigned
 Ml2FreeLists::classFor(std::size_t bytes)
@@ -61,12 +78,13 @@ Ml2FreeLists::classFor(std::size_t bytes)
 bool
 Ml2FreeLists::alloc(unsigned cls, SubChunk &out)
 {
-    panicIf(cls >= subChunkClasses.size(), "bad sub-chunk class");
-    auto &slots = freeSlots_[cls];
+    panicIf(cls >= classes_.size(), "bad sub-chunk class");
+    ClassList &list = freeSlots_[cls];
 
-    if (slots.empty()) {
+    if (list.live == 0) {
         // Grow ML2: take M chunks from ML1 and carve a super-chunk.
-        const SubChunkClass &c = subChunkClasses[cls];
+        list.slots.clear(); // only tombstones remain, if anything
+        const SubChunkClass &c = classes_[cls];
         if (ml1_.size() < c.chunksM)
             return false;
         SuperChunk sc;
@@ -79,16 +97,26 @@ Ml2FreeLists::alloc(unsigned cls, SubChunk &out)
         superChunksCreated_.inc();
         // Newly carved slots go on top of the list (§IV-B).
         for (unsigned slot = c.subChunksN; slot-- > 0;)
-            slots.emplace_back(id, slot);
+            list.slots.emplace_back(id, slot);
+        list.live += c.subChunksN;
     }
 
-    const auto [id, slot] = slots.back();
-    slots.pop_back();
-    SuperChunk &sc = superChunks_.at(id);
-    sc.usedMask |= 1u << slot;
+    // Pop the top live entry, discarding tombstones of returned
+    // super-chunks on the way (ids are never reused).
+    std::uint64_t id;
+    unsigned slot;
+    std::unordered_map<std::uint64_t, SuperChunk>::iterator sc_it;
+    do {
+        std::tie(id, slot) = list.slots.back();
+        list.slots.pop_back();
+        sc_it = superChunks_.find(id);
+    } while (sc_it == superChunks_.end());
+    --list.live;
+    SuperChunk &sc = sc_it->second;
+    sc.usedMask |= 1ULL << slot;
     ++sc.used;
 
-    const SubChunkClass &c = subChunkClasses[cls];
+    const SubChunkClass &c = classes_[cls];
     out.superChunk = id;
     out.slot = slot;
     out.sizeClass = cls;
@@ -111,20 +139,19 @@ Ml2FreeLists::free(const SubChunk &sub)
     auto it = superChunks_.find(sub.superChunk);
     panicIf(it == superChunks_.end(), "free of unknown super-chunk");
     SuperChunk &sc = it->second;
-    panicIf((sc.usedMask & (1u << sub.slot)) == 0,
+    panicIf((sc.usedMask & (1ULL << sub.slot)) == 0,
             "double free of sub-chunk");
-    sc.usedMask &= ~(1u << sub.slot);
+    sc.usedMask &= ~(1ULL << sub.slot);
     --sc.used;
-    const SubChunkClass &c = subChunkClasses[sc.sizeClass];
+    const SubChunkClass &c = classes_[sc.sizeClass];
     liveBytes_ -= c.bytes;
 
     if (sc.used == 0) {
-        // Whole super-chunk free: return chunks to ML1 (§IV-B) and drop
-        // its remaining slots from the class list.
-        auto &slots = freeSlots_[sc.sizeClass];
-        std::erase_if(slots, [&](const auto &p) {
-            return p.first == sub.superChunk;
-        });
+        // Whole super-chunk free: return chunks to ML1 (§IV-B).  Its
+        // N-1 slots still in the class list become tombstones that
+        // alloc() discards lazily; eagerly erasing them here scanned
+        // the whole list and went quadratic under churn.
+        freeSlots_[sc.sizeClass].live -= c.subChunksN - 1;
         for (DramFrame f : sc.frames)
             ml1_.push(f);
         heldChunks_ -= c.chunksM;
@@ -132,8 +159,17 @@ Ml2FreeLists::free(const SubChunk &sub)
         superChunksReturned_.inc();
     } else {
         // Transitioning to having a free sub-chunk tracks at the top.
-        freeSlots_[sc.sizeClass].emplace_back(sub.superChunk, sub.slot);
+        ClassList &list = freeSlots_[sc.sizeClass];
+        list.slots.emplace_back(sub.superChunk, sub.slot);
+        ++list.live;
     }
+}
+
+std::uint64_t
+Ml2FreeLists::freeSlotCount(unsigned cls) const
+{
+    panicIf(cls >= classes_.size(), "bad sub-chunk class");
+    return freeSlots_[cls].live;
 }
 
 void

@@ -84,6 +84,11 @@ class Ml2FreeLists : public Stated
   public:
     explicit Ml2FreeLists(Ml1FreeList &ml1);
 
+    /** As above, with a custom class table (tests, future geometries).
+     * Fatal if any class has subChunksN outside [1, 64]: slot
+     * occupancy is tracked in a 64-bit mask per super-chunk. */
+    Ml2FreeLists(Ml1FreeList &ml1, std::vector<SubChunkClass> classes);
+
     /** Smallest class that fits `bytes`; classes.size() if none. */
     static unsigned classFor(std::size_t bytes);
 
@@ -102,6 +107,14 @@ class Ml2FreeLists : public Stated
     /** Chunks (4KB) currently held by ML2 (live + free sub-chunks). */
     std::uint64_t heldChunks() const { return heldChunks_; }
 
+    /** Live super-chunks currently registered. */
+    std::size_t superChunkCount() const { return superChunks_.size(); }
+
+    /** Free sub-chunks of class `cls` available for allocation.
+     * (Counts live entries only; returned super-chunks leave dead
+     * entries behind that allocation skips lazily.) */
+    std::uint64_t freeSlotCount(unsigned cls) const;
+
     void dumpStats(StatDump &dump,
                    const std::string &prefix) const override;
 
@@ -110,17 +123,31 @@ class Ml2FreeLists : public Stated
     {
         unsigned sizeClass = 0;
         std::vector<DramFrame> frames; //!< M interlinked chunks
-        std::uint32_t usedMask = 0;
+        std::uint64_t usedMask = 0;
         unsigned used = 0;
     };
 
+    /**
+     * One per-class LIFO of (superChunk, slot) free sub-chunks.
+     * Returning an empty super-chunk to ML1 leaves its entries in
+     * place as tombstones (its id is never reused); alloc discards
+     * them as it pops.  `live` counts the non-tombstone entries, so
+     * growth triggers exactly when no real free slot remains.  This
+     * keeps super-chunk return O(1) instead of an O(list) erase —
+     * tenant-exit storms made that scan quadratic — while preserving
+     * the exact §IV-B LIFO pop order.
+     */
+    struct ClassList
+    {
+        std::vector<std::pair<std::uint64_t, unsigned>> slots;
+        std::uint64_t live = 0;
+    };
+
     Ml1FreeList &ml1_;
+    std::vector<SubChunkClass> classes_;
     std::unordered_map<std::uint64_t, SuperChunk> superChunks_;
     std::uint64_t nextSuperId_ = 1;
-    /** Per class: (superChunk, slot) stack of free sub-chunks. */
-    std::array<std::vector<std::pair<std::uint64_t, unsigned>>,
-               subChunkClasses.size()>
-        freeSlots_;
+    std::vector<ClassList> freeSlots_;
     std::uint64_t liveBytes_ = 0;
     std::uint64_t heldChunks_ = 0;
 

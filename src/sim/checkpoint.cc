@@ -206,6 +206,17 @@ SetupCheckpoint::keyFor(const SimConfig &cfg)
     key += std::string(";huge=") + (cfg.hugePages ? "1" : "0");
     key += std::string(";nested=") + (cfg.nestedPaging ? "1" : "0");
     key += ";place=" + std::to_string(cfg.placementAccesses);
+    // Tenant knobs shape the memcloud access stream (and are harmless
+    // noise in the key for every other workload, which ignores them).
+    key += ";tenants=" + std::to_string(cfg.tenants);
+    std::snprintf(buf, sizeof(buf), ";tchurn=%016llx",
+                  static_cast<unsigned long long>(
+                      std::bit_cast<std::uint64_t>(cfg.tenantChurn)));
+    key += buf;
+    std::snprintf(buf, sizeof(buf), ";tzipf=%016llx",
+                  static_cast<unsigned long long>(
+                      std::bit_cast<std::uint64_t>(cfg.tenantZipf)));
+    key += buf;
     return key;
 }
 

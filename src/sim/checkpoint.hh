@@ -50,8 +50,10 @@ namespace tmcc
 /** The architecture-invariant setup state of one System. */
 struct SetupCheckpoint
 {
-    /** On-disk format version; bump on any payload layout change. */
-    static constexpr std::uint32_t formatVersion = 1;
+    /** On-disk format version; bump on any payload layout change.
+     * v2: keyFor() gained the multi-tenant knobs, so v1 keys (which
+     * collapse all tenant configurations) can no longer be trusted. */
+    static constexpr std::uint32_t formatVersion = 2;
 
     /** Invariant-config key this checkpoint was built for. */
     std::string key;

@@ -130,6 +130,15 @@ struct SimConfig
     std::uint64_t sampleWarmAccesses = 0;
 
     /**
+     * Multi-tenant knobs (`--tenants` / `--tenant-churn` /
+     * `--tenant-zipf`): only the "memcloud" workload reads them; every
+     * other engine ignores them entirely.  Defaults mirror TenantKnobs.
+     */
+    unsigned tenants = 6;       //!< guest address spaces multiplexed
+    double tenantChurn = 0.001; //!< per-burst guest respawn probability
+    double tenantZipf = 1.1;    //!< tenant popularity skew (Zipf alpha)
+
+    /**
      * The reach-scaled preset used by the benches: workload footprints
      * are ~1/400 of the paper's, so every capacity-like structure
      * (TLB reach, CTE-cache reach, LLC, free-list watermarks) scales by

@@ -234,6 +234,11 @@ serializeSimConfig(ByteWriter &w, const SimConfig &cfg)
     w.u64(cfg.sampleWindows);
     w.u64(cfg.sampleWindowAccesses);
     w.u64(cfg.sampleWarmAccesses);
+
+    // v3: multi-tenant knobs.
+    w.u32(cfg.tenants);
+    w.f64(cfg.tenantChurn);
+    w.f64(cfg.tenantZipf);
 }
 
 Status
@@ -340,6 +345,10 @@ deserializeSimConfig(ByteReader &r, SimConfig &cfg)
     cfg.sampleWindowAccesses = r.u64();
     cfg.sampleWarmAccesses = r.u64();
 
+    cfg.tenants = r.u32();
+    cfg.tenantChurn = r.f64();
+    cfg.tenantZipf = r.f64();
+
     if (!r.ok())
         return Status::truncated("SimConfig payload too short");
     return Status::okStatus();
@@ -389,6 +398,15 @@ serializeSimResult(ByteWriter &w, const SimResult &res)
         w.str(m.name);
         w.f64(m.mean);
         w.f64(m.ci95);
+    }
+
+    // v4 (ShardResultFile): per-tenant isolation stats.
+    w.u64(res.tenants.size());
+    for (const TenantStat &t : res.tenants) {
+        w.u64(t.accesses);
+        w.u64(t.ml2Faults);
+        w.u64(t.footprintBytes);
+        serializeHistogram(w, t.ml2FaultLatency);
     }
 }
 
@@ -445,6 +463,19 @@ deserializeSimResult(ByteReader &r, SimResult &res)
         m.mean = r.f64();
         m.ci95 = r.f64();
         res.sample.metrics.push_back(std::move(m));
+    }
+
+    const std::uint64_t n_tenants = r.count(8 * 3);
+    res.tenants.clear();
+    res.tenants.reserve(n_tenants);
+    for (std::uint64_t i = 0; i < n_tenants && r.ok(); ++i) {
+        TenantStat t;
+        t.accesses = r.u64();
+        t.ml2Faults = r.u64();
+        t.footprintBytes = r.u64();
+        TMCC_RETURN_IF_ERROR(
+            deserializeHistogram(r, t.ml2FaultLatency));
+        res.tenants.push_back(std::move(t));
     }
 
     if (!r.ok())

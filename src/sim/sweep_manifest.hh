@@ -53,7 +53,8 @@ std::string sweepGridKey(const std::vector<SimConfig> &grid);
 struct ShardSpec
 {
     // v2: SimConfig gained the kernel mode + sampling geometry.
-    static constexpr std::uint32_t formatVersion = 2;
+    // v3: SimConfig gained the multi-tenant knobs.
+    static constexpr std::uint32_t formatVersion = 3;
 
     std::string gridKey;
     std::uint32_t shardId = 0;
@@ -74,7 +75,8 @@ struct ShardResultFile
     // v3: attempt + the worker's checkpoint-store traffic while
     //     running the shard, so merged BENCH reports carry sweep-wide
     //     checkpoint hit counts and lease reclaims are observable.
-    static constexpr std::uint32_t formatVersion = 3;
+    // v4: SimResult gained the per-tenant isolation stats.
+    static constexpr std::uint32_t formatVersion = 4;
 
     std::string gridKey;
     std::uint32_t shardId = 0;

@@ -29,7 +29,18 @@ SyntheticWorkload::SyntheticWorkload(const SyntheticParams &params,
     for (const auto &r : p_.regions)
         totalBlocks_ += r.bytes / blockSize;
     seqCursor_ = p_.regions[0].base;
+    seqBase_ = p_.regions[0].base;
+    seqLimit_ = p_.regions[0].base + p_.regions[0].bytes;
     chaseCursor_ = p_.regions[0].base;
+}
+
+const WlRegion &
+SyntheticWorkload::regionOf(Addr a) const
+{
+    for (const auto &r : p_.regions)
+        if (a >= r.base && a < r.base + r.bytes)
+            return r;
+    return p_.regions[0];
 }
 
 Addr
@@ -92,9 +103,11 @@ SyntheticWorkload::next()
     if (seqLeft_ > 0) {
         --seqLeft_;
         seqCursor_ += blockSize;
-        const WlRegion &r0 = p_.regions[0];
-        if (seqCursor_ >= r0.base + r0.bytes)
-            seqCursor_ = r0.base;
+        // Wrap within the region the run started in, not region 0:
+        // runs started in other regions would otherwise stream off the
+        // region end into unmapped gap addresses.
+        if (seqCursor_ >= seqLimit_)
+            seqCursor_ = seqBase_;
         a.vaddr = seqCursor_;
         return a;
     }
@@ -105,6 +118,9 @@ SyntheticWorkload::next()
         // sweep the whole footprint uniformly.
         seqLeft_ = p_.runBlocks;
         seqCursor_ = blockAlign(randomTarget());
+        const WlRegion &r = regionOf(seqCursor_);
+        seqBase_ = r.base;
+        seqLimit_ = r.base + r.bytes;
         a.vaddr = seqCursor_;
         return a;
     }
@@ -144,6 +160,11 @@ SyntheticWorkload::loadState(ByteReader &r)
     seqLeft_ = seqLeft;
     chaseLeft_ = chaseLeft;
     chaseCursor_ = chaseCursor;
+    // The run bounds are derived state: the saved cursor always sits
+    // inside the region its run started in.
+    const WlRegion &seqRegion = regionOf(seqCursor_);
+    seqBase_ = seqRegion.base;
+    seqLimit_ = seqRegion.base + seqRegion.bytes;
     return Status::okStatus();
 }
 

@@ -77,6 +77,7 @@ class SyntheticWorkload : public Workload
 
   private:
     Addr randomTarget();
+    const WlRegion &regionOf(Addr a) const;
 
     SyntheticParams p_;
     Rng rng_;
@@ -86,6 +87,10 @@ class SyntheticWorkload : public Workload
     unsigned seqLeft_ = 0;
     unsigned chaseLeft_ = 0;
     Addr chaseCursor_ = 0;
+    /** Bounds of the region the current sequential run started in.
+     * Derived from seqCursor_, so not serialized. */
+    Addr seqBase_ = 0;
+    Addr seqLimit_ = 0;
 };
 
 } // namespace tmcc

@@ -29,6 +29,10 @@ struct MemAccess
 {
     Addr vaddr = 0;
     bool isWrite = false;
+    /** Guest address space this access belongs to (multi-tenant
+     * workloads; 0 for single-tenant engines).  Sits in the padding
+     * after isWrite, so adding it does not grow the struct. */
+    std::uint16_t tenant = 0;
     unsigned thinkCycles = 4; //!< CPU work before this access issues
 };
 
@@ -100,6 +104,17 @@ const std::vector<std::string> &smallWorkloadNames();
 const std::vector<std::string> &bandwidthWorkloadNames();
 
 /**
+ * Knobs of the multi-tenant "memcloud" workload; every other engine
+ * ignores them.  Defaults match SimConfig's tenant knob defaults.
+ */
+struct TenantKnobs
+{
+    unsigned tenants = 6; //!< guest address spaces multiplexed
+    double churn = 0.001; //!< per-burst guest respawn probability
+    double zipf = 1.1;    //!< tenant popularity skew (Zipf alpha)
+};
+
+/**
  * Instantiate the engine for `name` on core `core` of `cores`.
  * `scale` scales the footprint (1.0 = this repo's default scaled-down
  * footprints; the paper's full footprints would be ~100-200x).
@@ -107,7 +122,8 @@ const std::vector<std::string> &bandwidthWorkloadNames();
 std::unique_ptr<Workload> makeWorkload(const std::string &name,
                                        unsigned core, unsigned cores,
                                        double scale = 1.0,
-                                       std::uint64_t seed = 1);
+                                       std::uint64_t seed = 1,
+                                       const TenantKnobs &tenancy = {});
 
 } // namespace tmcc
 

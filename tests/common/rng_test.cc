@@ -102,6 +102,60 @@ TEST(Rng, ZipfAlphaOneFallback)
         ASSERT_LT(rng.zipf(64, 1.0), 64u);
 }
 
+TEST(Rng, ZipfRankZeroMassMonotoneInAlpha)
+{
+    // Same seed for every alpha isolates the skew effect.  Alphas near
+    // or below 1.0 share a log-uniform fallback that ignores alpha, so
+    // the 0.8 -> 1.0 comparison is non-strict; 1.2 uses the rejection
+    // sampler and must put strictly more mass on rank 0.
+    constexpr std::uint64_t n = 1000;
+    constexpr int draws = 40000;
+    const double alphas[] = {0.8, 1.0, 1.2};
+    double mass[3];
+    for (int i = 0; i < 3; ++i) {
+        Rng rng(101);
+        int zero = 0;
+        for (int d = 0; d < draws; ++d) {
+            const auto v = rng.zipf(n, alphas[i]);
+            ASSERT_LT(v, n);
+            zero += v == 0;
+        }
+        mass[i] = static_cast<double>(zero) / draws;
+    }
+    EXPECT_LE(mass[0], mass[1]);
+    EXPECT_LT(mass[1], mass[2]);
+    // Log-uniform rank-0 mass is ~ln(2)/ln(n) ~= 0.10 at n=1000.
+    EXPECT_GT(mass[0], 0.05);
+}
+
+TEST(Rng, ZipfReachesEveryRank)
+{
+    // Regression: both sampler paths returned floor(x) - 1 with x
+    // capped below n, so rank n-1 had measure zero -- with a small n
+    // (the memcloud tenant count) the last item was never drawn at
+    // all.  Every rank must appear, with the tail rank's share in a
+    // plausible band around its analytic mass.
+    constexpr std::uint64_t n = 6;
+    constexpr int draws = 60000;
+    for (const double alpha : {0.8, 1.0, 1.2}) {
+        Rng rng(37);
+        int counts[n] = {};
+        for (int d = 0; d < draws; ++d) {
+            const auto v = rng.zipf(n, alpha);
+            ASSERT_LT(v, n);
+            ++counts[v];
+        }
+        for (std::uint64_t k = 0; k < n; ++k)
+            EXPECT_GT(counts[k], 0)
+                << "rank " << k << " never drawn at alpha " << alpha;
+        // Zipf(6, 1.2) puts ~5.6% on the last rank; log-uniform
+        // (alpha <= 1) puts ln(7/6)/ln(7) ~= 7.9% there.  Either way
+        // well above 2% -- and exactly 0 before the fix.
+        EXPECT_GT(counts[n - 1], draws / 50)
+            << "tail rank starved at alpha " << alpha;
+    }
+}
+
 TEST(Rng, GeometricMean)
 {
     Rng rng(31);

@@ -90,6 +90,16 @@ TEST(KernelIdentity, TmccOnIrregularWorkload)
     expectKernelIdentity(tinyConfig(Arch::Tmcc, "mcf"));
 }
 
+TEST(KernelIdentity, TmccOnMemcloud)
+{
+    // Multi-tenant streams route the tenant id through System state the
+    // scalar and batch kernels share; the fingerprint includes the
+    // per-tenant stats, so misattribution in either kernel shows up.
+    SimConfig cfg = tinyConfig(Arch::Tmcc, "memcloud");
+    cfg.tenants = 4;
+    expectKernelIdentity(cfg);
+}
+
 TEST(KernelIdentity, WithEpochStats)
 {
     for (Arch arch : {Arch::NoCompression, Arch::Tmcc}) {

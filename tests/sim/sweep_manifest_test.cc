@@ -96,6 +96,9 @@ fancyConfig()
     cfg.sampleWindows = 5;
     cfg.sampleWindowAccesses = 50;
     cfg.sampleWarmAccesses = 10;
+    cfg.tenants = 13;
+    cfg.tenantChurn = 0.0675;
+    cfg.tenantZipf = 1.375;
     return cfg;
 }
 
@@ -152,6 +155,14 @@ fancyResult()
     res.sample.ffAccesses = 123'456;
     res.sample.metrics.push_back({"accesses_per_ns", 1.0 / 3.0, 0.01});
     res.sample.metrics.push_back({"tlb_miss_rate", 0.0625, 0.0});
+    TenantStat t0;
+    t0.accesses = 123'456;
+    t0.ml2Faults = 789;
+    t0.footprintBytes = 32ULL << 20;
+    t0.ml2FaultLatency.sample(100.0 / 3.0);
+    t0.ml2FaultLatency.sample(25000.0); // overflow
+    res.tenants.push_back(std::move(t0));
+    res.tenants.push_back(TenantStat{});
     return res;
 }
 
@@ -173,6 +184,9 @@ expectConfigEqual(const SimConfig &a, const SimConfig &b)
     EXPECT_EQ(a.sampleWindows, b.sampleWindows);
     EXPECT_EQ(a.sampleWindowAccesses, b.sampleWindowAccesses);
     EXPECT_EQ(a.sampleWarmAccesses, b.sampleWarmAccesses);
+    EXPECT_EQ(a.tenants, b.tenants);
+    EXPECT_EQ(a.tenantChurn, b.tenantChurn);
+    EXPECT_EQ(a.tenantZipf, b.tenantZipf);
 }
 
 void
@@ -231,6 +245,21 @@ expectResultEqual(const SimResult &a, const SimResult &b)
         EXPECT_EQ(a.sample.metrics[i].name, b.sample.metrics[i].name);
         EXPECT_EQ(a.sample.metrics[i].mean, b.sample.metrics[i].mean);
         EXPECT_EQ(a.sample.metrics[i].ci95, b.sample.metrics[i].ci95);
+    }
+    ASSERT_EQ(a.tenants.size(), b.tenants.size());
+    for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+        EXPECT_EQ(a.tenants[i].accesses, b.tenants[i].accesses);
+        EXPECT_EQ(a.tenants[i].ml2Faults, b.tenants[i].ml2Faults);
+        EXPECT_EQ(a.tenants[i].footprintBytes,
+                  b.tenants[i].footprintBytes);
+        EXPECT_EQ(a.tenants[i].ml2FaultLatency.buckets(),
+                  b.tenants[i].ml2FaultLatency.buckets());
+        EXPECT_EQ(a.tenants[i].ml2FaultLatency.overflow(),
+                  b.tenants[i].ml2FaultLatency.overflow());
+        EXPECT_EQ(a.tenants[i].ml2FaultLatency.sampleSum(),
+                  b.tenants[i].ml2FaultLatency.sampleSum());
+        EXPECT_EQ(a.tenants[i].ml2FaultLatency.count(),
+                  b.tenants[i].ml2FaultLatency.count());
     }
 }
 
@@ -441,9 +470,10 @@ TEST_F(SweepManifestTest, ConfigRejectsBadKernelByte)
     ByteWriter w;
     serializeSimConfig(w, cfg);
     // The kernel byte is the first v2 field: 25 bytes (u8 + 3 x u64)
-    // from the end of the config payload.
+    // of v2 tail plus 20 bytes (u32 + 2 x f64) of v3 tenant knobs from
+    // the end of the config payload.
     std::vector<std::uint8_t> bytes = w.buffer();
-    bytes[bytes.size() - 25] = 0x7f;
+    bytes[bytes.size() - 45] = 0x7f;
     ByteReader r(bytes);
     SimConfig back;
     const Status s = deserializeSimConfig(r, back);
@@ -471,7 +501,7 @@ TEST_F(SweepManifestTest, OldFormatVersionIsRejectedClearly)
     ASSERT_FALSE(loaded.ok());
     EXPECT_EQ(loaded.status().code(), StatusCode::Corruption);
     EXPECT_NE(loaded.status().message().find(
-                  "format version mismatch (file v1, expected v3)"),
+                  "format version mismatch (file v1, expected v4)"),
               std::string::npos);
 }
 

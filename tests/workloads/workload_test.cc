@@ -146,6 +146,51 @@ TEST(Synthetic, HotColdModelConcentrates)
     EXPECT_NEAR(static_cast<double>(hot) / total, 0.98, 0.01);
 }
 
+TEST(Synthetic, SequentialRunsWrapWithinTheirOwnRegion)
+{
+    // Two regions separated by an unmapped gap, with region 1 BELOW
+    // region 0 so a run started there never trips a region-0 bounds
+    // check: before the fix, such runs streamed past region 1's end
+    // into the gap.  With sequentialFraction=1 every access belongs to
+    // a run of exactly 1+runBlocks accesses, so run boundaries are
+    // known and each run must stay inside the region it started in.
+    SyntheticParams p;
+    p.name = "t";
+    WlRegion hi, lo;
+    hi.name = "hi";
+    hi.base = (1ULL << 30) + (8ULL << 20);
+    hi.bytes = 1ULL << 20;
+    lo.name = "lo";
+    lo.base = 1ULL << 30;
+    lo.bytes = 1ULL << 20;
+    p.regions = {hi, lo};
+    p.sequentialFraction = 1.0;
+    p.runBlocks = 512;
+    SyntheticWorkload wl(p, 0, 1, 7);
+
+    const auto regionIndex = [&](Addr v) {
+        for (int i = 0; i < 2; ++i) {
+            const WlRegion &r = p.regions[i];
+            if (v >= r.base && v < r.base + r.bytes)
+                return i;
+        }
+        return -1;
+    };
+
+    bool saw_lo_run = false;
+    for (int run = 0; run < 400; ++run) {
+        const int region = regionIndex(wl.next().vaddr);
+        ASSERT_GE(region, 0) << "run started outside both regions";
+        saw_lo_run |= region == 1;
+        for (unsigned i = 0; i < p.runBlocks; ++i) {
+            const Addr v = wl.next().vaddr;
+            ASSERT_EQ(regionIndex(v), region)
+                << "sequential run left its region at " << v;
+        }
+    }
+    EXPECT_TRUE(saw_lo_run);
+}
+
 TEST(Synthetic, ChaseProducesDependentJumps)
 {
     SyntheticParams p;
