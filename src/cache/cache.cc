@@ -10,14 +10,28 @@ Cache::Cache(std::string name, std::size_t size_bytes, unsigned assoc)
     : name_(std::move(name)), assoc_(assoc)
 {
     fatalIf(assoc == 0, name_ + ": associativity must be nonzero");
+    fatalIf(assoc > simd::maxWays,
+            name_ + ": associativity " + std::to_string(assoc) +
+                " exceeds the probe engine's " +
+                std::to_string(simd::maxWays) + "-way set limit");
     fatalIf(size_bytes % (blockSize * assoc) != 0,
             name_ + ": size must be a multiple of assoc x 64B");
     sets_ = size_bytes / (blockSize * assoc);
     setsPow2_ = isPowerOf2(sets_);
     setMask_ = setsPow2_ ? sets_ - 1 : 0;
-    tags_.assign(sets_ * assoc_, invalidAddr);
-    lru_.assign(sets_ * assoc_, 0);
-    flags_.assign(sets_ * assoc_, 0);
+
+    // Pad each set's metadata row to the vector width; padding ways
+    // hold a tag no probe can match and an all-ones LRU stamp no
+    // victim scan can pick.
+    wstride_ = simd::padWays(assoc_);
+    tags_.assign(sets_ * wstride_, padTag);
+    lru_.assign(sets_ * wstride_, ~std::uint64_t{0});
+    flags_.assign(sets_ * wstride_, 0);
+    for (std::size_t s = 0; s < sets_; ++s)
+        for (unsigned w = 0; w < assoc_; ++w) {
+            tags_[s * wstride_ + w] = invalidAddr;
+            lru_[s * wstride_ + w] = 0;
+        }
 }
 
 void

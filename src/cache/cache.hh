@@ -7,10 +7,14 @@
  *
  * The model is functional (hits/misses/evictions); latency composition
  * is the pipeline's job.  State is structure-of-arrays (contiguous tag
- * / LRU / flag arrays) so the tag-probe loop in the measured kernel is
- * a tight scan over one cache line of metadata per set, and the hot
- * methods are defined inline here so both the scalar and the batched
- * access kernels can fold them into their loops.
+ * / LRU / flag arrays), each set padded to the SIMD vector width, so
+ * the tag probe and the LRU victim scan are whole-set vector compares
+ * (common/simd.hh) that never straddle sets; the hot methods are
+ * defined inline here so both the scalar and the batched access
+ * kernels can fold them into their loops.  Every probe decision is
+ * made by the simd::Ops primitives, whose scalar fallback is the
+ * oracle — SIMD and scalar builds are bit-identical by construction
+ * (tests/cache/probe_property_test.cc).
  */
 
 #ifndef TMCC_CACHE_CACHE_HH
@@ -21,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -72,45 +77,34 @@ class Cache : public Stated
     {
         const Addr tag = blockAlign(line.addr);
 
-        // One pass over the set: resident-way match plus the two
-        // victim candidates.  Victim order is kept exactly as the
-        // original two-scan version evaluated it (results depend on
-        // it): first invalid way among 1..N-1, else way 0 when
-        // invalid, else the LRU way (stamps unique).
-        const std::size_t base = setIndex(tag) * assoc_;
-        std::size_t match = npos, first_inv = npos, min_idx = base;
-        std::uint64_t min_lru = lru_[base];
-        for (unsigned i = 0; i < assoc_; ++i) {
-            const std::size_t w = base + i;
-            if (tags_[w] == tag) {
-                match = w;
-                break;
-            }
-            if (i == 0)
-                continue;
-            if (tags_[w] == invalidAddr) {
-                if (first_inv == npos)
-                    first_inv = w;
-            } else if (lru_[w] < min_lru) {
-                min_lru = lru_[w];
-                min_idx = w;
-            }
-        }
+        // Vector pass over the set: resident-way match, else the
+        // victim in exactly the order the historical scalar scan
+        // evaluated it (results depend on it): first invalid way
+        // among 1..N-1, else way 0 when invalid, else the LRU way
+        // (stamps unique, so the min is unique).
+        const std::size_t base = setIndex(tag) * wstride_;
+        std::uint64_t match, inv;
+        Probe::eqMask2(&tags_[base], wstride_, tag, invalidAddr,
+                       match, inv);
 
         // Refresh in place if already resident.
-        if (match != npos) {
-            lru_[match] = ++lruClock_;
-            flags_[match] = static_cast<std::uint8_t>(
-                (flags_[match] & ~Compressed) |
+        if (match) {
+            const std::size_t w = base + simd::firstWay(match);
+            lru_[w] = ++lruClock_;
+            flags_[w] = static_cast<std::uint8_t>(
+                (flags_[w] & ~Compressed) |
                 (line.dirty ? Dirty : 0) |
                 (line.compressed ? Compressed : 0));
             return std::nullopt;
         }
 
-        const std::size_t victim =
-            first_inv != npos
-                ? first_inv
-                : (tags_[base] == invalidAddr ? base : min_idx);
+        std::size_t victim;
+        if (inv) {
+            const std::uint64_t above0 = inv & ~1ULL;
+            victim = base + (above0 ? simd::firstWay(above0) : 0);
+        } else {
+            victim = base + Probe::minIndex(&lru_[base], wstride_);
+        }
 
         std::optional<CacheLine> evicted;
         if (flags_[victim] & Valid) {
@@ -142,25 +136,23 @@ class Cache : public Stated
     touch(const CacheLine &line, CacheLine &evicted)
     {
         const Addr tag = blockAlign(line.addr);
-        const std::size_t base = setIndex(tag) * assoc_;
-        std::size_t victim = base;
-        std::uint64_t best = tags_[base] == invalidAddr ? 0 : lru_[base];
-        for (unsigned i = 0; i < assoc_; ++i) {
-            const std::size_t w = base + i;
-            if (tags_[w] == tag) {
-                hits_.inc();
-                lru_[w] = ++lruClock_;
-                flags_[w] |= line.dirty ? Dirty : 0;
-                evicted.addr = invalidAddr;
-                return true;
-            }
-            const std::uint64_t score =
-                tags_[w] == invalidAddr ? 0 : lru_[w];
-            if (score < best) {
-                best = score;
-                victim = w;
-            }
+        const std::size_t base = setIndex(tag) * wstride_;
+        const std::uint64_t match =
+            Probe::eqMask(&tags_[base], wstride_, tag);
+        if (match) {
+            const std::size_t w = base + simd::firstWay(match);
+            hits_.inc();
+            lru_[w] = ++lruClock_;
+            flags_[w] |= line.dirty ? Dirty : 0;
+            evicted.addr = invalidAddr;
+            return true;
         }
+        // Victim: earliest way minimizing (invalid ? 0 : lru), the
+        // same replacement the historical running-min scan made
+        // (padding ways carry an all-ones stamp and never win).
+        const std::size_t victim =
+            base + Probe::victimIndex(&tags_[base], &lru_[base],
+                                      wstride_, invalidAddr);
         misses_.inc();
         if (tags_[victim] != invalidAddr) {
             evictions_.inc();
@@ -230,6 +222,38 @@ class Cache : public Stated
             flags_[w] |= Dirty;
     }
 
+    /**
+     * Hint the hardware prefetcher at this address's set metadata (tag
+     * + LRU rows).  The batched kernel calls this for upcoming ring
+     * slots so the probe's loads are in flight before the probe runs.
+     */
+    void
+    prefetchSet(Addr addr) const
+    {
+        const std::size_t base = setIndex(addr) * wstride_;
+        simd::prefetchRow(&tags_[base]);
+        simd::prefetchRow(&lru_[base]);
+    }
+
+    /** Test-only view of one way's metadata (way < associativity). */
+    struct WayView
+    {
+        Addr tag;
+        std::uint64_t lru;
+        bool valid;
+        bool dirty;
+        bool compressed;
+    };
+
+    WayView
+    wayView(std::size_t set, unsigned way) const
+    {
+        const std::size_t w = set * wstride_ + way;
+        return WayView{tags_[w], lru_[w], (flags_[w] & Valid) != 0,
+                       (flags_[w] & Dirty) != 0,
+                       (flags_[w] & Compressed) != 0};
+    }
+
     std::size_t sizeBytes() const { return sets_ * assoc_ * blockSize; }
     unsigned associativity() const { return assoc_; }
     std::size_t numSets() const { return sets_; }
@@ -263,30 +287,37 @@ class Cache : public Stated
 
     /**
      * Index of the way holding `addr`, or npos.  Invalid ways hold
-     * the invalidAddr tag (never block-aligned, so no real probe can
-     * match it); the scan is then a pure tag compare with no early
-     * exit, which the compiler turns into a handful of vector
-     * compares — this is the single hottest loop in the simulator.
+     * the invalidAddr tag and padding ways a distinct non-aligned
+     * sentinel, so neither can match a (block-aligned) probe tag and
+     * the scan is one whole-set vector compare — this is the single
+     * hottest operation in the simulator.  Tags are unique per set
+     * (insert/touch refresh in place), so "first match" is "the
+     * match".
      */
     std::size_t
     find(Addr addr) const
     {
         const Addr tag = blockAlign(addr);
-        const std::size_t base = setIndex(addr) * assoc_;
-        std::size_t w = npos;
-        for (unsigned i = 0; i < assoc_; ++i)
-            if (tags_[base + i] == tag)
-                w = base + i;
-        return w;
+        const std::size_t base = setIndex(addr) * wstride_;
+        const std::uint64_t m =
+            Probe::eqMask(&tags_[base], wstride_, tag);
+        return m ? base + simd::firstWay(m) : npos;
     }
+
+    using Probe = simd::Active;
+
+    /** Padding-way tag: never block-aligned, never invalidAddr. */
+    static constexpr Addr padTag = invalidAddr ^ 1;
 
     std::string name_;
     std::size_t sets_;
     bool setsPow2_ = true;   //!< shift-mask indexing fast path
     std::size_t setMask_ = 0; //!< sets_ - 1 when setsPow2_
     unsigned assoc_;
+    unsigned wstride_;        //!< assoc_ padded to the vector width
 
-    // Structure-of-arrays way metadata, sets_ x assoc_ flattened.
+    // Structure-of-arrays way metadata, sets_ x wstride_ flattened
+    // (padding ways carry padTag / all-ones LRU and are never chosen).
     std::vector<Addr> tags_;
     std::vector<std::uint64_t> lru_;
     std::vector<std::uint8_t> flags_;

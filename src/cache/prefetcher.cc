@@ -1,5 +1,7 @@
 #include "cache/prefetcher.hh"
 
+#include "common/log.hh"
+
 namespace tmcc
 {
 
@@ -10,11 +12,20 @@ NextLinePrefetcher::NextLinePrefetcher(unsigned check_window,
 
 StridePrefetcher::StridePrefetcher(unsigned degree, unsigned streams)
     : degree_(degree),
-      pages_(streams, invalidAddr),
-      lastAddr_(streams, invalidAddr),
-      stride_(streams, 0),
-      confidence_(streams, 0),
-      lastUse_(streams, 0)
-{}
+      wstride_(simd::padWays(streams)),
+      pages_(wstride_, padPage),
+      lastAddr_(wstride_, invalidAddr),
+      stride_(wstride_, 0),
+      confidence_(wstride_, 0),
+      lastUse_(wstride_, ~std::uint64_t{0})
+{
+    fatalIf(streams == 0 || streams > simd::maxWays,
+            "stride prefetcher stream count must be in [1, " +
+                std::to_string(simd::maxWays) + "]");
+    for (unsigned i = 0; i < streams; ++i) {
+        pages_[i] = invalidAddr;
+        lastUse_[i] = 0;
+    }
+}
 
 } // namespace tmcc

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/simd.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -145,17 +146,16 @@ class StridePrefetcher : public Prefetcher
         const Addr page = pageNumber(addr);
         const Addr block = blockAlign(addr);
 
-        // One pass: find the stream for `page`, remembering the first
-        // free slot in case it is missing.
-        std::size_t hit = npos, free_slot = npos;
-        for (std::size_t i = 0; i < pages_.size(); ++i) {
-            if (pages_[i] == page) {
-                hit = i;
-                break;
-            }
-            if (pages_[i] == invalidAddr && free_slot == npos)
-                free_slot = i;
-        }
+        // One fused vector pass: find the stream for `page` and the
+        // first free slot in case it is missing (only consulted on a
+        // miss, so fusing matches the old early-exit scan exactly).
+        std::uint64_t match, inv;
+        Probe::eqMask2(pages_.data(), wstride_, page, invalidAddr,
+                       match, inv);
+        const std::size_t hit =
+            match ? simd::firstWay(match) : npos;
+        const std::size_t free_slot =
+            inv ? simd::firstWay(inv) : npos;
 
         if (hit == npos) {
             // Evict the least recently used stream if at capacity.
@@ -212,18 +212,22 @@ class StridePrefetcher : public Prefetcher
     std::size_t
     lruSlot() const
     {
-        std::size_t lru = 0;
-        for (std::size_t i = 1; i < pages_.size(); ++i)
-            if (lastUse_[i] < lastUse_[lru])
-                lru = i;
-        return lru;
+        return Probe::minIndex(lastUse_.data(), wstride_);
     }
 
+    using Probe = simd::Active;
+
+    /** Padding-slot page key: matches no page, never looks free. */
+    static constexpr Addr padPage = invalidAddr ^ 1;
+
     unsigned degree_;
+    unsigned wstride_; //!< stream count padded to the vector width
     std::uint64_t useClock_ = 0;
 
-    // Structure-of-arrays streams; pages_ == invalidAddr marks a free
-    // slot (page numbers are small, never all-ones).
+    // Structure-of-arrays streams, padded to the vector width (padding
+    // slots hold padPage / all-ones lastUse and are never chosen);
+    // pages_ == invalidAddr marks a free slot (page numbers are small,
+    // never all-ones).
     std::vector<Addr> pages_;
     std::vector<Addr> lastAddr_;
     std::vector<std::int64_t> stride_;

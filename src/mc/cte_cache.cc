@@ -12,6 +12,10 @@ CteCache::CteCache(std::size_t size_bytes, unsigned pages_per_block,
 {
     fatalIf(pages_per_block == 0, "CTE block must cover >= 1 page");
     fatalIf(assoc == 0, "CTE cache associativity must be >= 1");
+    fatalIf(assoc > simd::maxWays,
+            "CTE cache associativity " + std::to_string(assoc) +
+                " exceeds the probe engine's " +
+                std::to_string(simd::maxWays) + "-way set limit");
     const std::size_t blocks = size_bytes / blockSize;
     fatalIf(blocks < assoc,
             "CTE cache of " + std::to_string(size_bytes) +
@@ -28,9 +32,17 @@ CteCache::CteCache(std::size_t size_bytes, unsigned pages_per_block,
     blockShift_ = blockPow2_ ? floorLog2(pages_per_block) : 0;
     setsPow2_ = isPowerOf2(sets_);
     setMask_ = setsPow2_ ? sets_ - 1 : 0;
-    tags_.assign(blocks, 0);
-    valid_.assign(blocks, 0);
-    lru_.assign(blocks, 0);
+    // Pad each set's metadata row to the vector width; invalid ways
+    // hold the invalidTag sentinel, padding ways a distinct sentinel
+    // plus an all-ones LRU stamp so no scan can pick them.
+    wstride_ = simd::padWays(assoc_);
+    tags_.assign(sets_ * wstride_, padTag);
+    lru_.assign(sets_ * wstride_, ~std::uint64_t{0});
+    for (std::size_t s = 0; s < sets_; ++s)
+        for (unsigned w = 0; w < assoc_; ++w) {
+            tags_[s * wstride_ + w] = invalidTag;
+            lru_[s * wstride_ + w] = 0;
+        }
 }
 
 void

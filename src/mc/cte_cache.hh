@@ -9,9 +9,12 @@
  * page-level translation gets its 8x reach (and the spatial-locality
  * benefit of §IV) purely from the format, exactly as in the paper.
  *
- * Way metadata is structure-of-arrays (contiguous tag / LRU / valid
- * arrays) with hot methods defined inline so the MC-side lookup in the
- * measured kernels is a tight set scan.
+ * Way metadata is structure-of-arrays (contiguous tag / LRU arrays,
+ * sets padded to the SIMD vector width; invalid ways carry a sentinel
+ * tag no real CTE block number can take) with hot methods defined
+ * inline, so the MC-side lookup in the measured kernels is a whole-set
+ * vector compare through the common/simd.hh probe primitives — same
+ * engine, and same bit-identical-to-scalar contract, as Cache and Tlb.
  */
 
 #ifndef TMCC_MC_CTE_CACHE_HH
@@ -20,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/simd.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -42,13 +46,13 @@ class CteCache : public Stated
     lookup(Ppn ppn)
     {
         const std::uint64_t tag = blockOf(ppn);
-        const std::size_t base = setIndexOf(tag) * assoc_;
-        for (unsigned w = 0; w < assoc_; ++w) {
-            if (valid_[base + w] && tags_[base + w] == tag) {
-                lru_[base + w] = ++lruClock_;
-                hits_.inc();
-                return true;
-            }
+        const std::size_t base = setIndexOf(tag) * wstride_;
+        const std::uint64_t m =
+            Probe::eqMask(&tags_[base], wstride_, tag);
+        if (m) {
+            lru_[base + simd::firstWay(m)] = ++lruClock_;
+            hits_.inc();
+            return true;
         }
         misses_.inc();
         return false;
@@ -59,11 +63,8 @@ class CteCache : public Stated
     probe(Ppn ppn) const
     {
         const std::uint64_t tag = blockOf(ppn);
-        const std::size_t base = setIndexOf(tag) * assoc_;
-        for (unsigned w = 0; w < assoc_; ++w)
-            if (valid_[base + w] && tags_[base + w] == tag)
-                return true;
-        return false;
+        const std::size_t base = setIndexOf(tag) * wstride_;
+        return Probe::eqMask(&tags_[base], wstride_, tag) != 0;
     }
 
     /** Install the block covering `ppn` (after a DRAM CTE fetch). */
@@ -71,22 +72,25 @@ class CteCache : public Stated
     insert(Ppn ppn)
     {
         const std::uint64_t tag = blockOf(ppn);
-        const std::size_t base = setIndexOf(tag) * assoc_;
-        std::size_t victim = base;
-        for (unsigned w = 0; w < assoc_; ++w) {
-            if (valid_[base + w] && tags_[base + w] == tag) {
+        const std::size_t base = setIndexOf(tag) * wstride_;
+        // The historical scalar scan stopped at the first way that
+        // matched (refresh) or was invalid (victim), else took the
+        // running LRU min; the mask math preserves that order.
+        std::uint64_t match, inv;
+        Probe::eqMask2(&tags_[base], wstride_, tag, invalidTag,
+                       match, inv);
+        std::size_t victim;
+        if (match | inv) {
+            const unsigned w = simd::firstWay(match | inv);
+            if (match & (std::uint64_t{1} << w)) {
                 lru_[base + w] = ++lruClock_;
                 return; // already present
             }
-            if (!valid_[base + w]) {
-                victim = base + w;
-                break;
-            }
-            if (lru_[base + w] < lru_[victim])
-                victim = base + w;
+            victim = base + w;
+        } else {
+            victim = base + Probe::minIndex(&lru_[base], wstride_);
         }
         tags_[victim] = tag;
-        valid_[victim] = 1;
         lru_[victim] = ++lruClock_;
     }
 
@@ -95,12 +99,31 @@ class CteCache : public Stated
     invalidate(Ppn ppn)
     {
         const std::uint64_t tag = blockOf(ppn);
-        const std::size_t base = setIndexOf(tag) * assoc_;
-        for (unsigned w = 0; w < assoc_; ++w)
-            if (valid_[base + w] && tags_[base + w] == tag)
-                valid_[base + w] = 0;
+        const std::size_t base = setIndexOf(tag) * wstride_;
+        std::uint64_t m = Probe::eqMask(&tags_[base], wstride_, tag);
+        while (m) {
+            tags_[base + simd::firstWay(m)] = invalidTag;
+            m &= m - 1;
+        }
     }
 
+    /** Test-only view of one way's metadata (way < associativity). */
+    struct WayView
+    {
+        std::uint64_t tag;
+        std::uint64_t lru;
+        bool valid;
+    };
+
+    WayView
+    wayView(std::size_t set, unsigned way) const
+    {
+        const std::size_t w = set * wstride_ + way;
+        return WayView{tags_[w], lru_[w], tags_[w] != invalidTag};
+    }
+
+    std::size_t numSets() const { return sets_; }
+    unsigned associativity() const { return assoc_; }
     unsigned pagesPerBlock() const { return pagesPerBlock_; }
 
     std::uint64_t hits() const { return hits_.value(); }
@@ -125,6 +148,16 @@ class CteCache : public Stated
             setsPow2_ ? (block & setMask_) : (block % sets_));
     }
 
+    using Probe = simd::Active;
+
+    /**
+     * Sentinel tags.  Real tags are CTE block numbers (PPN divided by
+     * pages-per-block), bounded far below 2^63 by the simulated DRAM
+     * size, so neither sentinel can collide with a probe key.
+     */
+    static constexpr std::uint64_t invalidTag = ~std::uint64_t{0};
+    static constexpr std::uint64_t padTag = invalidTag ^ 1;
+
     unsigned pagesPerBlock_;
     bool blockPow2_ = true;
     unsigned blockShift_ = 0;
@@ -132,10 +165,12 @@ class CteCache : public Stated
     bool setsPow2_ = true;
     std::uint64_t setMask_ = 0;
     unsigned assoc_;
+    unsigned wstride_; //!< assoc_ padded to the vector width
 
-    // Structure-of-arrays way metadata, sets_ x assoc_ flattened.
+    // Structure-of-arrays way metadata, sets_ x wstride_ flattened
+    // (invalid ways hold invalidTag, padding ways padTag + all-ones
+    // LRU so no probe or victim scan can pick them).
     std::vector<std::uint64_t> tags_;
-    std::vector<std::uint8_t> valid_;
     std::vector<std::uint64_t> lru_;
     std::uint64_t lruClock_ = 0;
     Counter hits_, misses_;

@@ -41,7 +41,33 @@ namespace tmcc
 namespace
 {
 constexpr std::size_t ringCap = 64;
+
+/**
+ * How many ring slots ahead of the consuming step the metadata
+ * prefetches run.  Far enough for the loads to land before the probe,
+ * near enough that the lines are still resident when it does.
+ */
+constexpr std::size_t lookahead = 8;
+
+/**
+ * Hint the prefetcher at the set metadata an upcoming ring slot will
+ * probe.  Only structures whose set index is computable from the
+ * virtual address qualify: the TLB set directly, and the L1 set up to
+ * the one physical index bit (bit 12 for the 128-set default) that
+ * translation decides — so both page-parity candidates are hinted.
+ * Prefetches touch no simulator state, so the batch kernel stays
+ * bit-identical to the scalar oracle.
+ */
+inline void
+prefetchAccess(System &sys, unsigned core, const MemAccess &a)
+{
+    sys.tlb(core).prefetchSet(a.vaddr);
+    Cache &l1 = sys.hierarchy().l1(core);
+    const Addr off = a.vaddr & (pageSize - 1);
+    l1.prefetchSet(off);
+    l1.prefetchSet(off | pageSize);
 }
+} // namespace
 
 template <bool Tracing>
 void
@@ -90,7 +116,12 @@ SystemKernel::measuredImpl(System &sys, std::uint64_t quota,
             sys.workloads_[next]->nextBatch(r.buf.data(), refill);
             r.head = 0;
             r.count = refill;
+            const std::size_t pn = std::min(lookahead, r.count);
+            for (std::size_t i = 0; i < pn; ++i)
+                prefetchAccess(sys, next, r.buf[i]);
         }
+        if (r.head + lookahead < r.count)
+            prefetchAccess(sys, next, r.buf[r.head + lookahead]);
         AccessEngine<BatchTraits<Tracing>>::step(sys, next,
                                                  r.buf[r.head++], true);
         if constexpr (Epochs) {

@@ -4,18 +4,26 @@ namespace tmcc
 {
 
 CteBuffer::CteBuffer(unsigned entries)
-    : ppns_(entries, invalidPpn),
-      hasCte_(entries, 0),
-      cte_(entries, 0),
-      ptbAddr_(entries, invalidAddr),
-      lru_(entries, 0)
-{}
+    : stride_(simd::padWays(entries)),
+      ppns_(stride_, padPpn),
+      hasCte_(stride_, 0),
+      cte_(stride_, 0),
+      ptbAddr_(stride_, invalidAddr),
+      lru_(stride_, ~std::uint64_t{0}),
+      entries_(entries)
+{
+    for (unsigned i = 0; i < entries; ++i) {
+        ppns_[i] = invalidPpn;
+        lru_[i] = 0;
+    }
+}
 
 void
 CteBuffer::flush()
 {
-    for (auto &p : ppns_)
-        p = invalidPpn;
+    // Real slots only: padding slots must keep the pad sentinel.
+    for (unsigned i = 0; i < entries_; ++i)
+        ppns_[i] = invalidPpn;
 }
 
 void

@@ -12,7 +12,11 @@
  * access, so the key scan is the measured loop's hottest loop: keys
  * live in one contiguous PPN array (invalid entries hold a sentinel no
  * real PPN can take) with payload arrays alongside, and the hot
- * methods are defined inline here.
+ * methods are defined inline here.  The scan itself runs through the
+ * common/simd.hh probe primitives in chunks of up to simd::maxWays
+ * entries (one chunk for the default 64-entry buffer), so a full-table
+ * search is a handful of whole-vector compares; the primitives'
+ * scalar fallback is the oracle, keeping SIMD builds bit-identical.
  */
 
 #ifndef TMCC_TMCC_CTE_BUFFER_HH
@@ -21,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/simd.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -48,23 +53,39 @@ class CteBuffer : public Stated
     insert(Ppn ppn, bool has_cte, std::uint64_t cte, Addr ptb_addr)
     {
         inserts_.inc();
-        std::size_t slot = find(ppn);
+        // One fused pass per chunk: resident match (refresh in place)
+        // and first free slot.  A match anywhere supersedes free
+        // slots, so recording the first free slot while scanning for
+        // the match preserves the split-scan order exactly.
+        std::size_t slot = npos, free_slot = npos;
+        for (std::size_t c = 0; c < stride_; c += chunk) {
+            std::uint64_t ma, mb;
+            Probe::eqMask2(&ppns_[c], chunkLen(c), ppn, invalidPpn,
+                           ma, mb);
+            if (ma) {
+                slot = c + simd::firstWay(ma);
+                break;
+            }
+            if (mb && free_slot == npos)
+                free_slot = c + simd::firstWay(mb);
+        }
+        if (slot == npos)
+            slot = free_slot;
         if (slot == npos) {
-            // First free slot, else the LRU entry (stamps unique, so
-            // the argmin is unique) — same victim the old fused scan
-            // picked, split so each loop stays vectorizable.
-            for (std::size_t i = 0; i < ppns_.size(); ++i) {
-                if (ppns_[i] == invalidPpn) {
-                    slot = i;
-                    break;
+            // No free slot: evict the LRU entry (stamps unique, so the
+            // argmin is unique); chunk minima keep the earliest index
+            // on ties, matching the historical strict-< running min.
+            std::size_t best = 0;
+            std::uint64_t best_val = ~std::uint64_t{0};
+            for (std::size_t c = 0; c < stride_; c += chunk) {
+                const unsigned n = chunkLen(c);
+                const std::size_t i = c + Probe::minIndex(&lru_[c], n);
+                if (lru_[i] < best_val) {
+                    best_val = lru_[i];
+                    best = i;
                 }
             }
-            if (slot == npos) {
-                slot = 0;
-                for (std::size_t i = 1; i < ppns_.size(); ++i)
-                    if (lru_[i] < lru_[slot])
-                        slot = i;
-            }
+            slot = best;
         }
         ppns_[slot] = ppn;
         hasCte_[slot] = has_cte;
@@ -129,28 +150,50 @@ class CteBuffer : public Stated
     /** No real PPN is all-ones; marks an invalid slot in ppns_. */
     static constexpr Ppn invalidPpn = ~static_cast<Ppn>(0);
 
-    /**
-     * Index of the valid entry keyed by `ppn`, or npos.  Keys are
-     * unique, so a no-early-exit scan finds the same slot while
-     * letting the compiler vectorize the 64-entry compare — this scan
-     * runs on every LLC-bound access and eight times per page walk.
-     */
-    std::size_t
-    find(Ppn ppn) const
+    /** Padding-slot key: matches neither a real PPN nor invalidPpn. */
+    static constexpr Ppn padPpn = invalidPpn ^ 1;
+
+    using Probe = simd::Active;
+
+    /** Probe chunk: one way mask's worth of entries per vector scan. */
+    static constexpr std::size_t chunk = simd::maxWays;
+
+    unsigned
+    chunkLen(std::size_t base) const
     {
-        std::size_t m = npos;
-        for (std::size_t i = 0; i < ppns_.size(); ++i)
-            if (ppns_[i] == ppn)
-                m = i;
-        return m;
+        return static_cast<unsigned>(
+            stride_ - base < chunk ? stride_ - base : chunk);
     }
 
-    // Structure-of-arrays entries: the key scan touches only ppns_.
+    /** First slot whose key equals `key`, or npos (vector scan). */
+    std::size_t
+    findSlot(Ppn key) const
+    {
+        for (std::size_t c = 0; c < stride_; c += chunk)
+            if (const std::uint64_t m =
+                    Probe::eqMask(&ppns_[c], chunkLen(c), key))
+                return c + simd::firstWay(m);
+        return npos;
+    }
+
+    /**
+     * Index of the valid entry keyed by `ppn`, or npos.  Keys are
+     * unique (insert refreshes in place), so "first match" is "the
+     * match" — this scan runs on every LLC-bound access and eight
+     * times per page walk.
+     */
+    std::size_t find(Ppn ppn) const { return findSlot(ppn); }
+
+    // Structure-of-arrays entries, padded to the vector width (padding
+    // slots hold padPpn / all-ones LRU and are never chosen): the key
+    // scan touches only ppns_.
+    std::size_t stride_; //!< entry count padded to the vector width
     std::vector<Ppn> ppns_;
     std::vector<std::uint8_t> hasCte_;
     std::vector<std::uint64_t> cte_;
     std::vector<Addr> ptbAddr_;
     std::vector<std::uint64_t> lru_;
+    unsigned entries_; //!< real (unpadded) capacity
     Entry scratch_; //!< backing storage for lookup()'s return
 
     std::uint64_t lruClock_ = 0;

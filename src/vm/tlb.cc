@@ -8,13 +8,27 @@ namespace tmcc
 
 Tlb::Tlb(unsigned entries, unsigned assoc) : assoc_(assoc)
 {
+    fatalIf(assoc == 0, "TLB associativity must be nonzero");
     fatalIf(entries % assoc != 0, "TLB entries must divide by assoc");
+    fatalIf(assoc > simd::maxWays,
+            "TLB associativity " + std::to_string(assoc) +
+                " exceeds the probe engine's " +
+                std::to_string(simd::maxWays) + "-way set limit");
     sets_ = entries / assoc;
     fatalIf(!isPowerOf2(sets_), "TLB set count must be a power of two");
-    vpns_.assign(entries, 0);
-    ppns_.assign(entries, 0);
-    lru_.assign(entries, 0);
-    flags_.assign(entries, 0);
+
+    // Pad each set's metadata row to the vector width; padding ways
+    // hold a key no probe can match (and that never reads as invalid)
+    // plus an all-ones LRU stamp no victim scan can pick.
+    wstride_ = simd::padWays(assoc_);
+    keys_.assign(sets_ * wstride_, padKey);
+    ppns_.assign(sets_ * wstride_, 0);
+    lru_.assign(sets_ * wstride_, ~std::uint64_t{0});
+    for (std::size_t s = 0; s < sets_; ++s)
+        for (unsigned w = 0; w < assoc_; ++w) {
+            keys_[s * wstride_ + w] = 0;
+            lru_[s * wstride_ + w] = 0;
+        }
 }
 
 void
@@ -28,8 +42,12 @@ Tlb::insertHuge(Vpn vpn_base, Ppn ppn_base)
 void
 Tlb::flush()
 {
-    for (auto &f : flags_)
-        f = 0;
+    // Clear the flag bits of real ways only (padding keys must keep
+    // the Valid bit so the install victim scan never surfaces them).
+    for (std::size_t s = 0; s < sets_; ++s)
+        for (unsigned w = 0; w < assoc_; ++w)
+            keys_[s * wstride_ + w] &= ~((std::uint64_t{1} << flagBits) - 1);
+    anyHuge_ = false;
 }
 
 void

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The probe-engine contract (common/simd.hh): every vector ISA
+ * compiled into this build returns bit-identical results to ScalarIsa
+ * — the oracle — for every primitive, every legal padded width, and
+ * adversarial value distributions (heavy ties, sentinel values, keys
+ * present / absent / duplicated).  This is what lets the structures
+ * built on the engine claim SIMD builds are metric-identical to the
+ * scalar fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/simd.hh"
+
+namespace tmcc
+{
+namespace
+{
+
+/** Value pools of increasing nastiness. */
+std::uint64_t
+drawValue(std::mt19937_64 &rng, int regime)
+{
+    switch (regime) {
+    case 0: // wide: ties unlikely
+        return rng();
+    case 1: // narrow: constant ties everywhere
+        return rng() % 4;
+    case 2: // sentinel-heavy: ~0, ~0^1, 0 and small values
+        switch (rng() % 4) {
+        case 0: return ~std::uint64_t{0};
+        case 1: return ~std::uint64_t{0} ^ 1;
+        case 2: return 0;
+        default: return rng() % 8;
+        }
+    default: // sign-bit straddling: exercises the biased compares
+        return (rng() % 2 ? 0x8000000000000000ULL : 0) + rng() % 16;
+    }
+}
+
+template <class Isa>
+void
+compareAgainstOracle()
+{
+    std::mt19937_64 rng(20260808);
+    for (unsigned n = Isa::lanes; n <= simd::maxWays;
+         n += Isa::lanes) {
+        for (int regime = 0; regime < 4; ++regime) {
+            for (int iter = 0; iter < 200; ++iter) {
+                std::vector<std::uint64_t> vals(n), lru(n);
+                for (auto &v : vals)
+                    v = drawValue(rng, regime);
+                for (auto &v : lru)
+                    v = drawValue(rng, regime);
+                // Probe for a value that is often present.
+                const std::uint64_t key =
+                    iter % 2 ? vals[rng() % n] : drawValue(rng, regime);
+                const std::uint64_t key2 = drawValue(rng, regime);
+                const std::uint64_t mask = drawValue(rng, regime);
+
+                SCOPED_TRACE(std::string(Isa::name) + " n=" +
+                             std::to_string(n) + " regime=" +
+                             std::to_string(regime));
+                EXPECT_EQ(
+                    simd::ScalarIsa::eqMask(vals.data(), n, key),
+                    Isa::eqMask(vals.data(), n, key));
+                std::uint64_t sa, sb, va, vb;
+                simd::ScalarIsa::eqMask2(vals.data(), n, key, key2,
+                                         sa, sb);
+                Isa::eqMask2(vals.data(), n, key, key2, va, vb);
+                EXPECT_EQ(sa, va);
+                EXPECT_EQ(sb, vb);
+                EXPECT_EQ(simd::ScalarIsa::eqMaskAnd(vals.data(), n,
+                                                     mask, key & mask),
+                          Isa::eqMaskAnd(vals.data(), n, mask,
+                                         key & mask));
+                EXPECT_EQ(simd::ScalarIsa::minIndex(lru.data(), n),
+                          Isa::minIndex(lru.data(), n));
+                EXPECT_EQ(
+                    simd::ScalarIsa::victimIndex(vals.data(),
+                                                 lru.data(), n, key),
+                    Isa::victimIndex(vals.data(), lru.data(), n, key));
+            }
+        }
+    }
+}
+
+TEST(SimdProbe, ActiveIsaMatchesScalarOracle)
+{
+    compareAgainstOracle<simd::Active>();
+}
+
+#if defined(TMCC_SIMD_X86)
+TEST(SimdProbe, Sse2MatchesScalarOracle)
+{
+    compareAgainstOracle<simd::Sse2Isa>();
+}
+#endif
+
+#if defined(TMCC_SIMD_X86) && defined(__AVX2__)
+TEST(SimdProbe, Avx2MatchesScalarOracle)
+{
+    compareAgainstOracle<simd::Avx2Isa>();
+}
+#endif
+
+#if defined(TMCC_SIMD_NEON)
+TEST(SimdProbe, NeonMatchesScalarOracle)
+{
+    compareAgainstOracle<simd::NeonIsa>();
+}
+#endif
+
+TEST(SimdProbe, FirstWayAndPadWays)
+{
+    EXPECT_EQ(simd::firstWay(0b1), 0u);
+    EXPECT_EQ(simd::firstWay(0b1010), 1u);
+    EXPECT_EQ(simd::firstWay(std::uint64_t{1} << 63), 63u);
+    for (unsigned a = 1; a <= simd::maxWays; ++a) {
+        const unsigned p = simd::padWays(a);
+        EXPECT_GE(p, a);
+        EXPECT_EQ(p % simd::Active::lanes, 0u);
+        EXPECT_LT(p - a, simd::Active::lanes);
+    }
+}
+
+/** Directed corner cases the random regimes could in principle miss. */
+TEST(SimdProbe, DirectedEdgeCases)
+{
+    using S = simd::Active;
+    // All-equal values: earliest index must win.
+    std::vector<std::uint64_t> same(simd::maxWays, 7);
+    EXPECT_EQ(S::minIndex(same.data(), simd::maxWays), 0u);
+    EXPECT_EQ(S::eqMask(same.data(), simd::maxWays, 7),
+              ~std::uint64_t{0});
+    // Minimum in the last lane of the last vector.
+    std::vector<std::uint64_t> tail(8, 100);
+    tail[7] = 1;
+    EXPECT_EQ(S::minIndex(tail.data(), 8), 7u);
+    // Invalid ways outrank every valid way in victimIndex, ties to
+    // the earliest invalid.
+    std::vector<std::uint64_t> tags = {5, ~0ULL, 9, ~0ULL};
+    std::vector<std::uint64_t> lru = {1, 50, 2, 60};
+    const unsigned lanes = S::lanes;
+    if (4 % lanes == 0) {
+        EXPECT_EQ(S::victimIndex(tags.data(), lru.data(), 4, ~0ULL),
+                  1u);
+    }
+}
+
+} // namespace
+} // namespace tmcc

@@ -5,15 +5,25 @@
  * without tracing and epoch stats, under native / nested / huge-page
  * translation, and in interval-sampling mode.  Plus the strict
  * validation of the new --kernel / --sample knobs (death tests).
+ *
+ * Cross-build identity: with TMCC_IDENTITY_DIR set, the suite also
+ * writes one fingerprint file per (arch x kernel x mode) combination
+ * — or compares against files already present.  CI builds the tree
+ * with the SIMD probe engine (generic and -march=native) and with
+ * -DTMCC_SIMD=OFF, runs this suite in each pointing at one shared
+ * directory, and any probe-engine divergence fails the comparison.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/serial.hh"
+#include "common/simd.hh"
 #include "common/trace.hh"
 #include "sim/sweep_manifest.hh"
 #include "sim/system.hh"
@@ -66,20 +76,54 @@ runWith(SimConfig cfg, KernelMode kernel)
     return sys.measure();
 }
 
+/**
+ * Cross-build fingerprint exchange (TMCC_IDENTITY_DIR): the first
+ * build to run writes `<tag>.fp`; later builds (different SIMD flags,
+ * same sources) compare byte for byte.  Files also record which build
+ * wrote them so a mismatch message names both sides.
+ */
 void
-expectKernelIdentity(const SimConfig &cfg)
+checkCrossBuild(const std::string &tag,
+                const std::vector<std::uint8_t> &fp)
+{
+    const char *dir = std::getenv("TMCC_IDENTITY_DIR");
+    if (dir == nullptr || *dir == '\0')
+        return;
+    const std::string path = std::string(dir) + "/" + tag + ".fp";
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+        std::vector<std::uint8_t> prev(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        EXPECT_EQ(prev, fp)
+            << "cross-build fingerprint mismatch for " << tag
+            << " (this build: " << simd::Active::name << "): " << path;
+        return;
+    }
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out.write(reinterpret_cast<const char *>(fp.data()),
+              static_cast<std::streamsize>(fp.size()));
+}
+
+void
+expectKernelIdentity(const SimConfig &cfg, const std::string &tag = "")
 {
     const SimResult scalar = runWith(cfg, KernelMode::Scalar);
     const SimResult batch = runWith(cfg, KernelMode::Batch);
     ASSERT_GT(scalar.accesses, 0u);
-    EXPECT_EQ(fingerprint(scalar), fingerprint(batch));
+    const std::vector<std::uint8_t> fp = fingerprint(scalar);
+    EXPECT_EQ(fp, fingerprint(batch));
+    if (!tag.empty())
+        checkCrossBuild(tag, fp);
 }
 
 TEST(KernelIdentity, AllSixArchitectures)
 {
     for (Arch arch : allArchs) {
         SCOPED_TRACE(archName(arch));
-        expectKernelIdentity(tinyConfig(arch));
+        expectKernelIdentity(tinyConfig(arch),
+                             std::string("exact_") + archName(arch));
     }
 }
 
@@ -97,7 +141,7 @@ TEST(KernelIdentity, TmccOnMemcloud)
     // per-tenant stats, so misattribution in either kernel shows up.
     SimConfig cfg = tinyConfig(Arch::Tmcc, "memcloud");
     cfg.tenants = 4;
-    expectKernelIdentity(cfg);
+    expectKernelIdentity(cfg, "exact_memcloud");
 }
 
 TEST(KernelIdentity, WithEpochStats)
@@ -162,7 +206,8 @@ TEST(KernelIdentity, SampledModeMatchesAcrossKernels)
     // path is shared, so batch must still match scalar byte for byte.
     for (Arch arch : allArchs) {
         SCOPED_TRACE(archName(arch));
-        expectKernelIdentity(sampledConfig(arch));
+        expectKernelIdentity(sampledConfig(arch),
+                             std::string("sampled_") + archName(arch));
     }
 }
 
